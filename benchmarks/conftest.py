@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's per-experiment index).  Each bench
+times the experiment's core computation once (``benchmark.pedantic``
+with a single round -- synthesis is deterministic, and the paper's
+numbers are single-run CPU times too), then asserts the qualitative
+shape the paper reports and prints the regenerated artefact.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

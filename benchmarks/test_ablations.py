@@ -1,0 +1,102 @@
+"""Ablations: the design choices DESIGN.md calls out are load-bearing.
+
+(a) *Rule patching matters*: with the two-stage patch rules disabled,
+    test case C cannot be designed at all -- the plan's first-cut
+    partition fails and nothing recovers it.
+(b) *Breadth-first selection matters*: forcing the single style a
+    greedy first-feasible chooser would take (the catalogue's first
+    entry, one_stage) either fails outright (cases B, C) or, where it
+    succeeds, the area-based selector provably picked the smaller
+    design among multiple feasible styles (case A).
+(c) *Hierarchical templates matter*: the mirror designer's style
+    catalogue restricted to `simple` makes the high-gain region of
+    Figure 7 unreachable.
+"""
+
+import pytest
+
+from repro import CMOS_5UM, synthesize
+from repro.errors import SynthesisError
+from repro.kb.plans import DesignState, PlanExecutor
+from repro.kb.trace import DesignTrace
+from repro.opamp.designer import design_style
+from repro.opamp.testcases import SPEC_A, SPEC_B, SPEC_C
+from repro.opamp.twostage import TWO_STAGE_TEMPLATE
+from repro.subblocks import MirrorSpec, design_current_mirror
+
+
+def _design_two_stage_without_rules(spec):
+    state = DesignState(spec.to_specification(), CMOS_5UM)
+    state.set("opamp_spec", spec)
+    executor = PlanExecutor(TWO_STAGE_TEMPLATE.build_plan(), rules=[])
+    executor.execute(state, trace=DesignTrace(), block="ablation/no_rules")
+    return state
+
+
+def _run_ablations():
+    outcomes = {}
+
+    # (a) rules disabled -> case C two-stage fails.
+    try:
+        _design_two_stage_without_rules(SPEC_C)
+        outcomes["no_rules_case_c"] = "designed"
+    except SynthesisError as exc:
+        outcomes["no_rules_case_c"] = f"failed: {exc}"
+
+    # ...while WITH rules the same plan succeeds.
+    outcomes["with_rules_case_c"] = design_style("two_stage", SPEC_C, CMOS_5UM)
+
+    # (b) greedy single-style vs breadth-first on case A.
+    outcomes["case_a_selection"] = synthesize(SPEC_A, CMOS_5UM)
+    try:
+        outcomes["case_b_one_stage_only"] = synthesize(
+            SPEC_B, CMOS_5UM, styles=("one_stage",)
+        )
+    except SynthesisError as exc:
+        outcomes["case_b_one_stage_only"] = f"failed: {exc}"
+
+    # (c) mirror catalogue restricted to simple.
+    try:
+        design_current_mirror(
+            MirrorSpec(
+                polarity="pmos",
+                i_in=10e-6,
+                i_out=10e-6,
+                rout_min=5e8,
+                headroom=2.5,
+                length_max=20e-6,
+            ),
+            CMOS_5UM,
+            styles=("simple",),
+        )
+        outcomes["simple_only_mirror"] = "designed"
+    except SynthesisError as exc:
+        outcomes["simple_only_mirror"] = f"failed: {exc}"
+    return outcomes
+
+
+def test_ablations(once, benchmark):
+    outcomes = once(benchmark, _run_ablations)
+
+    # (a) Without rules the aggressive case is unreachable; with them it
+    # is designed.
+    assert str(outcomes["no_rules_case_c"]).startswith("failed")
+    assert outcomes["with_rules_case_c"].performance["gain_db"] >= SPEC_C.gain_db
+
+    # (b) Greedy one-stage-only fails case B outright...
+    assert str(outcomes["case_b_one_stage_only"]).startswith("failed")
+    # ...and on case A, breadth-first provably compared both feasible
+    # styles and picked the smaller.
+    result = outcomes["case_a_selection"]
+    assert len(result.feasible_styles()) == 2
+    costs = {c.style: c.cost for c in result.candidates if c.feasible}
+    assert result.style == min(costs, key=costs.get)
+
+    # (c) The simple-only mirror catalogue cannot reach cascode-level
+    # output resistance.
+    assert str(outcomes["simple_only_mirror"]).startswith("failed")
+
+    print()
+    for key, value in outcomes.items():
+        text = value if isinstance(value, str) else type(value).__name__
+        print(f"  {key}: {str(text)[:100]}")

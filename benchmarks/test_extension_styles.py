@@ -1,0 +1,63 @@
+"""Section 5 extension: the folded-cascode style in the catalogue.
+
+Not a paper table/figure -- this bench validates the paper's *claim*
+that the framework generalises: a third op amp style was added with its
+own template and plan, reusing the existing sub-block designers, without
+touching the selection machinery or disturbing the Table 2 outcomes.
+"""
+
+from repro import CMOS_5UM, OpAmpSpec, synthesize
+from repro.opamp import EXTENDED_STYLES, OPAMP_STYLES
+from repro.opamp.testcases import paper_test_cases
+from repro.opamp.verify import open_loop_response
+
+
+def _spec(swing: float) -> OpAmpSpec:
+    return OpAmpSpec(
+        gain_db=90.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=swing,
+        offset_max_mv=2.0,
+    )
+
+
+def _run():
+    winners = {
+        swing: synthesize(_spec(swing), CMOS_5UM, styles=EXTENDED_STYLES)
+        for swing in (3.3, 3.4, 3.5)
+    }
+    table2 = {
+        label: synthesize(spec, CMOS_5UM).style
+        for label, spec in paper_test_cases().items()
+    }
+    return winners, table2
+
+
+def test_extension_styles(once, benchmark):
+    winners, table2 = once(benchmark, _run)
+
+    # The default catalogue stays paper-faithful.
+    assert OPAMP_STYLES == ("one_stage", "two_stage")
+    assert table2 == {"A": "one_stage", "B": "two_stage", "C": "two_stage"}
+
+    # The extension carves out its own niche along the swing axis.
+    assert winners[3.3].style == "one_stage"
+    assert winners[3.4].style == "folded_cascode"
+    assert winners[3.5].style == "two_stage"
+
+    # The winning folded-cascode design verifies in the simulator.
+    amp = winners[3.4].best
+    response = open_loop_response(amp)
+    assert response.dc_gain_db >= 89.0
+
+    print()
+    print("swing -> winner (area um^2 per style):")
+    for swing, result in winners.items():
+        costs = {
+            c.style: f"{c.cost * 1e12:.0f}" if c.feasible else "X"
+            for c in result.candidates
+        }
+        print(f"  +-{swing} V: {result.style}  {costs}")

@@ -1,0 +1,52 @@
+"""Figure 1: the successive-approximation A/D converter hierarchy.
+
+Instantiates the static Figure 1 block tree, then designs a full
+converter so every level carries selected styles, and checks the
+structural claims the paper makes about analog hierarchy: four levels,
+an op amp as a reusable interior sub-block, and *looseness* (siblings of
+very different complexity).
+"""
+
+from repro.adc import SarAdcSpec, design_sar_adc, figure1_hierarchy
+from repro.process import CMOS_5UM
+
+
+def _design():
+    return design_sar_adc(
+        SarAdcSpec(bits=8, sample_rate=20e3, v_full_scale=5.0), CMOS_5UM
+    )
+
+
+def test_fig1_hierarchy(once, benchmark):
+    adc = once(benchmark, _design)
+
+    static = figure1_hierarchy()
+    # Level 0 .. level 3.
+    assert static.depth() == 3
+    assert [b.name for b in static.children] == [
+        "sample_hold",
+        "comparator",
+        "dac",
+        "sar_logic",
+    ]
+
+    designed = adc.hierarchy
+    assert [b.name for b in designed.children] == [
+        "sample_hold",
+        "comparator",
+        "dac",
+        "sar_logic",
+    ]
+    # The op amp appears as an interior sub-block of the comparator.
+    opamps = designed.find_all("opamp")
+    assert len(opamps) == 1
+    assert opamps[0].style in ("one_stage", "two_stage")
+
+    # Loose hierarchy: the sample-and-hold is 2 transistors, the
+    # comparator more than 10 ("might include more than 20" in the
+    # paper's larger example).
+    assert adc.sample_hold.transistor_count == 2
+    assert adc.comparator.transistor_count > 10
+
+    print()
+    print(designed.render())

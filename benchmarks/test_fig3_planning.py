@@ -1,0 +1,47 @@
+"""Figures 2 and 3: selection/translation and plan execution with rules.
+
+Runs the two-stage plan on test case C and asserts the Figure 3
+mechanism operated: plan steps executed in order, a rule fired to patch
+the failing design (cascode + level shifter + partition skew), and the
+plan restarted from an earlier step.  Prints the full trace -- the
+textual regeneration of Figure 3's picture.
+"""
+
+from repro import CMOS_5UM
+from repro.opamp.designer import design_style
+from repro.opamp.testcases import SPEC_C
+
+
+def _design():
+    return design_style("two_stage", SPEC_C, CMOS_5UM)
+
+
+def test_fig3_planning(once, benchmark):
+    amp = once(benchmark, _design)
+    trace = amp.trace
+
+    # The plan ran to completion.
+    assert trace.count("plan_start") == 1
+    assert trace.count("plan_done") == 1
+
+    # Rules fired and the plan was restarted (patched) at least once.
+    firings = [e.step for e in trace.rule_firings]
+    assert "cascode_first_stage" in firings
+    assert trace.count("restart") >= 1
+
+    # The paper's worked example: the gain-partition step re-executed
+    # after the patch with the skewed partition.
+    partition_steps = [
+        e for e in trace.events if e.kind == "step" and e.step == "partition_gain"
+    ]
+    assert len(partition_steps) >= 2
+    assert "skew 1" in partition_steps[0].detail
+    assert "skew 2" in partition_steps[-1].detail
+
+    # Plan size is in the paper's stated range ("between 20 and 25 plan
+    # steps" per op amp style -- ours counts 20 distinct steps).
+    distinct_steps = {e.step for e in trace.events if e.kind == "step"}
+    assert 18 <= len(distinct_steps) <= 25
+
+    print()
+    print(trace.render())

@@ -1,0 +1,45 @@
+"""Figure 4: the two-stage op amp topology template.
+
+Renders the stored template: its fixed arrangement of sub-blocks
+(differential pair, load/tail mirrors, level shifter, transconductance
+stage, bias, compensation), the plan stored with it, and the patch
+rules.  Asserts the structural content the paper's Figure 4 shows,
+including compensation being owned by the op amp level ("conceptually
+one level higher in the hierarchy than the other sub-blocks").
+"""
+
+from repro.opamp.designer import OPAMP_CATALOG
+
+
+def _render():
+    return OPAMP_CATALOG["two_stage"].render(), OPAMP_CATALOG["one_stage"].render()
+
+
+def test_fig4_template(once, benchmark):
+    two_stage, one_stage = once(benchmark, _render)
+
+    # The fixed sub-block arrangement of Figure 4.
+    for slot in (
+        "input_pair: diff_pair",
+        "load_mirror: current_mirror",
+        "tail_mirror: current_mirror",
+        "level_shifter: level_shifter",
+        "gm_stage: gm_stage",
+        "bias: bias_network",
+        "compensation: capacitor",
+    ):
+        assert slot in two_stage
+
+    # The plan and rules are stored with the template.
+    assert "design_compensation" in two_stage
+    assert "cascode_first_stage" in two_stage
+    assert "partition_gain" in two_stage
+
+    # The one-stage template carries no compensation capacitor slot
+    # (load-compensated style).
+    assert "compensation" not in one_stage
+    assert "sink_mirror: current_mirror" in one_stage
+
+    print()
+    print(two_stage)
+    print(one_stage)

@@ -1,0 +1,62 @@
+"""Figure 5: synthesized circuit schematics for the three test cases.
+
+Regenerates the sized transistor schematics (text form) and SPICE decks
+for A, B and C, and asserts the structural differences Figure 5 shows:
+
+* A is the compact one-stage OTA;
+* B is the simple two-stage with a Miller capacitor;
+* C additionally carries cascoded load/tail mirrors and the level
+  shifter ("OASYS cascoded the input current bias and output load
+  mirror and inserted a level shifter").
+"""
+
+from repro import CMOS_5UM, synthesize, to_spice
+from repro.opamp.testcases import paper_test_cases
+
+
+def _synthesize_all():
+    return {
+        label: synthesize(spec, CMOS_5UM).best
+        for label, spec in paper_test_cases().items()
+    }
+
+
+def test_fig5_schematics(once, benchmark):
+    designs = once(benchmark, _synthesize_all)
+
+    circuits = {label: amp.standalone_circuit() for label, amp in designs.items()}
+    for circuit in circuits.values():
+        circuit.validate()
+
+    # Case A: one-stage OTA, no compensation capacitor (only the load).
+    a_caps = [c.name for c in circuits["A"].capacitors]
+    assert all("_cc" not in name for name in a_caps)
+
+    # Case B: two-stage with a Miller capacitor; no cascode devices.
+    b_names = [e.name for e in circuits["B"].elements]
+    assert any("_cc" in n for n in b_names)
+    assert not any("refc" in n or "outc" in n for n in b_names)
+
+    # Case C: cascoded mirrors (extra cascode devices) + level shifter.
+    c_names = [e.name for e in circuits["C"].elements]
+    assert any("refc" in n for n in c_names)  # cascode devices present
+    assert any("_ls_" in n or "lsm" in n for n in c_names)  # level shifter
+    # C therefore has visibly more transistors than B.
+    assert circuits["C"].transistor_count() > circuits["B"].transistor_count()
+
+    # Device counts sit in the paper's "complex analog cell" ballpark.
+    for label, circuit in circuits.items():
+        assert 8 <= circuit.transistor_count() <= 40
+
+    # SPICE export round-trips structurally.
+    from repro.circuit import from_spice
+
+    for label, circuit in circuits.items():
+        deck = to_spice(circuit)
+        recovered = from_spice(deck)
+        assert recovered.transistor_count() == circuit.transistor_count()
+
+    print()
+    for label, amp in designs.items():
+        print(f"--- Test case {label} ({amp.style}) ---")
+        print(amp.schematic())

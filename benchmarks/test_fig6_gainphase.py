@@ -1,0 +1,51 @@
+"""Figure 6: gain-phase plot for synthesized test circuit C.
+
+Simulates the open-loop response of the case-C design from 1 Hz to
+10 MHz (the paper's axis) and asserts the plot's shape: ~100 dB DC
+gain, a single dominant pole rolling off at -20 dB/decade, unity-gain
+crossover in the MHz range, and monotonically accumulating phase lag.
+"""
+
+import numpy as np
+
+from repro import CMOS_5UM, synthesize
+from repro.opamp.testcases import SPEC_C
+from repro.opamp.verify import open_loop_response
+from repro.reporting import gain_phase_series, render_gain_phase
+from repro.simulator.analysis import crossover_frequency
+
+
+def _simulate():
+    amp = synthesize(SPEC_C, CMOS_5UM).best
+    response = open_loop_response(amp, f_start=1.0, f_stop=10e6, points_per_decade=15)
+    return amp, response
+
+
+def test_fig6_gainphase(once, benchmark):
+    amp, response = once(benchmark, _simulate)
+
+    # ~100 dB of DC gain.
+    assert response.dc_gain_db >= 99.0
+
+    # Unity-gain crossover within the plotted axis, in the MHz range.
+    f_unity = crossover_frequency(response)
+    assert f_unity is not None
+    assert 1e6 <= f_unity <= 10e6
+
+    # Single dominant pole: between 1 kHz and 100 kHz the slope is
+    # -20 dB/decade within tolerance.
+    mags = response.magnitude_db
+    freqs = response.frequencies
+    k1 = int(np.argmin(np.abs(freqs - 1e3)))
+    k2 = int(np.argmin(np.abs(freqs - 1e5)))
+    slope = (mags[k2] - mags[k1]) / np.log10(freqs[k2] / freqs[k1])
+    assert abs(slope - (-20.0)) < 2.0
+
+    # Phase lag accumulates monotonically (within numerical ripple).
+    phase = response.phase_deg - response.phase_deg[0]
+    assert np.all(np.diff(phase) <= 1.0)
+    assert phase[-1] < -135.0  # well past the dominant pole by 10 MHz
+
+    series = gain_phase_series(amp, response=response)
+    print()
+    print(render_gain_phase(series))

@@ -1,0 +1,77 @@
+"""Figure 7: area versus achievable gain under continuous variation.
+
+Sweeps the gain specification of test case A at 5 pF and 20 pF loads,
+designing every style at every point, and asserts the figure's shape:
+
+* one-stage designs are always smaller than two-stage designs at the
+  same (gain, load) point, but cover a much narrower gain range;
+* beyond the one-stage ceiling only two-stage designs exist;
+* at some gain the two-stage topology changes (cascode + level
+  shifter), and the area steps up there;
+* the larger load shifts every curve to larger area and ends the
+  achievable range earlier.
+"""
+
+import numpy as np
+
+from repro import CMOS_5UM
+from repro.opamp.testcases import SPEC_A
+from repro.reporting import area_gain_sweep, render_area_gain
+from repro.reporting.area_gain import topology_changes
+
+GAINS = np.arange(35.0, 111.0, 7.5)
+LOADS = (5e-12, 20e-12)
+
+
+def _sweep():
+    return area_gain_sweep(SPEC_A, CMOS_5UM, gains_db=GAINS, loads_f=LOADS)
+
+
+def test_fig7_area_gain(once, benchmark):
+    points = once(benchmark, _sweep)
+    assert points, "sweep produced no feasible designs"
+
+    by_style = {}
+    for point in points:
+        by_style.setdefault((point.style, point.load_f), []).append(point)
+
+    for load in LOADS:
+        one = by_style.get(("one_stage", load), [])
+        two = by_style.get(("two_stage", load), [])
+        assert one and two
+
+        # One-stage: smaller area wherever both styles exist.
+        two_by_gain = {p.gain_db: p for p in two}
+        overlap = [p for p in one if p.gain_db in two_by_gain]
+        assert overlap
+        for p in overlap:
+            assert p.area < two_by_gain[p.gain_db].area
+
+        # One-stage: narrower achievable gain range.
+        one_max = max(p.gain_db for p in one)
+        two_max = max(p.gain_db for p in two)
+        assert two_max >= one_max + 30.0
+
+        # Beyond the one-stage ceiling only two-stage designs exist.
+        beyond = [p for p in two if p.gain_db > one_max]
+        assert beyond
+
+    # The larger load costs area at matched points.
+    small = {(p.style, p.gain_db): p.area for p in points if p.load_f == 5e-12}
+    for p in points:
+        if p.load_f == 20e-12 and (p.style, p.gain_db) in small:
+            assert p.area > small[(p.style, p.gain_db)]
+
+    # The larger load ends the two-stage range no later than the small one.
+    max_small = max(p.gain_db for p in points if p.load_f == 5e-12)
+    max_large = max(p.gain_db for p in points if p.load_f == 20e-12)
+    assert max_large <= max_small
+
+    # At least one automatic topology change along the sweep, with an
+    # area step at the change point.
+    changes = topology_changes(points)
+    assert changes
+    assert any("cascode" in c.topology for c in changes)
+
+    print()
+    print(render_area_gain(points))

@@ -1,0 +1,66 @@
+"""Table 2: specifications and results for the three OASYS test cases.
+
+Synthesizes A, B and C on the representative 5 um process, verifies
+each winner with the in-repo simulator (the paper's SPICE step), prints
+the regenerated table, and asserts the qualitative outcomes the paper's
+prose fixes:
+
+* A -> one-stage selected; two-stage feasible but larger;
+* B -> simple two-stage; one-stage infeasible;
+* C -> complex two-stage (cascoded mirrors + level shifter); phase
+  margin achieved below the 45-degree request but accepted (soft).
+"""
+
+from repro import CMOS_5UM, synthesize, verify_opamp
+from repro.opamp.testcases import SPEC_C, paper_test_cases
+from repro.reporting import table2_report
+
+
+def _run_all_cases():
+    designs, results, reports = {}, {}, {}
+    for label, spec in paper_test_cases().items():
+        result = synthesize(spec, CMOS_5UM)
+        results[label] = result
+        designs[label] = result.best
+        reports[label] = verify_opamp(result.best)
+    return designs, results, reports
+
+
+def test_table2(once, benchmark):
+    designs, results, reports = once(benchmark, _run_all_cases)
+
+    # --- Case A: ordinary; one-stage wins on area. ---
+    assert designs["A"].style == "one_stage"
+    a_two = results["A"].candidate("two_stage")
+    assert a_two.feasible
+    assert results["A"].candidate("one_stage").cost < a_two.cost
+
+    # --- Case B: one-stage impossible; simplest two-stage selected. ---
+    assert designs["B"].style == "two_stage"
+    assert not results["B"].candidate("one_stage").feasible
+    b_styles = {b.name: b.style for b in designs["B"].hierarchy.children}
+    assert b_styles["load_mirror"] == "simple"
+    assert "level_shifter" not in b_styles
+
+    # --- Case C: complex two-stage. ---
+    assert designs["C"].style == "two_stage"
+    c_styles = {b.name: b.style for b in designs["C"].hierarchy.children}
+    assert c_styles["load_mirror"] == "cascode"
+    assert c_styles["tail_mirror"] == "cascode"
+    assert "level_shifter" in c_styles
+
+    # Hard specs hold in *measured* performance for every case.
+    for label, amp in designs.items():
+        report = reports[label]
+        assert report.get("gain_db") >= amp.spec.gain_db * 0.99
+        assert report.get("offset_mv") <= amp.spec.offset_max_mv
+        assert report.get("slew_rate") >= amp.spec.slew_rate * 0.9
+        assert report.get("output_swing") >= amp.spec.output_swing * 0.95
+
+    # The paper's case-C signature: PM measured below the request but
+    # stable ("45 deg specified, 32 deg achieved ... acceptable").
+    c_pm = reports["C"].get("phase_margin_deg")
+    assert 20.0 < c_pm < SPEC_C.phase_margin_deg
+
+    print()
+    print(table2_report(designs, reports))

@@ -1,0 +1,37 @@
+"""Watch the planning mechanism work (the paper's Figure 3).
+
+Run:
+    python examples/design_trace.py
+
+Designs test case C and prints the full design trace: plan steps
+executing in order, rules firing to patch the plan (cascode the load
+mirror, insert a level shifter, skew the gain partition), and the plan
+restarting from an earlier step with new constraints -- the paper's
+central mechanism, made visible.
+"""
+
+from repro import CMOS_5UM
+from repro.opamp.designer import OPAMP_CATALOG, design_style
+from repro.opamp.testcases import SPEC_C
+
+
+def main() -> None:
+    print("The two-stage topology template (Figure 4):")
+    print("===========================================")
+    print(OPAMP_CATALOG["two_stage"].render())
+
+    print("Executing the plan for test case C (100 dB, +-2.5 V swing):")
+    print("===========================================================")
+    amp = design_style("two_stage", SPEC_C, CMOS_5UM)
+    print(amp.trace.render())
+
+    firings = amp.trace.rule_firings
+    restarts = amp.trace.restarts
+    print(f"{len(firings)} rule firing(s), {len(restarts)} plan restart(s).")
+    print()
+    print("Final design:")
+    print(amp.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Section 5 in action: growing the style catalogue.
+
+Run:
+    python examples/extended_styles.py
+
+"Our immediate plan is to expand the breadth of circuit knowledge in
+OASYS to include more op amp topologies (e.g., folded cascode...)".
+This example opts in to the extended catalogue (one-stage OTA,
+two-stage, folded cascode) and shows how the selection boundary moves
+with one specification knob: across 0.2 V of output swing, each style
+gets its niche.
+"""
+
+from repro import CMOS_5UM, OpAmpSpec, synthesize, verify_opamp
+from repro.opamp import EXTENDED_STYLES
+
+
+def main() -> None:
+    print(f"Extended style catalogue: {EXTENDED_STYLES}")
+    print()
+    print(f"{'swing':>6} {'one_stage':>12} {'two_stage':>12} "
+          f"{'folded_casc':>12}   selected")
+    for swing in (3.0, 3.2, 3.3, 3.4, 3.5, 3.7):
+        spec = OpAmpSpec(
+            gain_db=90.0,
+            unity_gain_hz=1e6,
+            phase_margin_deg=60.0,
+            slew_rate=2e6,
+            load_capacitance=10e-12,
+            output_swing=swing,
+            offset_max_mv=2.0,
+        )
+        result = synthesize(spec, CMOS_5UM, styles=EXTENDED_STYLES)
+        cells = {}
+        for cand in result.candidates:
+            cells[cand.style] = (
+                f"{cand.cost * 1e12:.0f}um2" if cand.feasible else "infeasible"
+            )
+        print(
+            f"{swing:>6.1f} {cells['one_stage']:>12} {cells['two_stage']:>12} "
+            f"{cells['folded_cascode']:>12}   {result.style}"
+        )
+
+    print()
+    print("Verifying a winning folded-cascode design with the simulator:")
+    spec = OpAmpSpec(
+        gain_db=90.0, unity_gain_hz=1e6, phase_margin_deg=60.0,
+        slew_rate=2e6, load_capacitance=10e-12, output_swing=3.4,
+        offset_max_mv=2.0,
+    )
+    amp = synthesize(spec, CMOS_5UM, styles=EXTENDED_STYLES).best
+    report = verify_opamp(amp, measure_swing=False, measure_slew=False,
+                          measure_rejections=True)
+    for key in ("gain_db", "phase_margin_deg", "offset_mv",
+                "cmrr_db", "psrr_vdd_db", "psrr_vss_db"):
+        print(f"  measured {key:<14} {report.get(key):8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Application level: design a closed-loop gain stage.
+
+Run:
+    python examples/feedback_amplifier.py
+
+A downstream user rarely wants "an op amp" -- they want a gain-of-10
+amplifier with 50 kHz of bandwidth and 2 % accuracy.  This example shows
+the application layer translating that closed-loop request into an
+open-loop op amp specification, re-judging the style candidates on
+*loaded* loop gain (the feedback resistors load the unbuffered outputs,
+which disqualifies the high-rout OTA), and verifying the assembled
+feedback circuit end-to-end in the simulator.
+"""
+
+from repro.applications import (
+    ClosedLoopSpec,
+    design_closed_loop_amp,
+    verify_closed_loop,
+)
+from repro.applications.closed_loop import translate_to_opamp_spec
+from repro.process import CMOS_5UM
+
+
+def main() -> None:
+    spec = ClosedLoopSpec(
+        gain=10.0,
+        bandwidth_hz=50e3,
+        gain_error=0.02,
+        load_capacitance=10e-12,
+        output_swing=3.0,
+        slew_rate=1e6,
+    )
+    opamp_spec = translate_to_opamp_spec(spec)
+    print("Closed-loop request: gain 10, 50 kHz, 2 % accuracy")
+    print(
+        f"Translated op amp floor: {opamp_spec.gain_db:.0f} dB open-loop, "
+        f"UGF {opamp_spec.unity_gain_hz / 1e3:.0f} kHz"
+    )
+
+    stage = design_closed_loop_amp(spec, CMOS_5UM)
+    print(
+        f"\nSelected op amp: {stage.opamp.style} "
+        f"({stage.opamp.performance['gain_db']:.1f} dB, rout "
+        f"{stage.opamp.performance['rout'] / 1e3:.0f} kOhm)"
+    )
+    print(
+        f"Feedback network: R1 = {stage.r1 / 1e3:.1f} kOhm, "
+        f"R2 = {stage.r2 / 1e3:.1f} kOhm"
+    )
+    for cand in stage.synthesis.candidates:
+        status = "feasible" if cand.feasible else "infeasible"
+        print(f"  candidate {cand.style}: {status}")
+
+    print("\nSimulated closed-loop measurements:")
+    report = verify_closed_loop(stage)
+    print(f"  DC gain      {report['gain']:.3f}  (error {report['gain_error'] * 100:.2f} %)")
+    print(f"  bandwidth    {report['bandwidth_hz'] / 1e3:.1f} kHz")
+    print(f"  gain peaking {report['peaking_db']:.2f} dB (flat = stable loop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduce the paper's three test cases (Table 2, Figures 5 and 6).
+
+Run:
+    python examples/paper_test_cases.py
+
+Synthesizes specifications A, B and C, prints the Table 2 comparison
+(spec vs designer-predicted vs simulator-measured), the sized schematics
+(Figure 5), and the gain-phase data for circuit C (Figure 6).
+"""
+
+from repro import CMOS_5UM, synthesize, verify_opamp
+from repro.opamp.testcases import paper_test_cases
+from repro.reporting import gain_phase_series, render_gain_phase, table2_report
+
+
+def main() -> None:
+    designs = {}
+    reports = {}
+    for label, spec in paper_test_cases().items():
+        print(f"Designing test case {label}...")
+        result = synthesize(spec, CMOS_5UM)
+        designs[label] = result.best
+        reports[label] = verify_opamp(result.best)
+
+    print()
+    print(table2_report(designs, reports))
+
+    print("Figure 5: synthesized schematics")
+    print("================================")
+    for label, amp in designs.items():
+        print(f"--- Test case {label} ({amp.style}) ---")
+        print(amp.schematic())
+
+    print(render_gain_phase(gain_phase_series(designs["C"])))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Successive-approximation A/D converter synthesis (Figure 1 / Section 5).
+
+The paper's Figure 1 shows the analog hierarchy for a successive-
+approximation A/D converter -- the "longer-range goal ... data
+acquisition circuits" of Section 5.  This package carries the framework
+one hierarchy level up, exactly as the framework prescribes:
+
+* a **system-level plan** (:mod:`repro.adc.sar`) translates converter
+  specifications (resolution, sample rate, reference range) into
+  sub-block specifications;
+* the **comparator designer** (:mod:`repro.adc.comparator`) *reuses the
+  op amp designer* as its preamplifier -- the paper's reuse argument
+  ("an op amp is a sub-block in many A/D converter topologies, but there
+  need be only one set of selectors/translators for op amps");
+* the **sample-and-hold** (:mod:`repro.adc.sample_hold`) and
+  **capacitor-array DAC** (:mod:`repro.adc.dac`) designers size their
+  few devices from noise/settling/matching equations -- illustrating the
+  *loose* hierarchy: siblings of very different complexity;
+* a behavioural converter model verifies the assembled design
+  bit-by-bit (:func:`repro.adc.sar.simulate_conversion`).
+"""
+
+from .hierarchy import figure1_hierarchy
+from .comparator import ComparatorSpec, DesignedComparator, design_comparator
+from .sample_hold import DesignedSampleHold, SampleHoldSpec, design_sample_hold
+from .dac import CapDacSpec, DesignedCapDac, design_cap_dac
+from .sar import (
+    DesignedSarAdc,
+    SarAdcSpec,
+    comparator_noise_rms,
+    design_sar_adc,
+    estimate_enob,
+    simulate_conversion,
+    transfer_curve,
+)
+
+__all__ = [
+    "figure1_hierarchy",
+    "ComparatorSpec",
+    "DesignedComparator",
+    "design_comparator",
+    "SampleHoldSpec",
+    "DesignedSampleHold",
+    "design_sample_hold",
+    "CapDacSpec",
+    "DesignedCapDac",
+    "design_cap_dac",
+    "SarAdcSpec",
+    "DesignedSarAdc",
+    "design_sar_adc",
+    "simulate_conversion",
+    "transfer_curve",
+    "estimate_enob",
+    "comparator_noise_rms",
+]

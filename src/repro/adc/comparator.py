@@ -1,0 +1,142 @@
+"""Comparator designer -- a Section 5 sub-block type.
+
+The comparator is designed as an op amp preamplifier (run open-loop)
+followed by a regenerative output latch.  The preamp is produced by the
+*existing* op amp designer, demonstrating the framework's reuse claim:
+translating comparator specifications into op amp specifications is one
+selection/translation step, after which the op amp selectors and
+translators do all the work.
+
+Translation equations:
+
+* the preamp must amplify half an LSB to a solid logic level:
+  ``gain >= logic_swing / (0.5 * v_resolution)``;
+* it must decide within the allotted time.  A comparator is not settled
+  linearly to its full DC gain; the binding constraint is that the
+  preamp's output pole passes the decision transient, so the preamp
+  unity-gain frequency must exceed ``n_tau / (2 pi t_decide)``;
+* offset: the comparator's input-referred offset budget is half an LSB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from ..kb.specs import OpAmpSpec
+from ..kb.trace import DesignTrace
+from ..opamp.designer import synthesize
+from ..opamp.result import DesignedOpAmp
+from ..process.parameters import ProcessParameters
+from ..units import db20
+
+__all__ = ["ComparatorSpec", "DesignedComparator", "design_comparator"]
+
+#: Settling time constants budgeted for a comparator decision.
+N_TAU = 5.0
+
+#: Logic swing the preamp must deliver to the latch, volts.
+LOGIC_SWING = 2.0
+
+
+@dataclass(frozen=True)
+class ComparatorSpec:
+    """Translated specification for a comparator.
+
+    Attributes:
+        v_resolution: smallest input difference that must be resolved
+            (one LSB at the comparator input), volts.
+        decision_time: time available per decision, seconds.
+        load_capacitance: latch input load, farads.
+    """
+
+    v_resolution: float
+    decision_time: float
+    load_capacitance: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.v_resolution <= 0 or self.decision_time <= 0:
+            raise SynthesisError("comparator resolution/decision time must be positive")
+        if self.load_capacitance <= 0:
+            raise SynthesisError("comparator load must be positive")
+
+
+@dataclass(frozen=True)
+class DesignedComparator:
+    """A designed comparator: an op amp preamp plus latch bookkeeping."""
+
+    spec: ComparatorSpec
+    preamp: DesignedOpAmp
+    required_gain_db: float
+    area: float
+
+    @property
+    def transistor_count(self) -> int:
+        # Preamp plus the 4-device regenerative latch.
+        return self.preamp.transistor_count() + 4
+
+    def resolves(self, v_diff: float) -> bool:
+        """Would this comparator resolve a given input difference within
+        its decision time (first-order: preamp output reaches the logic
+        swing)?"""
+        gain = 10.0 ** (self.preamp.performance["gain_db"] / 20.0)
+        return abs(v_diff) * gain >= LOGIC_SWING
+
+
+def translate_to_opamp_spec(
+    spec: ComparatorSpec, process: ProcessParameters
+) -> OpAmpSpec:
+    """The comparator -> op amp translation step."""
+    gain_lin = LOGIC_SWING / (0.5 * spec.v_resolution)
+    gain_db = db20(gain_lin)
+    f_u = N_TAU / (2.0 * math.pi * spec.decision_time)
+    slew = LOGIC_SWING / (0.5 * spec.decision_time)
+    # The preamp output only needs to reach logic levels, not the rails.
+    swing = min(LOGIC_SWING, process.supply_span / 2.0 - 0.5)
+    offset_mv = 0.5 * spec.v_resolution * 1e3
+    return OpAmpSpec(
+        gain_db=gain_db,
+        unity_gain_hz=f_u,
+        phase_margin_deg=45.0,  # open-loop use: stability is not critical
+        slew_rate=slew,
+        load_capacitance=spec.load_capacitance,
+        output_swing=swing,
+        offset_max_mv=offset_mv,
+    )
+
+
+def design_comparator(
+    spec: ComparatorSpec,
+    process: ProcessParameters,
+    trace: DesignTrace = None,
+) -> DesignedComparator:
+    """Design a comparator by translating to an op amp spec and reusing
+    the op amp designer for the preamp.
+
+    Raises:
+        SynthesisError: when no op amp style can provide the preamp.
+    """
+    opamp_spec = translate_to_opamp_spec(spec, process)
+    if trace is not None:
+        trace.note(
+            "comparator",
+            f"preamp translated: gain >= {opamp_spec.gain_db:.1f} dB, "
+            f"UGF >= {opamp_spec.unity_gain_hz:.3g} Hz, "
+            f"offset <= {opamp_spec.offset_max_mv:.2f} mV",
+        )
+    result = synthesize(opamp_spec, process)
+    if trace is not None:
+        trace.extend(result.trace)
+    preamp = result.best
+    # Latch area: four near-minimum devices.
+    latch_area = 4.0 * (
+        process.min_width * process.min_length
+        + 2.0 * process.min_width * process.min_drain_width
+    )
+    return DesignedComparator(
+        spec=spec,
+        preamp=preamp,
+        required_gain_db=opamp_spec.gain_db,
+        area=preamp.area + latch_area,
+    )

@@ -1,0 +1,122 @@
+"""Binary-weighted capacitor-array DAC designer.
+
+The feedback element of the successive-approximation loop.  The unit
+capacitor is sized from two constraints:
+
+* **matching**: for <= 0.5 LSB DNL at the MSB transition the unit-cap
+  relative sigma must satisfy ``sigma_u <= 1 / (2 * sqrt(2^bits))``;
+  with the usual area law ``sigma_u = matching_coeff / sqrt(C_u in pF)``
+  this yields a minimum unit capacitance;
+* **noise**: total array kT/C noise below a fraction of half an LSB.
+
+Settling of the array through the switch resistance must fit the bit
+cycle, which bounds the switch on-resistance exactly as in the
+sample-and-hold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+
+__all__ = ["CapDacSpec", "DesignedCapDac", "design_cap_dac"]
+
+KT = 1.380649e-23 * 300.0
+
+#: Capacitor matching coefficient: sigma(C)/C = COEFF / sqrt(C in pF)
+#: (a typical 1980s double-poly figure, ~0.2 % at 1 pF).
+MATCHING_COEFF = 0.002
+
+#: Settling time constants per bit decision.
+N_TAU = 7.0
+
+
+@dataclass(frozen=True)
+class CapDacSpec:
+    """Translated specification for the capacitor DAC.
+
+    Attributes:
+        bits: converter resolution.
+        lsb: converter LSB, volts.
+        t_settle: time available for the array to settle per bit, seconds.
+        c_unit_min: technology floor for the unit capacitor, farads.
+    """
+
+    bits: int
+    lsb: float
+    t_settle: float
+    c_unit_min: float = 50e-15
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise SynthesisError(f"unsupported resolution: {self.bits} bits")
+        if self.lsb <= 0 or self.t_settle <= 0 or self.c_unit_min <= 0:
+            raise SynthesisError("DAC spec values must be positive")
+
+
+@dataclass(frozen=True)
+class DesignedCapDac:
+    """The designed binary-weighted array."""
+
+    spec: CapDacSpec
+    c_unit: float
+    c_total: float
+    unit_sigma: float
+    r_switch_max: float
+    area: float
+
+    @property
+    def transistor_count(self) -> int:
+        # One switch pair per bit plus the reset switch.
+        return 2 * self.spec.bits + 2
+
+    def predicted_dnl_lsb(self) -> float:
+        """Worst-case (MSB-transition) DNL estimate in LSB, 1-sigma."""
+        return self.unit_sigma * math.sqrt(2.0**self.spec.bits)
+
+
+def design_cap_dac(spec: CapDacSpec, process: ProcessParameters) -> DesignedCapDac:
+    """Size the unit capacitor and switch bound for the array.
+
+    Raises:
+        SynthesisError: when settling cannot be met with sane switches.
+    """
+    # Matching-driven minimum unit capacitor.
+    sigma_required = 1.0 / (2.0 * math.sqrt(2.0**spec.bits))
+    c_match_pf = (MATCHING_COEFF / sigma_required) ** 2
+    c_unit = max(c_match_pf * 1e-12, spec.c_unit_min)
+
+    # Noise check on the full array.
+    c_total = c_unit * (2.0**spec.bits)
+    noise = math.sqrt(KT / c_total)
+    if noise > 0.25 * spec.lsb:
+        # Grow the unit cap until the array noise fits.
+        c_total_needed = KT / (0.25 * spec.lsb) ** 2
+        c_unit = c_total_needed / (2.0**spec.bits)
+        c_total = c_total_needed
+
+    r_switch_max = spec.t_settle / (N_TAU * c_total)
+    if r_switch_max < 50.0:
+        raise SynthesisError(
+            f"array of {c_total * 1e12:.1f} pF cannot settle in "
+            f"{spec.t_settle * 1e9:.0f} ns (switch bound "
+            f"{r_switch_max:.0f} Ohm)"
+        )
+
+    unit_sigma = MATCHING_COEFF / math.sqrt(c_unit * 1e12)
+    cap_area = c_total / (0.5 * process.cox)
+    switch_area = (2 * spec.bits + 2) * (
+        process.min_width * process.min_length
+        + 2.0 * process.min_width * process.min_drain_width
+    )
+    return DesignedCapDac(
+        spec=spec,
+        c_unit=c_unit,
+        c_total=c_total,
+        unit_sigma=unit_sigma,
+        r_switch_max=r_switch_max,
+        area=cap_area + switch_area,
+    )

@@ -1,0 +1,46 @@
+"""The static Figure 1 hierarchy.
+
+"Figure 1 shows a typical analog hierarchy for a successive
+approximation A/D converter block. ... the sample-and-hold circuit might
+turn out to be only a single capacitor and a pair of transistors, while
+the comparator at the same level might include more than 20
+transistors."
+
+:func:`figure1_hierarchy` returns that tree as :class:`~repro.kb.blocks.
+Block` objects (levels 0-3), before any design decisions; the designed
+counterpart is produced by :func:`repro.adc.sar.design_sar_adc`.
+"""
+
+from __future__ import annotations
+
+from ..kb.blocks import Block
+
+__all__ = ["figure1_hierarchy"]
+
+
+def figure1_hierarchy() -> Block:
+    """The undesigned successive-approximation A/D hierarchy of Figure 1.
+
+    Level 0: the converter; level 1: functional blocks; level 2:
+    transistor groups; level 3: primitive devices (represented as leaf
+    blocks of type ``device_group``).
+    """
+    adc = Block("adc", "successive_approximation_converter")
+
+    sample_hold = adc.add_child(Block("sample_hold", "sample_hold"))
+    sample_hold.add_child(Block("switch", "device_group"))
+    sample_hold.add_child(Block("hold_capacitor", "device_group"))
+
+    comparator = adc.add_child(Block("comparator", "comparator"))
+    preamp = comparator.add_child(Block("preamp", "opamp"))
+    preamp.add_child(Block("input_pair", "diff_pair"))
+    preamp.add_child(Block("load_mirror", "current_mirror"))
+    preamp.add_child(Block("tail_mirror", "current_mirror"))
+    comparator.add_child(Block("output_latch", "device_group"))
+
+    dac = adc.add_child(Block("dac", "capacitor_dac"))
+    dac.add_child(Block("capacitor_array", "device_group"))
+    dac.add_child(Block("switch_bank", "device_group"))
+
+    adc.add_child(Block("sar_logic", "digital_control"))
+    return adc

@@ -1,0 +1,131 @@
+"""Sample-and-hold designer.
+
+The paper's example of the *loose* hierarchy: "the sample-and-hold
+circuit might turn out to be only a single capacitor and a pair of
+transistors" -- and that is exactly what this designer produces: a CMOS
+transmission gate and a hold capacitor.
+
+Sizing equations:
+
+* hold capacitor from kT/C noise: the sampled noise must stay below a
+  fraction of half an LSB: ``C >= kT / (noise_fraction * lsb/2)^2``;
+* switch on-resistance from acquisition settling:
+  ``R_on <= t_acquire / (n_tau * C)``; the transmission-gate widths
+  follow from the triode-region conductance at mid-rail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+
+__all__ = ["SampleHoldSpec", "DesignedSampleHold", "design_sample_hold"]
+
+#: Boltzmann constant times 300 K, joules.
+KT = 1.380649e-23 * 300.0
+
+#: Settling time constants for acquisition to sub-LSB accuracy.
+N_TAU = 7.0
+
+#: The sampled kT/C noise budget as a fraction of half an LSB.
+NOISE_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class SampleHoldSpec:
+    """Translated specification for the sample-and-hold.
+
+    Attributes:
+        lsb: converter LSB at the hold node, volts.
+        t_acquire: acquisition window, seconds.
+        c_min: technology floor for the hold capacitor, farads.
+    """
+
+    lsb: float
+    t_acquire: float
+    c_min: float = 0.5e-12
+
+    def __post_init__(self) -> None:
+        if self.lsb <= 0 or self.t_acquire <= 0 or self.c_min <= 0:
+            raise SynthesisError("sample-hold spec values must be positive")
+
+
+@dataclass(frozen=True)
+class DesignedSampleHold:
+    """The designed transmission gate + hold capacitor."""
+
+    spec: SampleHoldSpec
+    c_hold: float
+    r_on_max: float
+    w_nmos: float
+    w_pmos: float
+    area: float
+
+    @property
+    def transistor_count(self) -> int:
+        return 2
+
+    def kt_c_noise_rms(self) -> float:
+        """RMS sampled noise, volts."""
+        return math.sqrt(KT / self.c_hold)
+
+
+def design_sample_hold(
+    spec: SampleHoldSpec, process: ProcessParameters
+) -> DesignedSampleHold:
+    """Size the hold capacitor and the transmission-gate switches.
+
+    Raises:
+        SynthesisError: when the acquisition window is too short for the
+            noise-driven capacitor even at the widest sensible switch.
+    """
+    noise_budget = NOISE_FRACTION * spec.lsb / 2.0
+    c_noise = KT / (noise_budget * noise_budget)
+    c_hold = max(c_noise, spec.c_min)
+
+    r_on_max = spec.t_acquire / (N_TAU * c_hold)
+    if r_on_max <= 0:
+        raise SynthesisError("degenerate acquisition window")
+
+    # Transmission-gate conductance at mid-rail: each device in triode
+    # with |vgs| ~ half the supply span; g ~ K' (W/L)(|vgs| - vth).
+    half = process.supply_span / 2.0
+    widths = {}
+    for polarity in ("nmos", "pmos"):
+        dev = process.device(polarity)
+        v_drive = half - dev.vth_magnitude
+        if v_drive <= 0.1:
+            raise SynthesisError(
+                f"{polarity} switch has no gate drive at mid-rail "
+                f"(supply too low for this threshold)"
+            )
+        # Each of the two devices must alone provide half the needed
+        # conductance at its weakest point.
+        g_needed = 0.5 / r_on_max
+        w_over_l = g_needed / (dev.kp * v_drive)
+        width = max(process.min_width, w_over_l * process.min_length)
+        if width > 2000e-6:
+            raise SynthesisError(
+                f"{polarity} switch width {width * 1e6:.0f} um absurd; "
+                f"acquisition window too short for the hold capacitor"
+            )
+        widths[polarity] = width
+
+    # Area: two switch devices plus the capacitor (double-poly density
+    # relative to gate oxide, as for the compensation cap).
+    device_area = sum(
+        w * process.min_length + 2.0 * w * process.min_drain_width
+        for w in widths.values()
+    )
+    cap_area = c_hold / (0.5 * process.cox)
+    return DesignedSampleHold(
+        spec=spec,
+        c_hold=c_hold,
+        r_on_max=r_on_max,
+        w_nmos=widths["nmos"],
+        w_pmos=widths["pmos"],
+        area=device_area + cap_area,
+    )

@@ -1,0 +1,24 @@
+"""Application-level design: op amps used inside feedback circuits.
+
+The paper motivates op amps as "ubiquitous components in many
+system-level designs"; this package closes that loop for the commonest
+use -- a resistive-feedback gain stage.  A closed-loop specification is
+*translated* into an open-loop op amp specification (one more instance
+of the framework's selection/translation pattern, one level up), the op
+amp synthesizer does the heavy lifting, and the assembled feedback
+circuit is verified end-to-end with the simulator.
+"""
+
+from .closed_loop import (
+    ClosedLoopSpec,
+    DesignedClosedLoopAmp,
+    design_closed_loop_amp,
+    verify_closed_loop,
+)
+
+__all__ = [
+    "ClosedLoopSpec",
+    "DesignedClosedLoopAmp",
+    "design_closed_loop_amp",
+    "verify_closed_loop",
+]

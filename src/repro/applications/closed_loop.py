@@ -1,0 +1,268 @@
+"""Closed-loop (non-inverting) amplifier design.
+
+Translation equations (the classic feedback identities):
+
+* closed-loop gain ``G = 1 + R2/R1``; the feedback factor is
+  ``beta = 1/G``;
+* gain accuracy: a fractional error budget ``epsilon`` at DC needs loop
+  gain ``A_ol * beta >= 1/epsilon``, i.e.
+  ``A_ol >= G / epsilon``;
+* closed-loop bandwidth: for a dominant-pole op amp,
+  ``f_3db = UGF * beta``, so ``UGF >= G * f_3db``;
+* output slew and swing pass straight through (the op amp output *is*
+  the circuit output);
+* stability: the op amp's phase margin must hold at the *loop* crossover;
+  for ``beta <= 1`` the loop crossover sits at or below the unity-gain
+  frequency, so specifying the op amp PM at unity gain is conservative.
+
+The feedback resistors are sized from a noise/loading compromise: small
+enough that their thermal noise stays below the op amp's own input
+noise, large enough not to load the output stage (the level-1 two-stage
+output can drive ~100 kOhm without gain loss at these currents).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..errors import SpecificationError, SynthesisError
+from ..kb.specs import OpAmpSpec
+from ..opamp.designer import synthesize
+from ..opamp.result import DesignedOpAmp, SynthesisResult
+from ..process.parameters import ProcessParameters
+from ..simulator.ac import ac_analysis, log_frequencies
+from ..simulator.analysis import FrequencyResponse, bandwidth_3db
+from ..simulator.dc import operating_point
+
+__all__ = [
+    "ClosedLoopSpec",
+    "DesignedClosedLoopAmp",
+    "design_closed_loop_amp",
+    "verify_closed_loop",
+]
+
+#: Feedback network impedance level (R1 + R2), ohms.
+R_TOTAL = 100e3
+
+
+@dataclass(frozen=True)
+class ClosedLoopSpec:
+    """Specification for a non-inverting gain stage.
+
+    Attributes:
+        gain: closed-loop voltage gain (>= 1).
+        bandwidth_hz: minimum closed-loop -3 dB bandwidth.
+        gain_error: maximum fractional DC gain error (sets the loop
+            gain, hence the op amp's open-loop gain).
+        load_capacitance: load at the stage output, farads.
+        output_swing: minimum +- output swing, volts.
+        slew_rate: minimum output slew rate, V/s.
+    """
+
+    gain: float
+    bandwidth_hz: float
+    gain_error: float = 0.01
+    load_capacitance: float = 10e-12
+    output_swing: float = 3.0
+    slew_rate: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.gain < 1.0:
+            raise SpecificationError(
+                f"non-inverting gain must be >= 1, got {self.gain}"
+            )
+        if self.bandwidth_hz <= 0:
+            raise SpecificationError("bandwidth must be positive")
+        if not 1e-5 <= self.gain_error <= 0.2:
+            raise SpecificationError("gain_error must be in [1e-5, 0.2]")
+        if self.load_capacitance <= 0 or self.output_swing <= 0 or self.slew_rate <= 0:
+            raise SpecificationError("load/swing/slew must be positive")
+
+
+@dataclass
+class DesignedClosedLoopAmp:
+    """A designed gain stage: the synthesized op amp plus its network."""
+
+    spec: ClosedLoopSpec
+    opamp: DesignedOpAmp
+    synthesis: SynthesisResult
+    r1: float
+    r2: float
+
+    @property
+    def nominal_gain(self) -> float:
+        return 1.0 + self.r2 / self.r1
+
+    def build_circuit(self, builder: Optional[CircuitBuilder] = None) -> Circuit:
+        """The complete feedback circuit with supplies and an AC input."""
+        builder = builder or CircuitBuilder("closed_loop", self.opamp.process)
+        builder.supplies()
+        builder.vsource("in", "vin", "0", dc=0.0, ac=1.0)
+        builder.capacitor("load", "vout", "0", self.spec.load_capacitance)
+        if self.r2 > 0:
+            builder.resistor("f2", "vout", "fb", self.r2)
+            builder.resistor("f1", "fb", "0", self.r1)
+            self.opamp.emit(builder, "vin", "fb", "vout")
+        else:
+            # Unity follower: direct feedback.
+            self.opamp.emit(builder, "vin", "vout", "vout")
+        return builder.build()
+
+
+def translate_to_opamp_spec(
+    spec: ClosedLoopSpec, loading_factor: float = 1.0
+) -> OpAmpSpec:
+    """The closed-loop -> open-loop translation step.
+
+    ``loading_factor`` = ``(rout + RL) / RL`` accounts for the feedback
+    network resistively loading the op amp output, which divides its
+    usable open-loop gain; the designer iterates it (see
+    :func:`design_closed_loop_amp`).
+    """
+    loop_gain_needed = 1.0 / spec.gain_error
+    a_ol = spec.gain * loop_gain_needed * loading_factor
+    gain_db = 20.0 * math.log10(a_ol)
+    ugf = spec.gain * spec.bandwidth_hz
+    return OpAmpSpec(
+        gain_db=gain_db,
+        unity_gain_hz=ugf,
+        phase_margin_deg=60.0,  # conservative at unity; beta <= 1
+        slew_rate=spec.slew_rate,
+        load_capacitance=spec.load_capacitance,
+        output_swing=spec.output_swing,
+        offset_max_mv=min(50.0, 1e3 * spec.gain_error * spec.output_swing),
+    )
+
+
+def _size_feedback(spec: ClosedLoopSpec) -> Tuple[float, float]:
+    """R1/R2 from the total impedance level and the gain ratio."""
+    if spec.gain == 1.0:
+        return R_TOTAL, 0.0
+    r1 = R_TOTAL / spec.gain
+    r2 = R_TOTAL - r1
+    return r1, r2
+
+
+def _loaded_loop_gain(amp: DesignedOpAmp, r_load: float, gain: float) -> float:
+    """Loop gain once the feedback network loads the output:
+    ``A * RL/(RL + rout) / G``."""
+    a_lin = 10.0 ** (amp.performance["gain_db"] / 20.0)
+    rout = amp.performance.get("rout", 0.0)
+    if math.isfinite(r_load):
+        a_lin *= r_load / (r_load + rout)
+    return a_lin / gain
+
+
+def design_closed_loop_amp(
+    spec: ClosedLoopSpec,
+    process: ProcessParameters,
+    max_iterations: int = 3,
+) -> DesignedClosedLoopAmp:
+    """Design a non-inverting gain stage.
+
+    The feedback network resistively loads the op amp's (unbuffered)
+    output, so the usable open-loop gain is ``A * RL / (RL + rout)`` --
+    which is why a high-rout OTA that easily meets the *unloaded* gain
+    spec is useless here, while the two-stage (whose second stage has
+    output resistance comparable to the network) survives.  The designer
+    therefore re-selects among the styles on **loaded** loop gain: every
+    style is designed breadth-first as usual, candidates are re-judged
+    after the loading division, and only then does area pick the winner.
+    If no candidate survives, the open-loop gain requirement is escalated
+    by the best candidate's loading factor and the catalogue re-designed.
+
+    Raises:
+        SynthesisError: when no op amp style supports the loaded loop
+            gain even after escalation.
+    """
+    r1, r2 = _size_feedback(spec)
+    r_load = r1 + r2 if r2 > 0 else math.inf
+    loop_gain_needed = 1.0 / spec.gain_error
+
+    loading_factor = 1.0
+    last_result: Optional[SynthesisResult] = None
+    for _ in range(max_iterations):
+        opamp_spec = translate_to_opamp_spec(spec, loading_factor)
+        result = synthesize(opamp_spec, process)
+        last_result = result
+        qualified = [
+            candidate
+            for candidate in result.candidates
+            if candidate.feasible
+            and _loaded_loop_gain(candidate.result, r_load, spec.gain)
+            >= loop_gain_needed
+        ]
+        if qualified:
+            winner = min(qualified, key=lambda c: c.cost)
+            return DesignedClosedLoopAmp(
+                spec=spec,
+                opamp=winner.result,
+                synthesis=result,
+                r1=r1,
+                r2=r2,
+            )
+        # Escalate by the mildest loading factor among the candidates
+        # (the style with the lowest output resistance).
+        factors = [
+            (c.result.performance.get("rout", 0.0) + r_load) / r_load
+            for c in result.candidates
+            if c.feasible and math.isfinite(r_load)
+        ]
+        if not factors:
+            break
+        loading_factor = max(loading_factor * 1.2, min(factors))
+
+    rout_best = (
+        min(
+            (
+                c.result.performance.get("rout", math.inf)
+                for c in last_result.candidates
+                if c.feasible
+            ),
+            default=math.inf,
+        )
+        if last_result
+        else math.inf
+    )
+    raise SynthesisError(
+        f"closed-loop gain {spec.gain:g} at {spec.gain_error * 100:.2g} % "
+        f"accuracy unreachable: the {r_load / 1e3:.0f} kOhm feedback network "
+        f"loads away the available open-loop gain (best candidate rout "
+        f"{rout_best / 1e3:.0f} kOhm)"
+    )
+
+
+def verify_closed_loop(stage: DesignedClosedLoopAmp) -> Dict[str, float]:
+    """Measure the assembled feedback circuit with the simulator.
+
+    Returns:
+        ``{"gain", "gain_error", "bandwidth_hz", "peaking_db"}`` --
+        the measured DC closed-loop gain, its fractional error against
+        the nominal ``1 + R2/R1``, the -3 dB bandwidth, and any
+        gain peaking (a stability indicator; > 3 dB would mean the
+        loop is ringing).
+    """
+    circuit = stage.build_circuit()
+    op = operating_point(circuit, stage.opamp.process)
+    f_stop = max(stage.spec.bandwidth_hz * 30.0, 1e6)
+    freqs = log_frequencies(1.0, f_stop, 12)
+    ac = ac_analysis(circuit, stage.opamp.process, op, freqs)
+    response = FrequencyResponse(freqs, ac.voltage("vout"))
+
+    measured_gain = response.dc_gain
+    nominal = stage.nominal_gain
+    gain_error = abs(measured_gain - nominal) / nominal
+    bandwidth = bandwidth_3db(response)
+    peaking = float(np.max(response.magnitude_db) - response.dc_gain_db)
+    return {
+        "gain": measured_gain,
+        "gain_error": gain_error,
+        "bandwidth_hz": bandwidth if bandwidth is not None else math.nan,
+        "peaking_db": peaking,
+    }

@@ -1,0 +1,188 @@
+"""Hierarchical circuit builder.
+
+OASYS composes a flat transistor schematic from hierarchical templates.
+:class:`CircuitBuilder` provides that composition: sub-block designers each
+build into their own scoped builder, and scope names become dotted
+prefixes on instance and node names (``stage1.mirror.m1``), so the emitted
+flat netlist still records the design hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import NetlistError
+from ..process.parameters import ProcessParameters
+from .elements import GROUND, Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
+from .netlist import Circuit
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit` with hierarchical naming and a bound
+    process (so device geometry defaults, e.g. minimum length, are at hand).
+
+    Args:
+        name: circuit name.
+        process: process parameters used for geometry defaults.
+        vdd_node / vss_node: names of the supply rails.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        process: ProcessParameters,
+        vdd_node: str = "vdd",
+        vss_node: str = "vss",
+    ):
+        self.circuit = Circuit(name)
+        self.process = process
+        self.vdd_node = vdd_node
+        self.vss_node = vss_node
+        self._scope: List[str] = []
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Scoping
+    # ------------------------------------------------------------------
+    class _Scope:
+        def __init__(self, builder: "CircuitBuilder", label: str):
+            self._builder = builder
+            self._label = label
+
+        def __enter__(self) -> "CircuitBuilder":
+            self._builder._scope.append(self._label)
+            return self._builder
+
+        def __exit__(self, *exc_info) -> None:
+            self._builder._scope.pop()
+
+    def scope(self, label: str) -> "CircuitBuilder._Scope":
+        """Context manager opening a named hierarchy level::
+
+            with builder.scope("stage1"):
+                builder.nmos("m1", ...)   # emitted as mstage1.m1
+        """
+        if not label or "." in label:
+            raise NetlistError(f"bad scope label {label!r}")
+        return CircuitBuilder._Scope(self, label)
+
+    @property
+    def path(self) -> str:
+        """Current dotted scope path ('' at top level)."""
+        return ".".join(self._scope)
+
+    def _qualify(self, letter: str, name: str) -> str:
+        """Instance name with type letter first, then the scope path."""
+        body = f"{self.path}.{name}" if self.path else name
+        return f"{letter}{body}"
+
+    def node(self, name: str) -> str:
+        """Scope-qualify a local node name.  Ground and rail names pass
+        through unqualified, as do names already containing a dot."""
+        if name in (GROUND, self.vdd_node, self.vss_node) or "." in name:
+            return name
+        return f"{self.path}.{name}" if self.path else name
+
+    def fresh_name(self, base: str) -> str:
+        """A unique local name like ``base1``, ``base2`` within this builder."""
+        count = self._counters.get(base, 0) + 1
+        self._counters[base] = count
+        return f"{base}{count}"
+
+    # ------------------------------------------------------------------
+    # Element emission
+    # ------------------------------------------------------------------
+    def mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        polarity: str,
+        width: float,
+        length: Optional[float] = None,
+        bulk: Optional[str] = None,
+        multiplier: int = 1,
+    ) -> Mosfet:
+        """Emit a MOSFET.  Bulk defaults to the appropriate rail (vss for
+        NMOS, vdd for PMOS); length defaults to the process minimum."""
+        if bulk is None:
+            bulk = self.vss_node if polarity == "nmos" else self.vdd_node
+        if length is None:
+            length = self.process.min_length
+        element = Mosfet(
+            name=self._qualify("m", name),
+            drain=self.node(drain),
+            gate=self.node(gate),
+            source=self.node(source),
+            bulk=self.node(bulk),
+            polarity=polarity,
+            width=width,
+            length=length,
+            multiplier=multiplier,
+        )
+        self.circuit.add(element)
+        return element
+
+    def nmos(self, name: str, drain: str, gate: str, source: str, width: float, **kw) -> Mosfet:
+        return self.mosfet(name, drain, gate, source, "nmos", width, **kw)
+
+    def pmos(self, name: str, drain: str, gate: str, source: str, width: float, **kw) -> Mosfet:
+        return self.mosfet(name, drain, gate, source, "pmos", width, **kw)
+
+    def resistor(self, name: str, node_a: str, node_b: str, resistance: float) -> Resistor:
+        element = Resistor(
+            self._qualify("r", name), self.node(node_a), self.node(node_b), resistance
+        )
+        self.circuit.add(element)
+        return element
+
+    def capacitor(self, name: str, node_a: str, node_b: str, capacitance: float) -> Capacitor:
+        element = Capacitor(
+            self._qualify("c", name), self.node(node_a), self.node(node_b), capacitance
+        )
+        self.circuit.add(element)
+        return element
+
+    def vsource(
+        self, name: str, positive: str, negative: str, dc: float = 0.0, ac: float = 0.0
+    ) -> VoltageSource:
+        element = VoltageSource(
+            self._qualify("v", name), self.node(positive), self.node(negative), dc, ac
+        )
+        self.circuit.add(element)
+        return element
+
+    def isource(
+        self, name: str, positive: str, negative: str, dc: float = 0.0, ac: float = 0.0
+    ) -> CurrentSource:
+        element = CurrentSource(
+            self._qualify("i", name), self.node(positive), self.node(negative), dc, ac
+        )
+        self.circuit.add(element)
+        return element
+
+    def supplies(self) -> None:
+        """Emit the rail voltage sources (vdd/vss to ground)."""
+        self.vsource("dd", self.vdd_node, GROUND, dc=self.process.vdd)
+        if self.process.vss != 0.0:
+            self.vsource("ss", self.vss_node, GROUND, dc=self.process.vss)
+
+    # ------------------------------------------------------------------
+    # Result
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish and return the circuit (validated by default)."""
+        if validate:
+            self.circuit.validate()
+        return self.circuit
+
+    def mosfets_in_scope(self, prefix: str) -> Iterator[Mosfet]:
+        """All MOSFETs whose hierarchical name falls under ``prefix``."""
+        needle = prefix.lower()
+        for element in self.circuit.mosfets:
+            body = element.name[1:]
+            if body.lower().startswith(needle):
+                yield element

@@ -1,0 +1,170 @@
+"""Primitive netlist elements.
+
+All elements are immutable dataclasses; a :class:`~repro.circuit.netlist.
+Circuit` owns a list of them.  Nodes are plain strings, with ``"0"``
+reserved for ground (SPICE convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..errors import NetlistError
+
+__all__ = [
+    "GROUND",
+    "Element",
+    "Mosfet",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+#: The ground node name (SPICE convention).
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class: every element has a unique name and ordered terminals."""
+
+    name: str
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def renamed(self, name: str) -> "Element":
+        """A copy of this element with a different instance name."""
+        return replace(self, name=name)
+
+    def _check_name(self, prefix: str) -> None:
+        if not self.name:
+            raise NetlistError("element name must be non-empty")
+        if not self.name.lower().startswith(prefix):
+            raise NetlistError(
+                f"{type(self).__name__} name must start with {prefix!r}: {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Mosfet(Element):
+    """A sized MOSFET instance.
+
+    Attributes:
+        drain/gate/source/bulk: node names.
+        polarity: ``"nmos"`` or ``"pmos"``.
+        width / length: drawn geometry, metres.
+        multiplier: number of parallel fingers (``m`` in SPICE).
+    """
+
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    polarity: str
+    width: float
+    length: float
+    multiplier: int = 1
+
+    def __post_init__(self) -> None:
+        self._check_name("m")
+        if self.polarity not in ("nmos", "pmos"):
+            raise NetlistError(f"{self.name}: bad polarity {self.polarity!r}")
+        if self.width <= 0 or self.length <= 0:
+            raise NetlistError(
+                f"{self.name}: geometry must be positive "
+                f"(W={self.width}, L={self.length})"
+            )
+        if self.multiplier < 1:
+            raise NetlistError(f"{self.name}: multiplier must be >= 1")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.drain, self.gate, self.source, self.bulk)
+
+    @property
+    def effective_width(self) -> float:
+        """Drawn width times the parallel multiplier, metres."""
+        return self.width * self.multiplier
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """Ideal resistor between two nodes."""
+
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        self._check_name("r")
+        if self.resistance <= 0:
+            raise NetlistError(f"{self.name}: resistance must be positive")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """Ideal capacitor between two nodes."""
+
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        self._check_name("c")
+        if self.capacitance <= 0:
+            raise NetlistError(f"{self.name}: capacitance must be positive")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Independent voltage source (DC value + AC magnitude for analysis).
+
+    Current convention: the source branch current flows from ``positive``
+    through the source to ``negative``.
+    """
+
+    positive: str
+    negative: str
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._check_name("v")
+        if self.positive == self.negative:
+            raise NetlistError(f"{self.name}: both terminals on {self.positive!r}")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.positive, self.negative)
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Independent current source; current flows from ``positive`` node
+    through the source into ``negative`` node (SPICE convention)."""
+
+    positive: str
+    negative: str
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._check_name("i")
+        if self.positive == self.negative:
+            raise NetlistError(f"{self.name}: both terminals on {self.positive!r}")
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return (self.positive, self.negative)

@@ -1,0 +1,168 @@
+"""SPICE-deck export / import.
+
+The paper verified OASYS output with SPICE; this module writes synthesized
+circuits as SPICE2-style decks (and reads the same subset back, which the
+tests use for round-tripping).  Only the element types in
+:mod:`repro.circuit.elements` are supported.
+
+When a :class:`~repro.process.parameters.ProcessParameters` is supplied,
+real level-1 ``.MODEL`` cards are emitted so the deck runs unmodified in
+an external SPICE (ngspice et al.).  SPICE level 1 takes a single LAMBDA
+per model, so the card uses the process fit evaluated at the minimum
+channel length -- a documented approximation; the in-repo simulator uses
+the full ``lambda(L)`` fit.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from ..errors import NetlistError
+from ..units import format_quantity, parse_quantity
+from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
+from .netlist import Circuit
+
+__all__ = ["to_spice", "from_spice", "model_cards"]
+
+
+def model_cards(process: "ProcessParameters") -> str:
+    """Level-1 ``.MODEL`` cards for a process (both polarities)."""
+    lines = []
+    for dev in (process.nmos, process.pmos):
+        kind = "NMOS" if dev.polarity == "nmos" else "PMOS"
+        lam = dev.lambda_at(process.min_length)
+        lines.append(
+            f".model {dev.polarity} {kind}(LEVEL=1"
+            f" VTO={dev.vto:g} KP={dev.kp:g} GAMMA={dev.gamma:g}"
+            f" PHI={dev.phi:g} LAMBDA={lam:.4g} TOX={process.tox:g}"
+            f" CGSO={dev.cgso:g} CGDO={dev.cgdo:g} CGBO={dev.cgbo:g}"
+            f" CJ={dev.cj:g} CJSW={dev.cjsw:g} PB={dev.pb:g}"
+            + (f" KF={dev.kf:g} AF=1" if dev.kf > 0 else "")
+            + ")"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def to_spice(
+    circuit: Circuit,
+    title: str = "",
+    process: Optional["ProcessParameters"] = None,
+) -> str:
+    """Serialise a circuit as a SPICE deck.
+
+    MOSFETs reference ``nmos``/``pmos`` model cards.  With ``process``
+    given, real level-1 cards are emitted (see :func:`model_cards`);
+    otherwise placeholder cards mark where external users substitute
+    their own.
+    """
+    out = io.StringIO()
+    out.write(f"* {title or circuit.name}\n")
+    for element in circuit.elements:
+        if isinstance(element, Mosfet):
+            out.write(
+                f"{element.name} {element.drain} {element.gate} "
+                f"{element.source} {element.bulk} {element.polarity} "
+                f"W={format_quantity(element.width)} "
+                f"L={format_quantity(element.length)} "
+                f"M={element.multiplier}\n"
+            )
+        elif isinstance(element, Resistor):
+            out.write(
+                f"{element.name} {element.node_a} {element.node_b} "
+                f"{format_quantity(element.resistance)}\n"
+            )
+        elif isinstance(element, Capacitor):
+            out.write(
+                f"{element.name} {element.node_a} {element.node_b} "
+                f"{format_quantity(element.capacitance)}\n"
+            )
+        elif isinstance(element, VoltageSource):
+            out.write(
+                f"{element.name} {element.positive} {element.negative} "
+                f"DC {element.dc!r} AC {element.ac!r}\n"
+            )
+        elif isinstance(element, CurrentSource):
+            out.write(
+                f"{element.name} {element.positive} {element.negative} "
+                f"DC {element.dc!r} AC {element.ac!r}\n"
+            )
+        else:  # pragma: no cover - new element types must extend this
+            raise NetlistError(f"cannot serialise {type(element).__name__}")
+    if process is not None:
+        out.write(model_cards(process))
+    else:
+        out.write(".model nmos nmos\n.model pmos pmos\n")
+    out.write(".end\n")
+    return out.getvalue()
+
+
+def from_spice(text: str, name: str = "imported") -> Circuit:
+    """Parse the deck subset written by :func:`to_spice`."""
+    circuit = Circuit(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*") or line.startswith("."):
+            continue
+        tokens = line.split()
+        letter = tokens[0][0].lower()
+        try:
+            if letter == "m":
+                _parse_mosfet(circuit, tokens)
+            elif letter == "r":
+                circuit.add_resistor(
+                    tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+                )
+            elif letter == "c":
+                circuit.add_capacitor(
+                    tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+                )
+            elif letter in ("v", "i"):
+                dc, ac = _parse_source_values(tokens[3:])
+                if letter == "v":
+                    circuit.add_vsource(tokens[0], tokens[1], tokens[2], dc, ac)
+                else:
+                    circuit.add_isource(tokens[0], tokens[1], tokens[2], dc, ac)
+            else:
+                raise NetlistError(f"unsupported element letter {letter!r}")
+        except (IndexError, NetlistError) as exc:
+            raise NetlistError(f"line {lineno}: {exc}") from exc
+    return circuit
+
+
+def _parse_mosfet(circuit: Circuit, tokens) -> None:
+    name, drain, gate, source, bulk, model = tokens[:6]
+    width = length = None
+    multiplier = 1
+    for token in tokens[6:]:
+        key, _, value = token.partition("=")
+        key = key.upper()
+        if key == "W":
+            width = parse_quantity(value)
+        elif key == "L":
+            length = parse_quantity(value)
+        elif key == "M":
+            multiplier = int(parse_quantity(value))
+    if width is None or length is None:
+        raise NetlistError(f"{name}: missing W= or L=")
+    polarity = model.lower()
+    if polarity not in ("nmos", "pmos"):
+        raise NetlistError(f"{name}: unknown model {model!r}")
+    circuit.add_mosfet(name, drain, gate, source, bulk, polarity, width, length, multiplier)
+
+
+def _parse_source_values(tokens) -> tuple:
+    dc = ac = 0.0
+    i = 0
+    while i < len(tokens):
+        keyword = tokens[i].upper()
+        if keyword == "DC" and i + 1 < len(tokens):
+            dc = parse_quantity(tokens[i + 1])
+            i += 2
+        elif keyword == "AC" and i + 1 < len(tokens):
+            ac = parse_quantity(tokens[i + 1])
+            i += 2
+        else:
+            dc = parse_quantity(tokens[i])
+            i += 1
+    return dc, ac

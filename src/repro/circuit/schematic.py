@@ -1,0 +1,80 @@
+"""Human-readable schematic reports (the repo's Figure-5 stand-in).
+
+The paper's Figure 5 shows drawn schematics for the three synthesized test
+circuits.  Without a graphics target we render the same information as a
+structured text report: devices grouped by hierarchy scope, with polarity,
+terminals and sizes, plus a node cross-reference.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import OrderedDict
+from typing import Dict, List
+
+from ..units import format_quantity
+from .elements import Capacitor, Mosfet, Resistor
+from .netlist import Circuit
+
+__all__ = ["schematic_report"]
+
+
+def _scope_of(instance_name: str) -> str:
+    """Hierarchy scope of an instance name (``mstage1.mirror.m1`` ->
+    ``stage1.mirror``)."""
+    body = instance_name[1:]
+    if "." not in body:
+        return "(top)"
+    return body.rsplit(".", 1)[0]
+
+
+def schematic_report(circuit: Circuit) -> str:
+    """Render a sized-schematic report for a synthesized circuit."""
+    groups: "OrderedDict[str, List[str]]" = OrderedDict()
+
+    def emit(scope: str, line: str) -> None:
+        groups.setdefault(scope, []).append(line)
+
+    for element in circuit.elements:
+        scope = _scope_of(element.name)
+        if isinstance(element, Mosfet):
+            emit(
+                scope,
+                f"{element.name:<24} {element.polarity.upper():<5} "
+                f"D={element.drain:<14} G={element.gate:<14} "
+                f"S={element.source:<14} "
+                f"W={format_quantity(element.width, 'm'):<8} "
+                f"L={format_quantity(element.length, 'm'):<8} "
+                f"m={element.multiplier}",
+            )
+        elif isinstance(element, Capacitor):
+            emit(
+                scope,
+                f"{element.name:<24} CAP   "
+                f"{element.node_a} -- {element.node_b}  "
+                f"C={format_quantity(element.capacitance, 'F')}",
+            )
+        elif isinstance(element, Resistor):
+            emit(
+                scope,
+                f"{element.name:<24} RES   "
+                f"{element.node_a} -- {element.node_b}  "
+                f"R={format_quantity(element.resistance, 'Ohm')}",
+            )
+
+    out = io.StringIO()
+    out.write(f"Schematic: {circuit.name}\n")
+    out.write(
+        f"  {circuit.transistor_count()} transistors, "
+        f"{len(circuit.capacitors)} capacitors, {len(circuit.nodes)} nodes\n"
+    )
+    for scope, lines in groups.items():
+        out.write(f"\n[{scope}]\n")
+        for line in lines:
+            out.write(f"  {line}\n")
+
+    degree: Dict[str, int] = circuit.node_degree()
+    out.write("\nNode connections:\n")
+    for node in circuit.nodes:
+        out.write(f"  {node:<20} {degree.get(node, 0)} terminals\n")
+    return out.getvalue()

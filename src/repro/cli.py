@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The 1987 tool was driven by specification files; this CLI is its modern
+equivalent.  Commands:
+
+* ``synthesize`` -- performance spec -> sized schematic (+ optional
+  simulator verification, SPICE export, design trace);
+* ``testcases``  -- regenerate the paper's Table 2 for cases A/B/C;
+* ``adc``        -- design a successive-approximation converter;
+* ``processes``  -- list the built-in processes / print Table 1.
+
+All quantity arguments accept SPICE suffixes (``10p``, ``2MEG``...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .kb.specs import OpAmpSpec
+from .process import builtin_processes, load_technology
+from .units import parse_quantity
+
+__all__ = ["main", "build_parser"]
+
+
+def _process_from_args(args) -> "ProcessParameters":
+    if args.tech:
+        return load_technology(args.tech)
+    processes = builtin_processes()
+    if args.process not in processes:
+        raise ReproError(
+            f"unknown process {args.process!r}; built-ins: {sorted(processes)}"
+        )
+    return processes[args.process]
+
+
+def _add_process_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--process",
+        default="generic-5um",
+        help="built-in process name (default: generic-5um)",
+    )
+    parser.add_argument(
+        "--tech", default=None, help="technology file overriding --process"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OASYS reproduction: knowledge-based analog circuit synthesis",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    # synthesize ---------------------------------------------------------
+    syn = commands.add_parser("synthesize", help="spec -> sized op amp schematic")
+    syn.add_argument("--gain-db", required=True, help="min DC gain, dB")
+    syn.add_argument("--ugf", required=True, help="min unity-gain frequency, Hz")
+    syn.add_argument("--pm", default="60", help="min phase margin, deg (soft)")
+    syn.add_argument("--slew", required=True, help="min slew rate, V/s")
+    syn.add_argument("--load", required=True, help="load capacitance, F")
+    syn.add_argument("--swing", required=True, help="min +- output swing, V")
+    syn.add_argument("--offset", default="50m", help="max offset, V (default 50m)")
+    syn.add_argument("--power-max", default="0", help="max static power, W (0 = off)")
+    syn.add_argument(
+        "--styles",
+        choices=["paper", "extended"],
+        default="paper",
+        help="style catalogue: the paper's two styles, or + folded cascode",
+    )
+    syn.add_argument("--verify", action="store_true", help="measure with the simulator")
+    syn.add_argument("--spice", default=None, help="write the SPICE deck to this file")
+    syn.add_argument("--trace", action="store_true", help="print the design trace")
+    _add_process_arguments(syn)
+
+    # testcases ----------------------------------------------------------
+    cases = commands.add_parser("testcases", help="regenerate the paper's Table 2")
+    cases.add_argument(
+        "--no-verify", action="store_true", help="skip the simulator columns"
+    )
+    _add_process_arguments(cases)
+
+    # adc ----------------------------------------------------------------
+    adc = commands.add_parser("adc", help="design a SAR A/D converter")
+    adc.add_argument("--bits", type=int, default=8)
+    adc.add_argument("--rate", default="20k", help="sample rate, S/s")
+    adc.add_argument("--fullscale", default="5", help="input full scale, V")
+    _add_process_arguments(adc)
+
+    # processes ----------------------------------------------------------
+    procs = commands.add_parser("processes", help="list built-in processes")
+    procs.add_argument("--table1", default=None, help="print Table 1 for this process")
+
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    from .opamp import EXTENDED_STYLES, OPAMP_STYLES, synthesize, verify_opamp
+    from .circuit import to_spice
+
+    process = _process_from_args(args)
+    spec = OpAmpSpec(
+        gain_db=parse_quantity(args.gain_db),
+        unity_gain_hz=parse_quantity(args.ugf),
+        phase_margin_deg=parse_quantity(args.pm),
+        slew_rate=parse_quantity(args.slew),
+        load_capacitance=parse_quantity(args.load),
+        output_swing=parse_quantity(args.swing),
+        offset_max_mv=parse_quantity(args.offset) * 1e3,
+        power_max=parse_quantity(args.power_max),
+    )
+    styles = EXTENDED_STYLES if args.styles == "extended" else OPAMP_STYLES
+    result = synthesize(spec, process, styles=styles)
+    print(result.summary())
+    print(result.best.schematic())
+    if args.trace:
+        print("Design trace")
+        print("============")
+        print(result.trace.render())
+    if args.spice:
+        deck = to_spice(result.best.standalone_circuit(), process=process)
+        with open(args.spice, "w", encoding="utf-8") as handle:
+            handle.write(deck)
+        print(f"SPICE deck written to {args.spice}")
+    if args.verify:
+        report = verify_opamp(result.best)
+        print("Simulator verification")
+        print("======================")
+        for key in sorted(report.measured):
+            print(f"  {key:<18} {report.measured[key]:.4g}")
+        for key, note in report.notes.items():
+            print(f"  {key}: {note}")
+    return 0
+
+
+def _cmd_testcases(args) -> int:
+    from .opamp import synthesize, verify_opamp
+    from .opamp.testcases import paper_test_cases
+    from .reporting import table2_report
+
+    process = _process_from_args(args)
+    designs, reports = {}, {}
+    for label, spec in paper_test_cases().items():
+        print(f"designing case {label}...", file=sys.stderr)
+        designs[label] = synthesize(spec, process).best
+        if not args.no_verify:
+            reports[label] = verify_opamp(designs[label])
+    print(table2_report(designs, reports or None))
+    return 0
+
+
+def _cmd_adc(args) -> int:
+    from .adc import SarAdcSpec, design_sar_adc
+
+    process = _process_from_args(args)
+    spec = SarAdcSpec(
+        bits=args.bits,
+        sample_rate=parse_quantity(args.rate),
+        v_full_scale=parse_quantity(args.fullscale),
+    )
+    adc = design_sar_adc(spec, process)
+    print(adc.summary())
+    print()
+    print(adc.hierarchy.render())
+    return 0
+
+
+def _cmd_processes(args) -> int:
+    from .reporting import table1_report
+
+    processes = builtin_processes()
+    if args.table1:
+        if args.table1 not in processes:
+            raise ReproError(f"unknown process {args.table1!r}")
+        print(table1_report(processes[args.table1]))
+        return 0
+    for name, process in processes.items():
+        print(
+            f"{name:<14} vdd={process.vdd:+.1f} V vss={process.vss:+.1f} V "
+            f"Lmin={process.min_length * 1e6:.1f} um "
+            f"K'n={process.nmos.kp * 1e6:.0f} uA/V^2"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "testcases": _cmd_testcases,
+    "adc": _cmd_adc,
+    "processes": _cmd_processes,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Primitive device models.
+
+The simulator and the sizing plans share one device model: the classic
+SPICE level-1 square-law MOSFET with channel-length modulation, body
+effect, and Meyer/junction capacitances (:mod:`repro.devices.mosfet`),
+plus ideal passives (:mod:`repro.devices.passives`).
+"""
+
+from .mosfet import MosfetModel, MosfetOperatingPoint, Region
+from .passives import resistor_conductance, capacitor_admittance
+from .small_signal import SmallSignal
+
+__all__ = [
+    "MosfetModel",
+    "MosfetOperatingPoint",
+    "Region",
+    "SmallSignal",
+    "resistor_conductance",
+    "capacitor_admittance",
+]

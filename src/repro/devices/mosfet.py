@@ -1,0 +1,340 @@
+"""Level-1 (square-law) MOSFET model.
+
+This is the model class SPICE2 used when the paper's circuits were
+hand-verified in 1987: square-law drain current with channel-length
+modulation, first-order body effect, Meyer-style intrinsic gate
+capacitances, overlap capacitances, and depletion junction capacitances.
+
+The model is written so that drain current and its derivatives are
+*continuous* across the cutoff/triode/saturation boundaries, which
+Newton-Raphson convergence depends on:
+
+* triode and saturation currents both carry the ``(1 + lambda*vds)``
+  factor, making Ids and dIds/dVds continuous at ``vds = vov``;
+* a tiny subthreshold exponential tail replaces the hard Ids=0 cutoff so
+  the Jacobian never goes exactly singular for an off device.
+
+Polarity and drain/source reversal are handled by exact reflections:
+
+* PMOS: ``I_ext(vgs,vds,vbs) = -I_n(-vgs,-vds,-vbs)``, which leaves the
+  derivatives w.r.t. the *external* voltages unchanged in sign;
+* reversed operation (external ``vds`` of the reflected frame negative):
+  the level-1 device is source/drain symmetric, so
+  ``I(vgs,vds,vbs) = -I(vgs-vds, -vds, vbs-vds)``, and the chain rule
+  gives the exact Jacobian entries.
+
+Consequently :class:`MosfetOperatingPoint` stores the *signed* partial
+derivatives ``gm = dId/dVgs``, ``gds = dId/dVds``, ``gmbs = dId/dVbs`` in
+the external frame; they are positive in normal forward operation for
+both polarities and may legitimately change sign in reversed mode.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import TechnologyError
+from ..process.parameters import (
+    DeviceParams,
+    estimate_junction_area,
+    estimate_junction_perimeter,
+)
+
+__all__ = ["Region", "MosfetOperatingPoint", "MosfetModel"]
+
+#: Softplus smoothing voltage, volts.  The effective overdrive is
+#: ``vov_eff = V0 * ln(1 + exp(vov / V0))``, which equals ``vov`` to within
+#: a part in 1e9 for vov > 40*V0 and decays exponentially below threshold,
+#: so the current and its derivatives are smooth everywhere in vgs while
+#: remaining electrically negligible for an off device.
+_SMOOTH_V0 = 0.02
+
+#: Exponent clamp so exp() never overflows.
+_EXP_CLAMP = 40.0
+
+
+def _smooth_overdrive(vov: float) -> Tuple[float, float]:
+    """Softplus-smoothed overdrive and its derivative d(vov_eff)/d(vov)."""
+    x = vov / _SMOOTH_V0
+    if x > _EXP_CLAMP:
+        return vov, 1.0
+    if x < -_EXP_CLAMP:
+        tail = math.exp(-_EXP_CLAMP)
+        return _SMOOTH_V0 * tail, tail
+    exp_x = math.exp(x)
+    return _SMOOTH_V0 * math.log1p(exp_x), exp_x / (1.0 + exp_x)
+
+
+class Region(enum.Enum):
+    """DC operating region of a MOSFET."""
+
+    CUTOFF = "cutoff"
+    TRIODE = "triode"
+    SATURATION = "saturation"
+
+
+@dataclass(frozen=True)
+class MosfetOperatingPoint:
+    """DC operating point plus small-signal parameters of one device.
+
+    Sign conventions follow SPICE: ``ids`` is the current flowing into the
+    drain terminal (negative for PMOS in normal operation); ``gm``,
+    ``gds`` and ``gmbs`` are the signed partials of that current with
+    respect to the external vgs/vds/vbs.  Capacitances are magnitudes.
+    """
+
+    region: Region
+    ids: float
+    vgs: float
+    vds: float
+    vbs: float
+    vth: float
+    vdsat: float
+    gm: float
+    gds: float
+    gmbs: float
+    cgs: float
+    cgd: float
+    cgb: float
+    cbd: float
+    cbs: float
+    reversed_mode: bool = False
+
+    @property
+    def vov(self) -> float:
+        """Effective gate overdrive in the internal NMOS frame, volts."""
+        return abs(self.vgs) - abs(self.vth) if self.vth else abs(self.vgs)
+
+    @property
+    def saturated(self) -> bool:
+        return self.region is Region.SATURATION
+
+    def output_resistance(self) -> float:
+        """Small-signal output resistance 1/|gds|, ohms (inf if gds = 0)."""
+        return math.inf if self.gds == 0 else 1.0 / abs(self.gds)
+
+
+class MosfetModel:
+    """A sized MOSFET bound to its process parameters.
+
+    Args:
+        params: per-polarity process parameters.
+        width / length: drawn geometry, metres.
+        drain_width: drain/source diffusion extension for junction
+            capacitance estimates, metres.
+        cox: process gate-oxide capacitance, F/m^2.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParams,
+        width: float,
+        length: float,
+        drain_width: float,
+        cox: float,
+    ):
+        if width <= 0 or length <= 0:
+            raise TechnologyError(f"bad geometry W={width} L={length}")
+        if cox <= 0:
+            raise TechnologyError(f"bad cox {cox}")
+        self.params = params
+        self.width = width
+        self.length = length
+        self.drain_width = drain_width
+        self.cox = cox
+        self.beta = params.beta(width, length)
+        self.lam = params.lambda_at(length)
+        self._sign = 1.0 if params.polarity == "nmos" else -1.0
+        self._cox_area = cox * width * length
+
+    # ------------------------------------------------------------------
+    # Core NMOS-frame current (vds >= 0 only)
+    # ------------------------------------------------------------------
+    def threshold(self, vbs: float) -> float:
+        """Body-effect-adjusted threshold magnitude (internal NMOS frame).
+
+        ``vbs`` must already be in the internal frame (reflected for PMOS).
+        """
+        p = self.params
+        vto = abs(p.vto)
+        if p.gamma == 0.0:
+            return vto
+        # phi - vbs must stay positive; a forward-biased body (vbs > 0) is
+        # clamped at a small depletion value rather than producing NaN.
+        arg = max(p.phi - vbs, 0.01)
+        return vto + p.gamma * (math.sqrt(arg) - math.sqrt(p.phi))
+
+    def _forward(
+        self, vgs: float, vds: float, vbs: float
+    ) -> Tuple[Region, float, float, float, float, float, float]:
+        """NMOS-frame current and partials for ``vds >= 0``.
+
+        Returns (region, ids, d/dvgs, d/dvds, d/dvbs, vth, vdsat).
+        """
+        p = self.params
+        vth = self.threshold(vbs)
+        vov = vgs - vth
+        beta = self.beta
+        lam = self.lam
+
+        # All region formulas use the smoothed overdrive, so Ids is smooth
+        # in vgs across the cutoff boundary; d_vov below is the partial
+        # w.r.t. the raw vov (the softplus slope is folded in).
+        vov_eff, slope = _smooth_overdrive(vov)
+        clm = 1.0 + lam * vds
+
+        if vov <= 0.0:
+            region = Region.CUTOFF
+        elif vds >= vov_eff:
+            region = Region.SATURATION
+        else:
+            region = Region.TRIODE
+
+        if vds >= vov_eff:
+            ids = 0.5 * beta * vov_eff * vov_eff * clm
+            d_vov = beta * vov_eff * clm * slope
+            d_vds = 0.5 * beta * vov_eff * vov_eff * lam
+        else:
+            ids = beta * (vov_eff - 0.5 * vds) * vds * clm
+            d_vov = beta * vds * clm * slope
+            d_vds = (
+                beta * (vov_eff - vds) * clm
+                + beta * (vov_eff - 0.5 * vds) * vds * lam
+            )
+        vdsat = vov_eff
+
+        # vth depends on vbs: dI/dvbs = d_vov * (-dvth/dvbs).  Inside the
+        # forward-bias clamp of threshold() vth is constant, so the
+        # derivative there is exactly zero.
+        if p.gamma > 0.0 and (p.phi - vbs) > 0.01:
+            dvth_dvbs = -p.gamma / (2.0 * math.sqrt(p.phi - vbs))
+        else:
+            dvth_dvbs = 0.0
+        d_vgs = d_vov
+        d_vbs = -d_vov * dvth_dvbs
+        return region, ids, d_vgs, d_vds, d_vbs, vth, vdsat
+
+    # ------------------------------------------------------------------
+    # Public evaluation in the external frame
+    # ------------------------------------------------------------------
+    def evaluate(self, vgs: float, vds: float, vbs: float) -> MosfetOperatingPoint:
+        """Evaluate current, signed conductances and capacitances at a bias
+        point given in the external (SPICE) frame."""
+        s = self._sign
+        xvgs, xvds, xvbs = s * vgs, s * vds, s * vbs
+
+        reversed_mode = xvds < 0.0
+        if not reversed_mode:
+            region, i_n, du, dw, dbv, vth, vdsat = self._forward(xvgs, xvds, xvbs)
+            ids_internal = i_n
+            g_vgs, g_vds, g_vbs = du, dw, dbv
+        else:
+            # I(vgs,vds,vbs) = -F(vgs-vds, -vds, vbs-vds) with F the forward
+            # function; chain rule gives the exact partials.
+            u, w, b = xvgs - xvds, -xvds, xvbs - xvds
+            region, f, fu, fw, fb, vth, vdsat = self._forward(u, w, b)
+            ids_internal = -f
+            g_vgs = -fu
+            g_vds = fu + fw + fb
+            g_vbs = -fb
+
+        # PMOS reflection leaves derivative signs unchanged (s^2 = 1).
+        ids = s * ids_internal
+
+        cgs, cgd, cgb = self._gate_capacitances(
+            region, xvgs if not reversed_mode else xvgs - xvds, xvds
+        )
+        cbd, cbs = self._junction_capacitances(xvds, xvbs)
+        if reversed_mode:
+            cgs, cgd = cgd, cgs
+            cbd, cbs = cbs, cbd
+
+        return MosfetOperatingPoint(
+            region=region,
+            ids=ids,
+            vgs=vgs,
+            vds=vds,
+            vbs=vbs,
+            vth=s * vth,
+            vdsat=vdsat,
+            gm=g_vgs,
+            gds=g_vds,
+            gmbs=g_vbs,
+            cgs=cgs,
+            cgd=cgd,
+            cgb=cgb,
+            cbd=cbd,
+            cbs=cbs,
+            reversed_mode=reversed_mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Capacitances
+    # ------------------------------------------------------------------
+    def _gate_capacitances(self, region: Region, vgs: float, vds: float):
+        """Meyer intrinsic caps plus overlaps, by region (internal frame)."""
+        p = self.params
+        c_ox = self._cox_area
+        c_ov_s = p.cgso * self.width
+        c_ov_d = p.cgdo * self.width
+        c_ov_b = p.cgbo * self.length
+        if region is Region.CUTOFF:
+            cgs = c_ov_s
+            cgd = c_ov_d
+            cgb = c_ox + c_ov_b
+        elif region is Region.SATURATION:
+            cgs = (2.0 / 3.0) * c_ox + c_ov_s
+            cgd = c_ov_d
+            cgb = c_ov_b
+        else:  # triode: split evenly (Meyer, small-vds limit)
+            cgs = 0.5 * c_ox + c_ov_s
+            cgd = 0.5 * c_ox + c_ov_d
+            cgb = c_ov_b
+        return cgs, cgd, cgb
+
+    def _junction_capacitances(self, vds: float, vbs: float):
+        """Reverse-biased drain/source junction caps (internal frame)."""
+        p = self.params
+        area = estimate_junction_area(self.width, self.drain_width)
+        perim = estimate_junction_perimeter(self.width, self.drain_width)
+        vbd = vbs - vds
+
+        def depletion(vj: float) -> float:
+            # Standard (1 - V/pb)^-1/2 with forward-bias clamping.
+            ratio = max(1.0 - vj / p.pb, 0.5)
+            return 1.0 / math.sqrt(ratio)
+
+        cbd = (p.cj * area + p.cjsw * perim) * depletion(vbd)
+        cbs = (p.cj * area + p.cjsw * perim) * depletion(vbs)
+        return cbd, cbs
+
+    # ------------------------------------------------------------------
+    # Design-equation helpers (used by sizing plans)
+    # ------------------------------------------------------------------
+    def saturation_current(self, vov: float, vds: float = 0.0) -> float:
+        """Square-law saturation current for a given overdrive, amps."""
+        if vov <= 0:
+            return 0.0
+        return 0.5 * self.beta * vov * vov * (1.0 + self.lam * abs(vds))
+
+    def gm_at_current(self, ids: float) -> float:
+        """Saturation gm = sqrt(2 * beta * Id), siemens."""
+        if ids <= 0:
+            return 0.0
+        return math.sqrt(2.0 * self.beta * abs(ids))
+
+    def active_area(self) -> float:
+        """Gate area plus both diffusion areas, m^2 (the paper's active-
+        device-area estimate)."""
+        gate = self.width * self.length
+        diffusion = 2.0 * estimate_junction_area(self.width, self.drain_width)
+        return gate + diffusion
+
+    def __repr__(self) -> str:
+        return (
+            f"MosfetModel({self.params.polarity}, W={self.width * 1e6:.2f}u, "
+            f"L={self.length * 1e6:.2f}u)"
+        )

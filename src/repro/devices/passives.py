@@ -1,0 +1,30 @@
+"""Ideal passive elements (resistor, capacitor) and their admittances."""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+
+__all__ = ["resistor_conductance", "capacitor_admittance"]
+
+
+def resistor_conductance(resistance: float) -> float:
+    """Conductance of an ideal resistor, siemens.
+
+    Raises:
+        NetlistError: for non-positive resistance (a zero-ohm resistor
+            should be modelled as a node merge, not an element).
+    """
+    if resistance <= 0:
+        raise NetlistError(f"resistance must be positive, got {resistance}")
+    return 1.0 / resistance
+
+
+def capacitor_admittance(capacitance: float, omega: float) -> complex:
+    """Small-signal admittance ``j*omega*C`` of an ideal capacitor.
+
+    Raises:
+        NetlistError: for negative capacitance.
+    """
+    if capacitance < 0:
+        raise NetlistError(f"capacitance must be non-negative, got {capacitance}")
+    return 1j * omega * capacitance

@@ -1,0 +1,73 @@
+"""Small-signal parameter bundles used by the sizing plans.
+
+The designers reason about sub-blocks through first-order small-signal
+quantities (gm, ro, parasitic capacitance at a terminal).  This module
+gives those quantities a named home so plan steps pass structured data
+instead of bare floats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SpecificationError
+
+__all__ = ["SmallSignal"]
+
+
+@dataclass(frozen=True)
+class SmallSignal:
+    """First-order small-signal view of a (sub-)block output port.
+
+    Attributes:
+        gm: forward transconductance, S.
+        rout: output resistance, ohms.
+        cout: capacitance loading the output node, F.
+        cin: capacitance presented at the input node, F.
+    """
+
+    gm: float
+    rout: float
+    cout: float = 0.0
+    cin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gm < 0 or self.rout <= 0:
+            raise SpecificationError(
+                f"invalid small-signal params gm={self.gm}, rout={self.rout}"
+            )
+        if self.cout < 0 or self.cin < 0:
+            raise SpecificationError("capacitances must be non-negative")
+
+    @property
+    def dc_gain(self) -> float:
+        """Single-stage voltage gain magnitude ``gm * rout``."""
+        return self.gm * self.rout
+
+    @property
+    def dc_gain_db(self) -> float:
+        """DC gain in decibels."""
+        gain = self.dc_gain
+        if gain <= 0:
+            return -math.inf
+        return 20.0 * math.log10(gain)
+
+    def pole_hz(self, extra_load: float = 0.0) -> float:
+        """Output-pole frequency with an optional extra load capacitor."""
+        c_total = self.cout + extra_load
+        if c_total <= 0:
+            return math.inf
+        return 1.0 / (2.0 * math.pi * self.rout * c_total)
+
+    def cascade(self, next_stage: "SmallSignal") -> "SmallSignal":
+        """First-order cascade: gains multiply, the output port is the
+        second stage's, and the second stage's input capacitance is folded
+        into this stage's output load (not represented here; use the
+        simulator for pole-accurate analysis)."""
+        return SmallSignal(
+            gm=self.dc_gain * next_stage.gm,
+            rout=next_stage.rout,
+            cout=next_stage.cout,
+            cin=self.cin,
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the OASYS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Synthesis failures are deliberately
+distinguished from programming errors: an infeasible specification raises
+:class:`SynthesisError` (a normal, reportable outcome of design-style
+selection), while malformed inputs raise :class:`SpecificationError` or
+:class:`TechnologyError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string could not be parsed or formatted."""
+
+
+class TechnologyError(ReproError, ValueError):
+    """A process description is missing, malformed, or physically invalid."""
+
+
+class SpecificationError(ReproError, ValueError):
+    """A performance specification is malformed or self-contradictory."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A circuit netlist is structurally invalid (dangling node, duplicate
+    instance name, unknown element, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The circuit simulator failed (singular matrix, no convergence, ...)."""
+
+
+class ConvergenceError(SimulationError):
+    """Newton-Raphson iteration failed to converge even with homotopy."""
+
+    def __init__(self, message: str, iterations: int = 0):
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class SynthesisError(ReproError, RuntimeError):
+    """A design plan could not meet its specification.
+
+    This is the *expected* failure mode of design-style selection: the
+    selector designs every candidate style and styles that raise
+    ``SynthesisError`` are simply dropped from the candidate set.
+    """
+
+    def __init__(self, message: str, block: str = "", step: str = ""):
+        super().__init__(message)
+        self.block = block
+        self.step = step
+
+
+class PlanError(ReproError, RuntimeError):
+    """A plan is internally inconsistent (bad restart target, duplicate step
+    names, rule referencing an unknown step)."""

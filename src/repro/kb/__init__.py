@@ -1,0 +1,49 @@
+"""The knowledge-base framework (Section 3 of the paper).
+
+This package implements the paper's three central mechanisms:
+
+* **hierarchical topology templates** -- fixed alternatives for circuit
+  topologies, specified as interconnections of sub-blocks
+  (:mod:`repro.kb.blocks`, :mod:`repro.kb.templates`);
+* **translation via plans** -- ordered, mostly-algorithmic steps that
+  numerically manipulate stored circuit equations to turn a block
+  specification into sub-block specifications
+  (:mod:`repro.kb.plans`);
+* **rules that patch plans** -- situation-specific corrections that fire
+  after each plan step and may modify the design state or restart the
+  plan from an earlier step (:mod:`repro.kb.rules`).
+
+Design-style selection is breadth-first (:mod:`repro.kb.selection`), and
+every synthesis run records a :class:`~repro.kb.trace.DesignTrace`.
+"""
+
+from .specs import OpAmpSpec, Specification, SpecEntry, SpecKind, Violation
+from .blocks import Block
+from .plans import DesignState, Plan, PlanExecutor, PlanStep
+from .rules import Abort, Restart, Rule, RuleAction
+from .selection import CandidateResult, breadth_first_select
+from .templates import StyleCatalog, TopologyTemplate
+from .trace import DesignTrace, TraceEvent
+
+__all__ = [
+    "SpecKind",
+    "SpecEntry",
+    "Specification",
+    "Violation",
+    "OpAmpSpec",
+    "Block",
+    "DesignState",
+    "Plan",
+    "PlanStep",
+    "PlanExecutor",
+    "Rule",
+    "RuleAction",
+    "Restart",
+    "Abort",
+    "CandidateResult",
+    "breadth_first_select",
+    "TopologyTemplate",
+    "StyleCatalog",
+    "DesignTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,112 @@
+"""Hierarchical functional blocks (Section 3.2 / Figure 1).
+
+Analog designs are represented as a *loose* hierarchy of functional
+blocks: system level (A/D converter), functional level (op amp,
+comparator, sample-and-hold), sub-block level (differential pair,
+current mirror, level shifter), and finally primitive devices.  The
+hierarchy is loose in that siblings need not have similar complexity --
+a sample-and-hold may be three devices while the comparator next to it
+has twenty.
+
+:class:`Block` records the designed hierarchy of a synthesis result:
+which style was selected at each level, the specification translated
+down to it, and the electrical attributes the plan assigned.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+from ..errors import SpecificationError
+
+__all__ = ["Block"]
+
+
+@dataclass
+class Block:
+    """A node in the designed-circuit hierarchy.
+
+    Attributes:
+        name: instance name within the parent (``"first_stage"``).
+        block_type: functional type (``"opamp"``, ``"current_mirror"``).
+        style: design style selected for it (``"two_stage"``,
+            ``"cascode"``); empty until selection has happened.
+        attributes: electrical results assigned by the plan (bias current,
+            gm, rout, device sizes...).
+        children: sub-blocks, in design order.
+    """
+
+    name: str
+    block_type: str
+    style: str = ""
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    children: List["Block"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "Block") -> "Block":
+        if any(existing.name == child.name for existing in self.children):
+            raise SpecificationError(
+                f"block {self.name!r} already has a child {child.name!r}"
+            )
+        self.children.append(child)
+        return child
+
+    def child(self, name: str) -> "Block":
+        for candidate in self.children:
+            if candidate.name == name:
+                return candidate
+        raise SpecificationError(f"block {self.name!r} has no child {name!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Block"]:
+        """Depth-first iteration over this block and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Levels below this block (a leaf has depth 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def find_all(self, block_type: str) -> List["Block"]:
+        """All descendants (and possibly self) of a functional type."""
+        return [b for b in self.walk() if b.block_type == block_type]
+
+    def leaf_count(self) -> int:
+        return sum(1 for b in self.walk() if not b.children)
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 1 style)
+    # ------------------------------------------------------------------
+    def render(self, show_attributes: bool = False) -> str:
+        """Indented tree view, one block per line::
+
+            adc (successive_approximation)
+              sample_hold (sample_hold) [style: capacitor_switch]
+              comparator (comparator) ...
+        """
+        out = io.StringIO()
+        self._render_into(out, 0, show_attributes)
+        return out.getvalue()
+
+    def _render_into(self, out, level: int, show_attributes: bool) -> None:
+        indent = "  " * level
+        style = f" [style: {self.style}]" if self.style else ""
+        out.write(f"{indent}{self.name} ({self.block_type}){style}\n")
+        if show_attributes and self.attributes:
+            for key in sorted(self.attributes):
+                value = self.attributes[key]
+                if isinstance(value, float):
+                    out.write(f"{indent}    {key} = {value:.4g}\n")
+                else:
+                    out.write(f"{indent}    {key} = {value}\n")
+        for child in self.children:
+            child._render_into(out, level + 1, show_attributes)

@@ -1,0 +1,283 @@
+"""Plans and the plan-execution mechanism (Section 3.3 / Figure 3).
+
+A :class:`Plan` is an ordered list of :class:`PlanStep`.  Each step is
+largely algorithmic: it numerically manipulates circuit equations and
+heuristics over a :class:`DesignState` blackboard.  The
+:class:`PlanExecutor` runs the steps in order and fires the template's
+rules after every step; a rule may patch the design state, restart the
+plan from an earlier step with new constraints, or abort the design --
+exactly the mechanism in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import PlanError, SynthesisError
+from ..process.parameters import ProcessParameters
+from .rules import Abort, Restart, Rule
+from .specs import Specification
+from .trace import DesignTrace
+
+__all__ = ["DesignState", "PlanStep", "Plan", "PlanExecutor"]
+
+
+class DesignState:
+    """The blackboard a plan works on.
+
+    Holds the driving specification and process plus two namespaces:
+
+    * ``vars`` -- intermediate electrical quantities (currents, overdrive
+      voltages, gain partitions, device sizes...), accessed through
+      :meth:`get` / :meth:`set` which raise on missing keys so a plan
+      step cannot silently read garbage;
+    * ``choices`` -- design-style selections made for sub-blocks
+      (e.g. ``{"load_mirror": "cascode"}``).
+    """
+
+    def __init__(self, spec: Specification, process: ProcessParameters):
+        self.spec = spec
+        self.process = process
+        self.vars: Dict[str, Any] = {}
+        self.choices: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.vars[name]
+        except KeyError:
+            raise PlanError(f"design variable {name!r} has not been set") from None
+
+    def get_or(self, name: str, default: Any) -> Any:
+        return self.vars.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self.vars
+
+    def choose(self, slot: str, style: str) -> None:
+        self.choices[slot] = style
+
+    def choice(self, slot: str, default: str = "") -> str:
+        return self.choices.get(slot, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of vars + choices (for trace / debugging)."""
+        merged: Dict[str, Any] = dict(self.vars)
+        merged.update({f"choice:{k}": v for k, v in self.choices.items()})
+        return merged
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a plan.
+
+    Attributes:
+        name: unique step name (restart targets refer to it).
+        action: callable over the state; may return a short detail string
+            for the trace; raises :class:`SynthesisError` when its goals
+            cannot be met and no rule can patch the situation.
+        goals: human-readable statement of what the step establishes.
+    """
+
+    name: str
+    action: Callable[[DesignState], Optional[str]]
+    goals: str = ""
+
+
+class Plan:
+    """An ordered list of uniquely named steps."""
+
+    def __init__(self, name: str, steps: List[PlanStep]):
+        if not steps:
+            raise PlanError(f"plan {name!r} has no steps")
+        names = [s.name for s in steps]
+        if len(set(names)) != len(names):
+            raise PlanError(f"plan {name!r} has duplicate step names")
+        self.name = name
+        self.steps = list(steps)
+        self._index = {s.name: i for i, s in enumerate(steps)}
+
+    def index_of(self, step_name: str) -> int:
+        try:
+            return self._index[step_name]
+        except KeyError:
+            raise PlanError(
+                f"plan {self.name!r} has no step named {step_name!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+
+class PlanExecutor:
+    """Runs a plan with rule-based patching (the paper's Figure 3 loop).
+
+    After every step, each rule is offered the state in registration
+    order.  A firing rule may mutate the state directly and/or return a
+    control action: :class:`Restart` re-enters the plan at an earlier
+    (or later) step; :class:`Abort` raises :class:`SynthesisError`.
+
+    Each rule has a firing budget (``rule.max_firings``) and the executor
+    has a global restart budget, so patching always terminates: a design
+    that keeps failing eventually aborts, which design-style selection
+    treats as "this style cannot meet the specification".
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        rules: Optional[List[Rule]] = None,
+        max_restarts: int = 10,
+    ):
+        self.plan = plan
+        self.rules = list(rules or [])
+        rule_names = [r.name for r in self.rules]
+        if len(set(rule_names)) != len(rule_names):
+            raise PlanError(f"plan {plan.name!r} has duplicate rule names")
+        self.max_restarts = max_restarts
+
+    def execute(
+        self,
+        state: DesignState,
+        trace: Optional[DesignTrace] = None,
+        block: str = "",
+    ) -> DesignTrace:
+        """Run the plan to completion over ``state``.
+
+        Returns the trace (created if not supplied).
+
+        Raises:
+            SynthesisError: when a step fails with no applicable patch,
+                a rule aborts, or the restart budget is exhausted.
+        """
+        trace = trace if trace is not None else DesignTrace()
+        block = block or self.plan.name
+        trace.plan_start(block, self.plan.name)
+
+        firings: Dict[str, int] = {rule.name: 0 for rule in self.rules}
+        restarts = 0
+        index = 0
+        while index < len(self.plan.steps):
+            step = self.plan.steps[index]
+            try:
+                detail = step.action(state) or ""
+            except SynthesisError as exc:
+                # Offer the failure to the rules before giving up: a rule
+                # may know how to patch exactly this situation.
+                patched = self._offer_to_rules(
+                    state, trace, block, firings, failed_step=step, error=exc
+                )
+                if patched is None:
+                    trace.abort(block, f"step {step.name}: {exc}")
+                    raise SynthesisError(
+                        f"{block}: step {step.name!r} failed: {exc}",
+                        block=block,
+                        step=step.name,
+                    ) from exc
+                restarts += 1
+                if restarts > self.max_restarts:
+                    trace.abort(block, "restart budget exhausted")
+                    raise SynthesisError(
+                        f"{block}: restart budget exhausted while patching",
+                        block=block,
+                        step=step.name,
+                    ) from exc
+                target = self.plan.index_of(patched.step)
+                if target > index:
+                    # A patch may not jump *past* the failed step: that
+                    # would skip unexecuted work and leave the blackboard
+                    # inconsistent.  This is a template-authoring error.
+                    raise PlanError(
+                        f"{block}: recovery restart target {patched.step!r} "
+                        f"lies after the failed step {step.name!r}"
+                    )
+                index = target
+                trace.restart(block, patched.step, patched.reason)
+                continue
+
+            trace.step(block, step.name, detail)
+
+            action = self._offer_to_rules(state, trace, block, firings)
+            if action is not None:
+                if isinstance(action, Abort):
+                    trace.abort(block, action.reason)
+                    raise SynthesisError(
+                        f"{block}: aborted by rule: {action.reason}",
+                        block=block,
+                        step=step.name,
+                    )
+                restarts += 1
+                if restarts > self.max_restarts:
+                    trace.abort(block, "restart budget exhausted")
+                    raise SynthesisError(
+                        f"{block}: restart budget exhausted",
+                        block=block,
+                        step=step.name,
+                    )
+                index = self.plan.index_of(action.step)
+                trace.restart(block, action.step, action.reason)
+                continue
+
+            index += 1
+
+        trace.plan_done(block)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _offer_to_rules(
+        self,
+        state: DesignState,
+        trace: DesignTrace,
+        block: str,
+        firings: Dict[str, int],
+        failed_step: Optional[PlanStep] = None,
+        error: Optional[SynthesisError] = None,
+    ):
+        """Let rules inspect the state (and optionally a step failure).
+
+        Returns the first control action produced, or None.  On a step
+        failure (``failed_step`` set) only *recovery* rules -- those with
+        ``on_failure=True`` -- are consulted, and a Restart is mandatory
+        for the failure to be considered patched; Abort propagates.
+        """
+        for rule in self.rules:
+            if firings[rule.name] >= rule.max_firings:
+                continue
+            if failed_step is not None and not rule.on_failure:
+                continue
+            if failed_step is None and rule.on_failure:
+                continue
+            if (
+                failed_step is not None
+                and rule.on_failure_steps is not None
+                and failed_step.name not in rule.on_failure_steps
+            ):
+                continue
+            try:
+                applicable = rule.condition(state)
+            except PlanError:
+                # A rule probing variables that are not set yet simply
+                # does not apply at this point of the plan.
+                continue
+            if not applicable:
+                continue
+            firings[rule.name] += 1
+            action = rule.action(state)
+            trace.rule_fired(block, rule.name, rule.describe(state))
+            if isinstance(action, (Restart, Abort)):
+                if isinstance(action, Abort) and failed_step is not None:
+                    trace.abort(block, action.reason)
+                    raise SynthesisError(
+                        f"{block}: aborted by rule {rule.name!r}: {action.reason}",
+                        block=block,
+                        step=failed_step.name,
+                    )
+                return action
+        return None

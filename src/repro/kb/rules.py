@@ -1,0 +1,105 @@
+"""Rules that patch plans (Section 3.3).
+
+"Such rules can either modify circuit specifications in ways that are
+beyond the limited scope of individual plan steps, or can rerun portions
+of the plan with new initial constraints to avoid the problems
+previously encountered."
+
+A :class:`Rule` couples a *condition* over the design state with an
+*action*.  The action may mutate the state directly (modify a gain
+partition, switch a sub-block to its cascode style, ...) and returns a
+control directive: :class:`Restart` to re-enter the plan at a named
+step, :class:`Abort` to declare the style infeasible, or ``None`` to
+continue in place.
+
+Rules marked ``on_failure=True`` are *recovery* rules: they are only
+consulted when a plan step raises :class:`~repro.errors.SynthesisError`,
+which is how the paper's "predictable failure modes" conjecture is
+realised -- each template enumerates the few things that can go wrong
+and attaches a patch for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from ..errors import PlanError
+
+__all__ = ["Restart", "Abort", "RuleAction", "Rule"]
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Re-enter the plan at ``step`` (inclusive)."""
+
+    step: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Abort:
+    """Declare this design style unable to meet the specification."""
+
+    reason: str
+
+
+RuleAction = Union[Restart, Abort, None]
+
+
+class Rule:
+    """One situation-specific patch.
+
+    Args:
+        name: unique rule name within its plan.
+        condition: predicate over the design state.  A condition that
+            probes a variable the plan has not set yet (raising
+            :class:`PlanError`) is treated as "not applicable".
+        action: invoked when the condition holds; may mutate the state;
+            returns a :class:`Restart`, :class:`Abort` or ``None``.
+        max_firings: firing budget; prevents patch loops.  The default of
+            1 matches the common pattern "try the fix once, then let the
+            style fail" (e.g. cascode a stage at most once).
+        on_failure: when True, the rule is consulted only after a plan
+            step raises, not after successful steps.
+        on_failure_steps: optional step names scoping a recovery rule to
+            *its* predictable failure modes; when set, the rule is only
+            consulted when one of these steps failed.  This is how the
+            paper's "good plans have predictable failure modes"
+            conjecture is encoded: each patch names the failures it
+            knows how to fix.
+        description: template for the trace; ``describe`` formats it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        condition: Callable[["DesignState"], bool],
+        action: Callable[["DesignState"], RuleAction],
+        max_firings: int = 1,
+        on_failure: bool = False,
+        on_failure_steps: Optional[Tuple[str, ...]] = None,
+        description: str = "",
+    ):
+        if max_firings < 1:
+            raise PlanError(f"rule {name!r}: max_firings must be >= 1")
+        if on_failure_steps is not None and not on_failure:
+            raise PlanError(
+                f"rule {name!r}: on_failure_steps requires on_failure=True"
+            )
+        self.name = name
+        self.condition = condition
+        self.action = action
+        self.max_firings = max_firings
+        self.on_failure = on_failure
+        self.on_failure_steps = (
+            tuple(on_failure_steps) if on_failure_steps is not None else None
+        )
+        self.description = description
+
+    def describe(self, state) -> str:
+        return self.description or self.name
+
+    def __repr__(self) -> str:
+        kind = "recovery" if self.on_failure else "monitor"
+        return f"Rule({self.name!r}, {kind}, max_firings={self.max_firings})"

@@ -1,0 +1,107 @@
+"""Design-style selection (Sections 3.2 and 4.3).
+
+"Style selection at this level is still simplistic in OASYS, and is
+based on breadth-first search.  All possible styles are designed and a
+selection among successful design styles is made based on comparison of
+final parameters such as estimated area."
+
+:func:`breadth_first_select` implements exactly that: every candidate
+style is designed to completion; candidates whose plans raise
+:class:`~repro.errors.SynthesisError` are recorded as infeasible; among
+the survivors the one with the smallest cost (estimated area by
+default) wins.  Soft-spec violations are tolerated but count against a
+candidate when a violation-free alternative exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from .trace import DesignTrace
+
+__all__ = ["CandidateResult", "breadth_first_select"]
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of designing one candidate style.
+
+    Attributes:
+        style: candidate style name.
+        result: whatever the designer returned (None when infeasible).
+        cost: selection cost (estimated area); inf when infeasible.
+        soft_violations: count of soft-spec shortfalls in the result.
+        error: failure description when infeasible.
+    """
+
+    style: str
+    result: Any = None
+    cost: float = float("inf")
+    soft_violations: int = 0
+    error: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+
+def breadth_first_select(
+    styles: Sequence[str],
+    design_one: Callable[[str], Tuple[Any, float, int]],
+    trace: Optional[DesignTrace] = None,
+    block: str = "",
+) -> Tuple[CandidateResult, List[CandidateResult]]:
+    """Design every style, pick the best by (soft violations, cost).
+
+    Args:
+        styles: candidate style names, in catalogue order.
+        design_one: designs a single style; returns
+            ``(result, cost, soft_violations)``; raises
+            :class:`SynthesisError` when the style cannot meet the spec.
+        trace: optional trace receiving selection events.
+        block: block name for the trace.
+
+    Returns:
+        (winner, all_candidates).
+
+    Raises:
+        SynthesisError: when no style is feasible; the message aggregates
+            each style's failure reason.
+    """
+    if not styles:
+        raise SynthesisError(f"{block or 'selection'}: no candidate styles")
+    candidates: List[CandidateResult] = []
+    for style in styles:
+        try:
+            result, cost, soft = design_one(style)
+            candidates.append(
+                CandidateResult(style=style, result=result, cost=cost, soft_violations=soft)
+            )
+            if trace is not None:
+                trace.selection(
+                    block, f"style {style!r} feasible: cost={cost:.4g}, soft={soft}"
+                )
+        except SynthesisError as exc:
+            candidates.append(CandidateResult(style=style, error=str(exc)))
+            if trace is not None:
+                trace.selection(block, f"style {style!r} infeasible: {exc}")
+
+    feasible = [c for c in candidates if c.feasible]
+    if not feasible:
+        reasons = "; ".join(f"{c.style}: {c.error}" for c in candidates)
+        raise SynthesisError(
+            f"{block or 'selection'}: no design style can meet the "
+            f"specification ({reasons})",
+            block=block,
+        )
+    winner = min(feasible, key=lambda c: (c.soft_violations, c.cost))
+    if trace is not None:
+        trace.selection(
+            block,
+            f"selected {winner.style!r} "
+            f"(cost={winner.cost:.4g}, soft={winner.soft_violations}) "
+            f"out of {len(feasible)}/{len(candidates)} feasible styles",
+        )
+    return winner, candidates

@@ -1,0 +1,281 @@
+"""Performance specifications.
+
+The paper's input is "a set of performance parameters that must be
+achieved, such as gain, bandwidth, input noise, or phase margin".  This
+module provides the generic specification machinery (:class:`SpecEntry`,
+:class:`Specification`) and the op amp performance-parameter set used by
+the OASYS prototype (:class:`OpAmpSpec` -- the rows of the paper's
+Table 2).
+
+Specifications are direction-aware: a gain spec is a floor (achieving
+more is fine), a power budget is a ceiling.  ``compare`` produces
+structured :class:`Violation` records instead of a bare boolean so the
+selector and the report generator can both consume them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SpecificationError
+
+__all__ = ["SpecKind", "SpecEntry", "Violation", "Specification", "OpAmpSpec"]
+
+
+class SpecKind(enum.Enum):
+    """How an achieved value is judged against a specified value."""
+
+    MIN = "min"  # achieved >= specified  (gain, slew rate, swing, PM)
+    MAX = "max"  # achieved <= specified  (power, area, offset)
+    GIVEN = "given"  # an operating condition, not judged (load capacitance)
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One performance parameter.
+
+    Attributes:
+        name: canonical parameter name, e.g. ``"gain_db"``.
+        value: the specified value.
+        kind: floor / ceiling / operating condition.
+        unit: display unit.
+        hard: hard constraints disqualify a design when violated; soft
+            constraints are reported but tolerated (the paper accepts
+            32 degrees of phase margin against a 45-degree request for an
+            aggressive spec, "acceptable for a first-cut design").
+        tolerance: fractional slack applied when judging (a 1 % shortfall
+            on a floor with tolerance 0.01 still passes).
+    """
+
+    name: str
+    value: float
+    kind: SpecKind
+    unit: str = ""
+    hard: bool = True
+    tolerance: float = 0.0
+
+    def satisfied_by(self, achieved: float) -> bool:
+        """Judge an achieved value against this entry."""
+        if self.kind is SpecKind.GIVEN:
+            return True
+        if math.isnan(achieved):
+            return False
+        slack = abs(self.value) * self.tolerance
+        if self.kind is SpecKind.MIN:
+            return achieved >= self.value - slack
+        return achieved <= self.value + slack
+
+    def margin(self, achieved: float) -> float:
+        """Signed margin: positive = passing, in the entry's own units."""
+        if self.kind is SpecKind.MIN:
+            return achieved - self.value
+        if self.kind is SpecKind.MAX:
+            return self.value - achieved
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A specification entry an achieved design failed to meet."""
+
+    entry: SpecEntry
+    achieved: float
+
+    @property
+    def hard(self) -> bool:
+        return self.entry.hard
+
+    def __str__(self) -> str:
+        direction = ">=" if self.entry.kind is SpecKind.MIN else "<="
+        hardness = "HARD" if self.hard else "soft"
+        return (
+            f"{self.entry.name}: required {direction} {self.entry.value:g}"
+            f"{self.entry.unit}, achieved {self.achieved:g}{self.entry.unit}"
+            f" [{hardness}]"
+        )
+
+
+class Specification:
+    """An ordered collection of :class:`SpecEntry` keyed by name."""
+
+    def __init__(self, entries: Optional[List[SpecEntry]] = None):
+        self._entries: Dict[str, SpecEntry] = {}
+        for entry in entries or []:
+            self.add(entry)
+
+    def add(self, entry: SpecEntry) -> None:
+        if entry.name in self._entries:
+            raise SpecificationError(f"duplicate spec entry {entry.name!r}")
+        self._entries[entry.name] = entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __getitem__(self, name: str) -> SpecEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SpecificationError(f"no spec entry named {name!r}") from None
+
+    def __iter__(self) -> Iterator[SpecEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        entry = self._entries.get(name)
+        return entry.value if entry is not None else default
+
+    def value(self, name: str) -> float:
+        return self[name].value
+
+    def relaxed(self, name: str, new_value: float) -> "Specification":
+        """A copy with one entry's value replaced (used by translation
+        steps that derive sub-block specs from block specs)."""
+        entries = [
+            replace(entry, value=new_value) if entry.name == name else entry
+            for entry in self
+        ]
+        return Specification(entries)
+
+    def compare(self, achieved: Dict[str, float]) -> List[Violation]:
+        """All violations of this specification by ``achieved`` values.
+
+        Entries missing from ``achieved`` are violations (NaN) unless they
+        are GIVEN.
+        """
+        violations = []
+        for entry in self:
+            if entry.kind is SpecKind.GIVEN:
+                continue
+            value = achieved.get(entry.name, math.nan)
+            if not entry.satisfied_by(value):
+                violations.append(Violation(entry, value))
+        return violations
+
+    def meets(self, achieved: Dict[str, float], include_soft: bool = False) -> bool:
+        """True when no hard entry (optionally: no entry at all) is
+        violated."""
+        violations = self.compare(achieved)
+        if include_soft:
+            return not violations
+        return not any(v.hard for v in violations)
+
+
+@dataclass(frozen=True)
+class OpAmpSpec:
+    """Op amp performance specification (the paper's Table 2 rows).
+
+    All values use SI units except where the name says otherwise.
+
+    Attributes:
+        gain_db: minimum open-loop DC gain, dB.
+        unity_gain_hz: minimum unity-gain frequency, Hz.
+        phase_margin_deg: minimum phase margin, degrees (soft by default,
+            matching the paper's treatment of test case C).
+        slew_rate: minimum slew rate, V/s.
+        load_capacitance: the load the amp must drive, farads (GIVEN).
+        output_swing: minimum symmetric output swing, volts (i.e. the
+            output must reach +-output_swing around the mid-supply point).
+        offset_max_mv: maximum systematic input-referred offset, mV.
+        power_max: maximum static power, watts (0 = unconstrained).
+        area_max: maximum active area, m^2 (0 = unconstrained).
+        input_common_mode: minimum symmetric input common-mode range,
+            volts (0 = unconstrained).
+        input_noise_max_nv: maximum thermal input-referred noise
+            density, nV/sqrt(Hz) (0 = unconstrained).
+    """
+
+    gain_db: float
+    unity_gain_hz: float
+    phase_margin_deg: float
+    slew_rate: float
+    load_capacitance: float
+    output_swing: float
+    offset_max_mv: float = 50.0
+    power_max: float = 0.0
+    area_max: float = 0.0
+    input_common_mode: float = 0.0
+    input_noise_max_nv: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain_db <= 0:
+            raise SpecificationError(f"gain_db must be positive, got {self.gain_db}")
+        if self.unity_gain_hz <= 0:
+            raise SpecificationError("unity_gain_hz must be positive")
+        if not 0 < self.phase_margin_deg < 90:
+            raise SpecificationError("phase_margin_deg must be in (0, 90)")
+        if self.slew_rate <= 0:
+            raise SpecificationError("slew_rate must be positive")
+        if self.load_capacitance <= 0:
+            raise SpecificationError("load_capacitance must be positive")
+        if self.output_swing <= 0:
+            raise SpecificationError("output_swing must be positive")
+        if self.offset_max_mv <= 0:
+            raise SpecificationError("offset_max_mv must be positive")
+        for name in (
+            "power_max",
+            "area_max",
+            "input_common_mode",
+            "input_noise_max_nv",
+        ):
+            if getattr(self, name) < 0:
+                raise SpecificationError(f"{name} must be non-negative")
+
+    def to_specification(self) -> Specification:
+        """Expand into the generic :class:`Specification` form."""
+        entries = [
+            SpecEntry("gain_db", self.gain_db, SpecKind.MIN, " dB", tolerance=0.01),
+            SpecEntry(
+                "unity_gain_hz", self.unity_gain_hz, SpecKind.MIN, " Hz", tolerance=0.05
+            ),
+            SpecEntry(
+                "phase_margin_deg",
+                self.phase_margin_deg,
+                SpecKind.MIN,
+                " deg",
+                hard=False,
+            ),
+            SpecEntry("slew_rate", self.slew_rate, SpecKind.MIN, " V/s", tolerance=0.05),
+            SpecEntry(
+                "load_capacitance", self.load_capacitance, SpecKind.GIVEN, " F"
+            ),
+            SpecEntry(
+                "output_swing", self.output_swing, SpecKind.MIN, " V", tolerance=0.02
+            ),
+            SpecEntry("offset_mv", self.offset_max_mv, SpecKind.MAX, " mV"),
+        ]
+        if self.power_max > 0:
+            entries.append(SpecEntry("power", self.power_max, SpecKind.MAX, " W"))
+        if self.area_max > 0:
+            entries.append(SpecEntry("area", self.area_max, SpecKind.MAX, " m^2"))
+        if self.input_common_mode > 0:
+            entries.append(
+                SpecEntry(
+                    "input_common_mode", self.input_common_mode, SpecKind.MIN, " V"
+                )
+            )
+        if self.input_noise_max_nv > 0:
+            entries.append(
+                SpecEntry(
+                    "input_noise_nv",
+                    self.input_noise_max_nv,
+                    SpecKind.MAX,
+                    " nV/rtHz",
+                    tolerance=0.05,
+                )
+            )
+        return Specification(entries)
+
+    def scaled_gain(self, gain_db: float) -> "OpAmpSpec":
+        """A copy with a different gain requirement (used by the Figure 7
+        gain sweep)."""
+        return replace(self, gain_db=gain_db)
+
+    def with_load(self, load_capacitance: float) -> "OpAmpSpec":
+        """A copy driving a different load."""
+        return replace(self, load_capacitance=load_capacitance)

@@ -1,0 +1,110 @@
+"""Topology templates: statically stored, hierarchically specified.
+
+"Circuit topologies are selected from among fixed alternatives; they are
+not constructed transistor-by-transistor for each new design."  A
+:class:`TopologyTemplate` bundles everything OASYS stores with a fixed
+topology:
+
+* the functional block type it implements and its style name;
+* the *plan* that translates a block specification into sub-block
+  specifications (built fresh per design by ``build_plan``, since plans
+  close over nothing mutable);
+* the *rules* that patch that plan;
+* the declared sub-block slots (for hierarchy reports -- the paper's
+  Figure 4).
+
+Concrete templates for op amps and sub-blocks live in
+:mod:`repro.opamp` and :mod:`repro.subblocks`; a :class:`StyleCatalog`
+groups the alternative templates for one block type so selection can
+enumerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import PlanError
+from .plans import Plan
+from .rules import Rule
+
+__all__ = ["TopologyTemplate", "StyleCatalog"]
+
+
+@dataclass(frozen=True)
+class TopologyTemplate:
+    """One fixed topology alternative for a functional block.
+
+    Attributes:
+        block_type: functional type implemented (``"opamp"``).
+        style: style name unique within the block type (``"two_stage"``).
+        build_plan: zero-argument factory returning a fresh :class:`Plan`.
+        build_rules: zero-argument factory returning the plan's rules.
+        sub_blocks: slot name -> sub-block functional type, declaring the
+            fixed arrangement of sub-blocks (the hierarchy of Figure 4).
+        description: one-line human description.
+    """
+
+    block_type: str
+    style: str
+    build_plan: Callable[[], Plan]
+    build_rules: Callable[[], List[Rule]] = field(default=lambda: [])
+    sub_blocks: Tuple[Tuple[str, str], ...] = ()
+    description: str = ""
+
+    def render(self) -> str:
+        """Text rendering of the template structure (Figure 4 style)."""
+        lines = [f"template {self.block_type}/{self.style}: {self.description}"]
+        plan = self.build_plan()
+        lines.append(f"  plan {plan.name!r} ({len(plan)} steps):")
+        for step in plan:
+            goal = f" -- {step.goals}" if step.goals else ""
+            lines.append(f"    . {step.name}{goal}")
+        rules = self.build_rules()
+        lines.append(f"  rules ({len(rules)}):")
+        for rule in rules:
+            kind = "recovery" if rule.on_failure else "monitor"
+            lines.append(f"    ! {rule.name} [{kind}] {rule.description}")
+        if self.sub_blocks:
+            lines.append("  sub-blocks:")
+            for slot, block_type in self.sub_blocks:
+                lines.append(f"    - {slot}: {block_type}")
+        return "\n".join(lines) + "\n"
+
+
+class StyleCatalog:
+    """The fixed alternatives for one block type, in catalogue order."""
+
+    def __init__(self, block_type: str):
+        self.block_type = block_type
+        self._templates: Dict[str, TopologyTemplate] = {}
+
+    def register(self, template: TopologyTemplate) -> TopologyTemplate:
+        if template.block_type != self.block_type:
+            raise PlanError(
+                f"template {template.style!r} is for {template.block_type!r}, "
+                f"not {self.block_type!r}"
+            )
+        if template.style in self._templates:
+            raise PlanError(f"duplicate style {template.style!r}")
+        self._templates[template.style] = template
+        return template
+
+    @property
+    def styles(self) -> List[str]:
+        return list(self._templates)
+
+    def __getitem__(self, style: str) -> TopologyTemplate:
+        try:
+            return self._templates[style]
+        except KeyError:
+            raise PlanError(
+                f"{self.block_type}: no style named {style!r} "
+                f"(have {self.styles})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __iter__(self):
+        return iter(self._templates.values())

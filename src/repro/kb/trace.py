@@ -1,0 +1,111 @@
+"""Design traces: a structured record of a synthesis run.
+
+The paper's Figure 3 shows the plan-execution mechanism: plan steps
+running in order, rules firing to patch the plan, portions of the plan
+re-run with new constraints.  A :class:`DesignTrace` records exactly
+those events so the process is inspectable (and so the Figure 3 bench
+can regenerate the picture as text).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["TraceEvent", "DesignTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event during synthesis.
+
+    ``kind`` is one of: ``plan_start``, ``step``, ``rule_fired``,
+    ``restart``, ``abort``, ``plan_done``, ``note``, ``selection``.
+    """
+
+    kind: str
+    block: str
+    detail: str
+    step: str = ""
+
+
+class DesignTrace:
+    """Append-only event log for one synthesis run."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def plan_start(self, block: str, plan_name: str) -> None:
+        self.events.append(TraceEvent("plan_start", block, plan_name))
+
+    def step(self, block: str, step_name: str, detail: str = "") -> None:
+        self.events.append(TraceEvent("step", block, detail, step=step_name))
+
+    def rule_fired(self, block: str, rule_name: str, detail: str) -> None:
+        self.events.append(TraceEvent("rule_fired", block, detail, step=rule_name))
+
+    def restart(self, block: str, target_step: str, reason: str) -> None:
+        self.events.append(TraceEvent("restart", block, reason, step=target_step))
+
+    def abort(self, block: str, reason: str) -> None:
+        self.events.append(TraceEvent("abort", block, reason))
+
+    def plan_done(self, block: str, detail: str = "") -> None:
+        self.events.append(TraceEvent("plan_done", block, detail))
+
+    def note(self, block: str, detail: str) -> None:
+        self.events.append(TraceEvent("note", block, detail))
+
+    def selection(self, block: str, detail: str) -> None:
+        self.events.append(TraceEvent("selection", block, detail))
+
+    def extend(self, other: "DesignTrace") -> None:
+        self.events.extend(other.events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def rule_firings(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "rule_fired"]
+
+    @property
+    def restarts(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "restart"]
+
+    def steps_for(self, block: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "step" and e.block == block]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, kinds: Optional[List[str]] = None) -> str:
+        """Human-readable log, optionally filtered by event kind."""
+        markers = {
+            "plan_start": ">>",
+            "step": "  .",
+            "rule_fired": "  !",
+            "restart": " <<",
+            "abort": " XX",
+            "plan_done": "<<",
+            "note": "  #",
+            "selection": "==",
+        }
+        out = io.StringIO()
+        for event in self.events:
+            if kinds and event.kind not in kinds:
+                continue
+            marker = markers.get(event.kind, "  ?")
+            step_part = f" [{event.step}]" if event.step else ""
+            out.write(f"{marker} {event.block}{step_part} {event.detail}\n")
+        return out.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,131 @@
+"""Shared helpers for the op amp plans.
+
+Margins, the capacitor area model, and the overdrive-reconciliation
+arithmetic both plans use.  These constants are the kind of embedded
+heuristic expertise Section 3.3 describes; each is documented with its
+rationale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..errors import SynthesisError
+from ..kb.plans import DesignState
+from ..kb.specs import OpAmpSpec
+from ..process.parameters import ProcessParameters
+from ..subblocks.sizing import VOV_MAX, VOV_MIN
+
+__all__ = [
+    "SLEW_MARGIN",
+    "GBW_MARGIN",
+    "GAIN_MARGIN",
+    "IREF_DEFAULT",
+    "capacitor_area",
+    "reconcile_tail_current",
+    "opamp_spec_of",
+    "supply_checks",
+]
+
+#: Slew-rate over-design factor: first-cut designs leave 25 % so that the
+#: verified large-signal slew (degraded by parasitics) still passes.
+SLEW_MARGIN = 1.25
+
+#: Unity-gain-bandwidth over-design factor.
+GBW_MARGIN = 1.15
+
+#: Gain over-design factor (linear).
+GAIN_MARGIN = 1.2
+
+#: Master bias reference current, amps.  A 1987-era bias cell; tail and
+#: stage currents are mirrored from it with ratioed widths.
+IREF_DEFAULT = 20e-6
+
+#: Double-poly capacitor density relative to gate oxide: poly-poly
+#: capacitors in this era achieved roughly half the gate-oxide density.
+CAP_DENSITY_FACTOR = 0.5
+
+
+def capacitor_area(capacitance: float, process: ProcessParameters) -> float:
+    """Layout area of a double-poly capacitor, m^2."""
+    if capacitance < 0:
+        raise SynthesisError("capacitance must be non-negative")
+    density = CAP_DENSITY_FACTOR * process.cox
+    return capacitance / density
+
+
+def opamp_spec_of(state: DesignState) -> OpAmpSpec:
+    """The driving OpAmpSpec stored in the design state."""
+    return state.get("opamp_spec")
+
+
+def reconcile_tail_current(gm: float, i_slew_floor: float) -> Tuple[float, float]:
+    """Resolve the coupled (gm, Itail) choice for a differential pair.
+
+    The pair overdrive is ``vov = Itail / gm``.  The slew requirement
+    sets a floor on Itail; the trusted square-law range bounds vov.  The
+    function raises Itail to keep vov >= VOV_MIN (cheap: only area), and
+    fails when the slew floor forces vov beyond VOV_MAX (the pair cannot
+    provide the required gm at that much current -- no size fixes this,
+    since gm at fixed current *falls* with overdrive).
+
+    Returns:
+        (i_tail, vov)
+    """
+    if gm <= 0 or i_slew_floor <= 0:
+        raise SynthesisError("gm and slew floor must be positive")
+    i_tail = max(i_slew_floor, gm * VOV_MIN)
+    vov = i_tail / gm
+    if vov > VOV_MAX:
+        raise SynthesisError(
+            f"slew-driven tail current {i_tail * 1e6:.1f} uA forces pair "
+            f"overdrive {vov:.2f} V beyond {VOV_MAX} V; gm target "
+            f"{gm * 1e6:.1f} uS is unreachable at this current"
+        )
+    return i_tail, vov
+
+
+#: Boltzmann constant times 300 K, joules.
+KT = 1.380649e-23 * 300.0
+
+
+def thermal_input_noise_nv(gm1: float, load_gms) -> float:
+    """First-order thermal input-referred noise density, nV/sqrt(Hz).
+
+    The classic budget: the two input devices contribute
+    ``(16kT/3)/gm1`` each, and every load device pair adds the same
+    referred by ``(gm_load/gm1)^2`` -- equivalently
+
+        S_in = (16kT/3) / gm1^2 * (2*gm1 + 2*sum(gm_load)).
+
+    Flicker noise is left to the simulator's noise analysis (it depends
+    on the final geometries and the frequency of interest).
+    """
+    if gm1 <= 0:
+        raise SynthesisError("gm1 must be positive for a noise estimate")
+    s_in = (16.0 * KT / 3.0) / (gm1 * gm1) * (
+        2.0 * gm1 + 2.0 * sum(load_gms)
+    )
+    return math.sqrt(s_in) * 1e9
+
+
+def supply_checks(spec: OpAmpSpec, process: ProcessParameters) -> None:
+    """Feasibility screens common to every style.
+
+    Raises:
+        SynthesisError: when the requested output swing cannot fit the
+            rails at all (needs at least one saturation voltage of
+            headroom per side).
+    """
+    half_span = process.supply_span / 2.0
+    if spec.output_swing >= half_span - VOV_MIN:
+        raise SynthesisError(
+            f"output swing +-{spec.output_swing:.2f} V leaves less than "
+            f"{VOV_MIN:.2f} V headroom on +-{half_span:.2f} V rails"
+        )
+    if spec.input_common_mode >= half_span:
+        raise SynthesisError(
+            f"input common-mode range +-{spec.input_common_mode:.2f} V "
+            f"exceeds the rails"
+        )

@@ -1,0 +1,102 @@
+"""Miller (feedback) compensation design.
+
+"Unlike the one-stage style, the two-stage style is internally
+compensated with an explicit feedback capacitor.  But because the
+feedback compensation scheme depends on the specifications of almost
+every other block in the op amp, its design cannot be easily deferred to
+some lower-level block designer.  Hence, compensation is explicitly
+addressed as part of the plan associated with the two-stage template: it
+is conceptually one level higher in the hierarchy than the other
+sub-blocks."
+
+The two-stage small-signal model used here is the standard one:
+
+* unity-gain bandwidth        ``GB = gm1 / Cc``
+* output (second) pole        ``p2 = gm6 / CL``
+* right-half-plane zero       ``z  = gm6 / Cc``
+* phase margin                ``PM = 90 - atan(GB/p2) - atan(GB/z)``
+
+Fixing the transconductance ratio ``r = gm6/gm1`` makes the phase margin
+depend only on ``Cc/CL``; the designer solves for the compensation
+capacitor and reports the required second-stage transconductance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+
+__all__ = ["CompensationDesign", "design_compensation", "phase_margin_two_stage"]
+
+#: Default second- to first-stage transconductance ratio.  r = 10 places
+#: the RHP zero a decade beyond GB (the classic design rule).
+GM_RATIO_DEFAULT = 10.0
+
+
+@dataclass(frozen=True)
+class CompensationDesign:
+    """The compensation decision for a two-stage amplifier.
+
+    Attributes:
+        cc: Miller capacitor, farads.
+        gm_ratio: required gm6/gm1.
+        pm_target_deg: the phase margin the geometry was solved for.
+    """
+
+    cc: float
+    gm_ratio: float
+    pm_target_deg: float
+
+    def predicted_pm_deg(self, cl: float) -> float:
+        """Phase margin predicted by the two-pole-one-zero model."""
+        return phase_margin_two_stage(self.cc, cl, self.gm_ratio)
+
+
+def phase_margin_two_stage(cc: float, cl: float, gm_ratio: float) -> float:
+    """PM of the standard model given Cc, CL and gm6/gm1, degrees."""
+    if cc <= 0 or cl <= 0 or gm_ratio <= 0:
+        raise SynthesisError("compensation parameters must be positive")
+    x_pole = cl / (gm_ratio * cc)  # GB / p2
+    x_zero = 1.0 / gm_ratio  # GB / z
+    return 90.0 - math.degrees(math.atan(x_pole)) - math.degrees(math.atan(x_zero))
+
+
+def design_compensation(
+    cl: float,
+    pm_target_deg: float,
+    gm_ratio: float = GM_RATIO_DEFAULT,
+    cc_min: float = 0.5e-12,
+) -> CompensationDesign:
+    """Solve the Miller capacitor for a phase-margin target.
+
+    Args:
+        cl: load capacitance, farads.
+        pm_target_deg: required phase margin, degrees.
+        gm_ratio: gm6/gm1 the plan intends to realise.
+        cc_min: smallest practical capacitor (layout floor), farads.
+
+    Returns:
+        A :class:`CompensationDesign`; for PM = 60 deg and r = 10 this
+        reproduces the classic ``Cc ~ 0.22 CL`` rule.
+
+    Raises:
+        SynthesisError: when the target cannot be met with this gm ratio
+            (the zero alone eats the budget), or inputs are invalid.
+    """
+    if cl <= 0:
+        raise SynthesisError(f"load capacitance must be positive, got {cl}")
+    if not 0 < pm_target_deg < 90:
+        raise SynthesisError(f"phase-margin target must be in (0, 90) deg")
+    zero_loss = math.degrees(math.atan(1.0 / gm_ratio))
+    budget = 90.0 - pm_target_deg - zero_loss
+    if budget <= 0.5:
+        raise SynthesisError(
+            f"phase-margin target {pm_target_deg:.0f} deg unreachable with "
+            f"gm ratio {gm_ratio:g} (zero costs {zero_loss:.1f} deg)"
+        )
+    # atan(GB/p2) = budget  ->  CL/(r*Cc) = tan(budget)
+    cc = cl / (gm_ratio * math.tan(math.radians(budget)))
+    cc = max(cc, cc_min)
+    return CompensationDesign(cc=cc, gm_ratio=gm_ratio, pm_target_deg=pm_target_deg)

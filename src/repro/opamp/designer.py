@@ -1,0 +1,117 @@
+"""Top-level OASYS synthesis: design-style selection over op amp styles.
+
+"We currently attempt to design each style, and if both can meet the
+specification, select the one with the best match to the specifications,
+biasing the choice in favor of the design with the smallest estimated
+area.  Area estimates include both active device area and compensation
+capacitor area."
+
+:func:`synthesize` designs every registered style to completion
+(breadth-first), then picks the winner by (fewest soft-spec violations,
+smallest estimated area).  Styles whose plans abort are reported as
+infeasible candidates, with their failure reasons preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import SynthesisError
+from ..kb.plans import DesignState, PlanExecutor
+from ..kb.selection import breadth_first_select
+from ..kb.specs import OpAmpSpec
+from ..kb.templates import StyleCatalog
+from ..kb.trace import DesignTrace
+from ..process.parameters import ProcessParameters
+from .folded_cascode import FOLDED_CASCODE_TEMPLATE, package_folded_cascode
+from .ota_onestage import ONE_STAGE_TEMPLATE, package_one_stage
+from .result import DesignedOpAmp, SynthesisResult
+from .twostage import TWO_STAGE_TEMPLATE, package_two_stage
+
+__all__ = [
+    "OPAMP_CATALOG",
+    "OPAMP_STYLES",
+    "EXTENDED_STYLES",
+    "design_style",
+    "synthesize",
+]
+
+#: The op amp style catalogue.  The first two entries are the 1987
+#: prototype's fixed alternatives; folded_cascode is the Section 5
+#: expansion and is *not* part of the default selection set, so the
+#: paper's experiments reproduce unchanged.
+OPAMP_CATALOG = StyleCatalog("opamp")
+OPAMP_CATALOG.register(ONE_STAGE_TEMPLATE)
+OPAMP_CATALOG.register(TWO_STAGE_TEMPLATE)
+OPAMP_CATALOG.register(FOLDED_CASCODE_TEMPLATE)
+
+#: The paper-faithful default style set.
+OPAMP_STYLES: Tuple[str, ...] = ("one_stage", "two_stage")
+
+#: The Section 5 extended set (opt in via ``synthesize(styles=...)``).
+EXTENDED_STYLES: Tuple[str, ...] = ("one_stage", "two_stage", "folded_cascode")
+
+_PACKAGERS = {
+    "one_stage": package_one_stage,
+    "two_stage": package_two_stage,
+    "folded_cascode": package_folded_cascode,
+}
+
+
+def design_style(
+    style: str,
+    spec: OpAmpSpec,
+    process: ProcessParameters,
+    trace: Optional[DesignTrace] = None,
+) -> DesignedOpAmp:
+    """Design one op amp style to completion (translation + sizing).
+
+    Raises:
+        SynthesisError: when the style cannot meet the specification even
+            after its rules have patched the plan.
+    """
+    template = OPAMP_CATALOG[style]
+    trace = trace if trace is not None else DesignTrace()
+    state = DesignState(spec.to_specification(), process)
+    state.set("opamp_spec", spec)
+    state.set("trace", trace)
+    executor = PlanExecutor(template.build_plan(), template.build_rules())
+    executor.execute(state, trace=trace, block=f"opamp/{style}")
+    return _PACKAGERS[style](state, spec, trace)
+
+
+def synthesize(
+    spec: OpAmpSpec,
+    process: ProcessParameters,
+    styles: Optional[Tuple[str, ...]] = None,
+) -> SynthesisResult:
+    """Synthesize a sized op amp schematic from a performance spec.
+
+    This is the OASYS entry point: breadth-first style selection over
+    the catalogue, each style designed by its own plan with rule
+    patching, winner chosen by (soft violations, estimated area).
+
+    Args:
+        spec: performance specification (Table 2 parameters).
+        process: fabrication-process description (Table 1 parameters).
+        styles: optional style subset (used by the ablation benches).
+
+    Returns:
+        A :class:`SynthesisResult`.
+
+    Raises:
+        SynthesisError: when no style can meet the specification.
+    """
+    trace = DesignTrace()
+    styles = tuple(styles) if styles is not None else OPAMP_STYLES
+
+    def design_one(style: str):
+        style_trace = DesignTrace()
+        designed = design_style(style, spec, process, trace=style_trace)
+        trace.extend(style_trace)
+        return designed, designed.area, designed.soft_violation_count()
+
+    winner, candidates = breadth_first_select(
+        list(styles), design_one, trace=trace, block="opamp"
+    )
+    return SynthesisResult(best=winner.result, candidates=candidates, trace=trace)

@@ -1,0 +1,578 @@
+"""The one-stage OTA design style.
+
+The topology template is the symmetrical (three-current-mirror)
+operational transconductance amplifier:
+
+* an NMOS source-coupled pair (M1/M2), tail current from the bias
+  network;
+* two PMOS current mirrors, one per pair drain; the left mirror sources
+  its output current directly into the output node, the right mirror
+  feeds an NMOS mirror that sinks from the output node;
+* output taken at the junction of the left PMOS mirror output and the
+  NMOS mirror output -- so the output can swing within one saturation
+  voltage of each rail when the mirrors are simple.
+
+Style characteristics the plan encodes (and the paper leans on):
+
+* the single high-impedance node is the output, so the load capacitor
+  itself compensates the amplifier -- no compensation capacitor;
+* slew rate is ``Itail / CL`` and the unity-gain frequency ``gm1 /
+  (2 pi CL)``: with the load fixed, gm and current trade directly
+  against the input-pair overdrive ("fewer degrees of freedom in
+  design", hence the narrower achievable-gain range in Figure 7);
+* the mirror output legs see a different |Vds| than their diode legs,
+  producing the style's *inherent systematic offset* (the effect that
+  disqualifies the one-stage style in test case B);
+* gain is raised by the mirror designers themselves (longer channels,
+  or going cascode) -- at the price of swing, because each cascode
+  costs ``vth + 2 vov`` of headroom; the plan's patch rule forces both
+  output mirrors cascode when the inherent systematic offset of the
+  simple style breaks the offset specification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..kb.blocks import Block
+from ..kb.plans import DesignState, Plan, PlanStep
+from ..kb.rules import Restart, Rule
+from ..kb.specs import OpAmpSpec
+from ..kb.templates import TopologyTemplate
+from ..kb.trace import DesignTrace
+from ..subblocks import (
+    BiasSpec,
+    DiffPairSpec,
+    MirrorSpec,
+    design_bias,
+    design_current_mirror,
+    design_diff_pair,
+    emit_bias,
+    emit_diff_pair,
+    emit_mirror,
+)
+from ..units import db20
+from .common import (
+    GBW_MARGIN,
+    GAIN_MARGIN,
+    IREF_DEFAULT,
+    SLEW_MARGIN,
+    opamp_spec_of,
+    reconcile_tail_current,
+    supply_checks,
+    thermal_input_noise_nv,
+)
+from .result import DesignedOpAmp
+
+__all__ = ["ONE_STAGE_TEMPLATE", "build_one_stage_plan", "build_one_stage_rules"]
+
+#: Largest mirror channel-length multiplier the gain rules will try.
+L_MULT_MAX = 4.0
+
+
+# ----------------------------------------------------------------------
+# Plan steps
+# ----------------------------------------------------------------------
+def _check_specification(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    supply_checks(spec, state.process)
+    if not state.choice("mirror_styles"):
+        state.choose("mirror_styles", "any")
+    return f"swing +-{spec.output_swing:g} V fits +-{state.process.supply_span / 2:g} V rails"
+
+
+def _budget_slew_current(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    i_slew = SLEW_MARGIN * spec.slew_rate * spec.load_capacitance
+    state.set("i_slew_floor", i_slew)
+    return f"slew floor Itail >= {i_slew * 1e6:.1f} uA"
+
+
+def _budget_gm(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    gm1 = GBW_MARGIN * 2.0 * math.pi * spec.unity_gain_hz * spec.load_capacitance
+    state.set("gm1", gm1)
+    return f"gm1 = {gm1 * 1e6:.1f} uS for GBW {spec.unity_gain_hz:g} Hz"
+
+
+def _reconcile_overdrive(state: DesignState) -> str:
+    i_tail, vov = reconcile_tail_current(state.get("gm1"), state.get("i_slew_floor"))
+    state.set("i_tail", i_tail)
+    state.set("vov1", vov)
+    return f"Itail = {i_tail * 1e6:.1f} uA, pair vov = {vov:.3f} V"
+
+
+def _choose_lengths(state: DesignState) -> str:
+    length_max = L_MULT_MAX * state.process.min_length
+    state.set("mirror_length_max", length_max)
+    return f"mirror channel length budget {length_max * 1e6:.1f} um"
+
+
+def _design_input_pair(state: DesignState) -> str:
+    pair = design_diff_pair(
+        DiffPairSpec(
+            polarity="nmos",
+            gm=state.get("gm1"),
+            i_tail=state.get("i_tail"),
+            length=state.process.min_length,
+        ),
+        state.process,
+    )
+    state.set("pair", pair)
+    return f"pair W = {pair.device.width * 1e6:.1f} um"
+
+
+def _compute_mirror_requirements(state: DesignState) -> str:
+    """Translate the gain spec into per-mirror output resistances and the
+    swing spec into per-rail headrooms."""
+    spec = opamp_spec_of(state)
+    process = state.process
+    a_lin = GAIN_MARGIN * 10.0 ** (spec.gain_db / 20.0)
+    # Two mirror outputs load the output node; give each half the
+    # conductance budget.
+    rout_min = 2.0 * a_lin / state.get("gm1")
+    headroom = process.supply_span / 2.0 - spec.output_swing
+    state.set("mirror_rout_min", rout_min)
+    state.set("mirror_headroom", headroom)
+    return f"per-mirror rout >= {rout_min / 1e6:.2f} MOhm, headroom {headroom:.2f} V"
+
+
+def _design_load_mirrors(state: DesignState) -> str:
+    """The two PMOS mirrors are identical by symmetry: one design, used
+    twice (sub-block reuse)."""
+    half = state.get("i_tail") / 2.0
+    styles = ("cascode",) if state.choice("mirror_styles") == "cascode" else ("simple", "cascode")
+    mirror = design_current_mirror(
+        MirrorSpec(
+            polarity="pmos",
+            i_in=half,
+            i_out=half,
+            rout_min=state.get("mirror_rout_min"),
+            headroom=state.get("mirror_headroom"),
+            length_max=state.get("mirror_length_max"),
+        ),
+        state.process,
+        trace=state.get_or("trace", None),
+        block="ota/load_mirror",
+        styles=styles,
+    )
+    state.set("mirror_p", mirror)
+    state.choose("load_mirror", mirror.style)
+    return f"PMOS mirrors: {mirror.style}, rout {mirror.rout / 1e6:.2f} MOhm"
+
+
+def _design_sink_mirror(state: DesignState) -> str:
+    half = state.get("i_tail") / 2.0
+    styles = ("cascode",) if state.choice("mirror_styles") == "cascode" else ("simple", "cascode")
+    mirror = design_current_mirror(
+        MirrorSpec(
+            polarity="nmos",
+            i_in=half,
+            i_out=half,
+            rout_min=state.get("mirror_rout_min"),
+            headroom=state.get("mirror_headroom"),
+            length_max=state.get("mirror_length_max"),
+        ),
+        state.process,
+        trace=state.get_or("trace", None),
+        block="ota/sink_mirror",
+        styles=styles,
+    )
+    state.set("mirror_n", mirror)
+    state.choose("sink_mirror", mirror.style)
+    return f"NMOS mirror: {mirror.style}, rout {mirror.rout / 1e6:.2f} MOhm"
+
+
+def _design_tail_mirror(state: DesignState) -> str:
+    process = state.process
+    # Tail headroom: inputs at mid-supply (0 V), so the tail node sits at
+    # -vgs1; everything between it and vss is available.
+    pair = state.get("pair")
+    headroom = process.supply_span / 2.0 - pair.vgs
+    mirror = design_current_mirror(
+        MirrorSpec(
+            polarity="nmos",
+            i_in=IREF_DEFAULT,
+            i_out=state.get("i_tail"),
+            rout_min=1.0,  # no gain constraint; CMRR benefits recorded below
+            headroom=headroom,
+            length_max=2.0 * process.min_length,
+        ),
+        state.process,
+        block="ota/tail_mirror",
+    )
+    state.set("mirror_tail", mirror)
+    state.choose("tail_mirror", mirror.style)
+    return f"tail mirror: {mirror.style}"
+
+
+def _design_bias_network(state: DesignState) -> str:
+    # The tail mirror ref device IS the bias master here: design_bias
+    # provides the master diode + the tail leg in one network.
+    bias = design_bias(
+        BiasSpec(
+            polarity="nmos",
+            i_ref=IREF_DEFAULT,
+            taps=(("tail", state.get("i_tail")),),
+            length=state.process.min_length,
+        ),
+        state.process,
+    )
+    state.set("bias", bias)
+    return f"bias master vov {bias.vov:.2f} V"
+
+
+def _estimate_gain(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    gm1 = state.get("gm1")
+    g_out = 1.0 / state.get("mirror_p").rout + 1.0 / state.get("mirror_n").rout
+    gain = gm1 / g_out
+    gain_db = db20(gain)
+    state.set("gain_db", gain_db)
+    state.set("rout", 1.0 / g_out)
+    if gain_db < spec.gain_db:
+        raise SynthesisError(
+            f"achieved gain {gain_db:.1f} dB below spec {spec.gain_db:.1f} dB"
+        )
+    return f"gain {gain_db:.1f} dB"
+
+
+def _estimate_swing(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    process = state.process
+    half = process.supply_span / 2.0
+    up = half - state.get("mirror_p").v_required
+    down = half - state.get("mirror_n").v_required
+    swing = min(up, down)
+    state.set("output_swing", swing)
+    if swing < spec.output_swing * 0.98:
+        raise SynthesisError(
+            f"achieved swing +-{swing:.2f} V below spec +-{spec.output_swing:.2f} V"
+        )
+    return f"swing +-{swing:.2f} V (up {up:.2f}, down {down:.2f})"
+
+
+def _estimate_phase_margin(state: DesignState) -> str:
+    """The OTA is load-compensated (dominant pole at the output); the
+    worst signal path crosses one PMOS mirror and the NMOS mirror, each
+    contributing its gate-line poles."""
+    spec = opamp_spec_of(state)
+    f_u = spec.unity_gain_hz
+    pm = 90.0
+    for mirror_name in ("mirror_p", "mirror_n"):
+        for f_pole in state.get(mirror_name).pole_frequencies_hz(state.process):
+            pm -= math.degrees(math.atan(f_u / f_pole))
+    state.set("phase_margin_deg", pm)
+    if pm < 20.0:
+        raise SynthesisError(
+            f"phase margin {pm:.0f} deg below the 20 deg stability floor"
+        )
+    return f"phase margin {pm:.0f} deg (load-compensated)"
+
+
+def _estimate_offset(state: DesignState) -> str:
+    """Systematic offset from the Vds mismatch between each mirror's
+    diode leg and output leg -- inherent to the style."""
+    process = state.process
+    half = process.supply_span / 2.0
+    gm1 = state.get("gm1")
+
+    def leg_error(mirror) -> float:
+        out = mirror.device("out")
+        v_diode = out.vth + out.vov  # |Vds| of the diode leg
+        v_out = half  # output leg |Vds| at mid-supply output
+        delta_v = abs(v_out - v_diode)
+        if mirror.style == "cascode":
+            casc = mirror.device("out_cascode")
+            g_eff = out.gds * (casc.gds / casc.gm)
+        else:
+            g_eff = out.gds
+        return g_eff * delta_v
+
+    delta_i = abs(leg_error(state.get("mirror_p")) - leg_error(state.get("mirror_n")))
+    offset_mv = 1e3 * delta_i / gm1
+    state.set("offset_mv", offset_mv)
+    spec = opamp_spec_of(state)
+    if offset_mv > spec.offset_max_mv:
+        raise SynthesisError(
+            f"inherent systematic offset {offset_mv:.2f} mV exceeds the "
+            f"{spec.offset_max_mv:g} mV specification; the one-stage style "
+            f"cannot compensate it"
+        )
+    return f"systematic offset {offset_mv:.2f} mV"
+
+
+def _estimate_power(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    process = state.process
+    i_tail = state.get("i_tail")
+    # Branches: tail, right-mirror transfer leg, output leg, bias master.
+    i_total = i_tail + 0.5 * i_tail + 0.5 * i_tail + IREF_DEFAULT
+    power = i_total * process.supply_span
+    state.set("power", power)
+    if spec.power_max > 0 and power > spec.power_max:
+        raise SynthesisError(
+            f"static power {power * 1e3:.2f} mW exceeds budget "
+            f"{spec.power_max * 1e3:.2f} mW"
+        )
+    return f"power {power * 1e3:.2f} mW"
+
+
+def _estimate_cmrr(state: DesignState) -> str:
+    gm1 = state.get("gm1")
+    tail = state.get("mirror_tail")
+    cmrr_db = db20(2.0 * gm1 * tail.rout)
+    state.set("cmrr_db", cmrr_db)
+    return f"CMRR {cmrr_db:.0f} dB"
+
+
+def _estimate_slew_and_icmr(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    slew = state.get("i_tail") / spec.load_capacitance
+    state.set("slew_rate", slew)
+    # Input common-mode range: up to vdd - v(mirror diode) + vth1;
+    # down to vss + v(tail) + vgs1.
+    process = state.process
+    half = process.supply_span / 2.0
+    pair = state.get("pair")
+    mirror_p = state.get("mirror_p")
+    diode_drop = mirror_p.device("ref").vth + mirror_p.device("ref").vov
+    icmr_up = half - diode_drop + pair.device.vth
+    icmr_down = half - state.get("mirror_tail").v_required - pair.vgs
+    state.set("input_common_mode", min(icmr_up, icmr_down))
+    return f"slew {slew / 1e6:.2f} V/us, ICMR +-{min(icmr_up, icmr_down):.2f} V"
+
+
+def _estimate_area(state: DesignState) -> str:
+    process = state.process
+    area = (
+        state.get("pair").area
+        + 2.0 * state.get("mirror_p").area
+        + state.get("mirror_n").area
+        + state.get("mirror_tail").area
+        + state.get("bias").master.active_area(process)
+    )
+    state.set("area", area)
+    return f"area {area * 1e12:.0f} um^2"
+
+
+def _estimate_noise(state: DesignState) -> str:
+    """Thermal input-referred noise: the pair plus both output-mirror
+    reference devices load the input-referred budget."""
+    noise_nv = thermal_input_noise_nv(
+        state.get("gm1"),
+        [
+            state.get("mirror_p").device("ref").gm,
+            state.get("mirror_n").device("ref").gm,
+        ],
+    )
+    state.set("input_noise_nv", noise_nv)
+    return f"thermal input noise {noise_nv:.1f} nV/rtHz"
+
+
+def _assemble_performance(state: DesignState) -> str:
+    spec = opamp_spec_of(state)
+    performance = {
+        "input_noise_nv": state.get("input_noise_nv"),
+        "gain_db": state.get("gain_db"),
+        "unity_gain_hz": spec.unity_gain_hz * GBW_MARGIN,
+        "phase_margin_deg": state.get("phase_margin_deg"),
+        "slew_rate": state.get("slew_rate"),
+        "output_swing": state.get("output_swing"),
+        "offset_mv": state.get("offset_mv"),
+        "power": state.get("power"),
+        "cmrr_db": state.get("cmrr_db"),
+        "input_common_mode": state.get("input_common_mode"),
+        "area": state.get("area"),
+        "compensation_cap": 0.0,
+        "rout": state.get("rout"),
+    }
+    state.set("performance", performance)
+    violations = [v for v in spec.to_specification().compare(performance) if v.hard]
+    if violations:
+        raise SynthesisError("; ".join(str(v) for v in violations))
+    return "all hard specifications met"
+
+
+# ----------------------------------------------------------------------
+# Plan / rules / template
+# ----------------------------------------------------------------------
+def build_one_stage_plan() -> Plan:
+    """The one-stage OTA plan (paper: 'between 20 and 25 plan steps')."""
+    return Plan(
+        "one_stage_ota",
+        [
+            PlanStep("check_specification", _check_specification, "spec fits the rails"),
+            PlanStep("budget_slew_current", _budget_slew_current, "Itail floor from SR*CL"),
+            PlanStep("budget_gm", _budget_gm, "gm1 from 2*pi*GBW*CL"),
+            PlanStep("reconcile_overdrive", _reconcile_overdrive, "resolve (gm, Itail, vov)"),
+            PlanStep("choose_lengths", _choose_lengths, "mirror L from the gain knob"),
+            PlanStep("design_input_pair", _design_input_pair, "size M1/M2"),
+            PlanStep(
+                "compute_mirror_requirements",
+                _compute_mirror_requirements,
+                "translate gain/swing into mirror rout/headroom",
+            ),
+            PlanStep("design_load_mirrors", _design_load_mirrors, "PMOS mirror pair"),
+            PlanStep("design_sink_mirror", _design_sink_mirror, "NMOS output mirror"),
+            PlanStep("design_tail_mirror", _design_tail_mirror, "tail current source"),
+            PlanStep("design_bias_network", _design_bias_network, "master bias"),
+            PlanStep("estimate_gain", _estimate_gain, "A = gm1 * Rout"),
+            PlanStep("estimate_swing", _estimate_swing, "rail headroom bookkeeping"),
+            PlanStep("estimate_phase_margin", _estimate_phase_margin, "mirror poles"),
+            PlanStep("estimate_offset", _estimate_offset, "inherent systematic offset"),
+            PlanStep("estimate_power", _estimate_power, "static branch currents"),
+            PlanStep("estimate_cmrr", _estimate_cmrr, "tail impedance"),
+            PlanStep("estimate_slew_and_icmr", _estimate_slew_and_icmr, "large signal"),
+            PlanStep("estimate_area", _estimate_area, "active area"),
+            PlanStep("estimate_noise", _estimate_noise, "thermal input noise"),
+            PlanStep("assemble_performance", _assemble_performance, "final spec check"),
+        ],
+    )
+
+
+def build_one_stage_rules() -> List[Rule]:
+    """Patch rules for the one-stage plan.
+
+    The style's predictable failure mode is its inherent systematic
+    offset: when the simple output mirrors violate the offset spec, the
+    patch forces both to the cascode style (whose effective output
+    conductance is tiny) and re-runs the mirror designs.  If the swing
+    headroom cannot fit the cascodes, the mirror designers fail and the
+    style is infeasible -- exactly the gain/offset/swing conspiracy the
+    paper describes for test case B.
+    """
+
+    def offset_is_patchable(state: DesignState) -> bool:
+        return state.choice("mirror_styles") != "cascode"
+
+    def force_cascode(state: DesignState):
+        state.choose("mirror_styles", "cascode")
+        return Restart(
+            "design_load_mirrors",
+            "systematic offset too large: force cascode output mirrors",
+        )
+
+    return [
+        Rule(
+            name="cascode_mirrors_for_offset",
+            condition=offset_is_patchable,
+            action=force_cascode,
+            max_firings=1,
+            on_failure=True,
+            on_failure_steps=("estimate_offset", "assemble_performance"),
+            description="offset failure: switch output mirrors to cascode",
+        ),
+    ]
+
+
+ONE_STAGE_TEMPLATE = TopologyTemplate(
+    block_type="opamp",
+    style="one_stage",
+    build_plan=build_one_stage_plan,
+    build_rules=build_one_stage_rules,
+    sub_blocks=(
+        ("input_pair", "diff_pair"),
+        ("left_load_mirror", "current_mirror"),
+        ("right_load_mirror", "current_mirror"),
+        ("sink_mirror", "current_mirror"),
+        ("tail_mirror", "current_mirror"),
+        ("bias", "bias_network"),
+    ),
+    description="symmetrical one-stage OTA, load-compensated",
+)
+
+
+# ----------------------------------------------------------------------
+# Netlist emission and packaging
+# ----------------------------------------------------------------------
+def make_one_stage_emitter(state: DesignState):
+    """Build the emit closure from a completed design state."""
+    pair = state.get("pair")
+    mirror_p = state.get("mirror_p")
+    mirror_n = state.get("mirror_n")
+    bias = state.get("bias")
+    tail_mirror = state.get("mirror_tail")
+
+    def emit(builder: CircuitBuilder, inp: str, inn: str, out: str) -> None:
+        uid = builder.fresh_name("ota")
+
+        def node(name: str) -> str:
+            return f"{uid}.{name}"
+
+        d1, d2, x, tail, ref = (
+            node("d1"),
+            node("d2"),
+            node("x"),
+            node("tail"),
+            node("bias_ref"),
+        )
+        emit_diff_pair(builder, pair, inp, inn, d1, d2, tail, prefix=uid)
+        # Left PMOS mirror: diode at d1, output sources into out.
+        emit_mirror(builder, mirror_p, d1, out, builder.vdd_node, prefix=f"{uid}_lp")
+        # Right PMOS mirror: diode at d2, output feeds the NMOS mirror.
+        emit_mirror(builder, mirror_p, d2, x, builder.vdd_node, prefix=f"{uid}_rp")
+        # NMOS mirror: diode at x, output sinks from out.
+        emit_mirror(builder, mirror_n, x, out, builder.vss_node, prefix=f"{uid}_n")
+        # Bias master + tail leg; reference current from vdd.
+        builder.isource(f"{uid}_ref", builder.vdd_node, ref, dc=IREF_DEFAULT)
+        emit_bias(builder, bias, ref, {"tail": tail}, builder.vss_node, prefix=f"{uid}_bias")
+
+    return emit
+
+
+def make_one_stage_hierarchy(state: DesignState) -> Block:
+    """Designed block tree for reporting."""
+    amp = Block("opamp", "opamp", style="one_stage")
+    amp.attributes.update(
+        {
+            "i_tail": state.get("i_tail"),
+            "gm1": state.get("gm1"),
+            "gain_db": state.get("gain_db"),
+        }
+    )
+    pair = state.get("pair")
+    amp.add_child(
+        Block(
+            "input_pair",
+            "diff_pair",
+            style="nmos_pair",
+            attributes={"w": pair.device.width, "gm": pair.gm},
+        )
+    )
+    for name, key in (
+        ("left_load_mirror", "mirror_p"),
+        ("right_load_mirror", "mirror_p"),
+        ("sink_mirror", "mirror_n"),
+        ("tail_mirror", "mirror_tail"),
+    ):
+        mirror = state.get(key)
+        amp.add_child(
+            Block(
+                name,
+                "current_mirror",
+                style=mirror.style,
+                attributes={"rout": mirror.rout},
+            )
+        )
+    amp.add_child(Block("bias", "bias_network", style="nmos_master"))
+    return amp
+
+
+def package_one_stage(
+    state: DesignState, spec: OpAmpSpec, trace: DesignTrace
+) -> DesignedOpAmp:
+    """Package a completed one-stage design state into a DesignedOpAmp."""
+    return DesignedOpAmp(
+        style="one_stage",
+        spec=spec,
+        process=state.process,
+        performance=dict(state.get("performance")),
+        area=state.get("area"),
+        hierarchy=make_one_stage_hierarchy(state),
+        emit=make_one_stage_emitter(state),
+        trace=trace,
+    )

@@ -1,0 +1,148 @@
+"""Result containers for op amp synthesis."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..circuit.schematic import schematic_report
+from ..errors import SynthesisError
+from ..kb.blocks import Block
+from ..kb.selection import CandidateResult
+from ..kb.specs import OpAmpSpec, Violation
+from ..kb.trace import DesignTrace
+from ..process.parameters import ProcessParameters
+from ..units import format_quantity
+
+__all__ = ["DesignedOpAmp", "SynthesisResult"]
+
+
+@dataclass
+class DesignedOpAmp:
+    """A fully designed (sized) op amp in one style.
+
+    Attributes:
+        style: design style (``"one_stage"`` / ``"two_stage"``).
+        spec: the driving specification.
+        process: the process it was designed on.
+        performance: predicted performance, keyed like the spec entries
+            (gain_db, unity_gain_hz, phase_margin_deg, slew_rate,
+            output_swing, offset_mv, power) plus informational extras.
+        area: estimated area, m^2 (active devices + compensation cap).
+        hierarchy: designed block tree (styles chosen per sub-block).
+        emit: emits the amp's devices into a builder with the given
+            input/output node names (ports: inp, inn, out).  The bias
+            reference current source and all internal nodes are included.
+        trace: the design trace for this style.
+    """
+
+    style: str
+    spec: OpAmpSpec
+    process: ProcessParameters
+    performance: Dict[str, float]
+    area: float
+    hierarchy: Block
+    emit: Callable[[CircuitBuilder, str, str, str], None]
+    trace: DesignTrace = field(default_factory=DesignTrace)
+
+    # ------------------------------------------------------------------
+    def violations(self) -> List[Violation]:
+        """Spec entries the *predicted* performance fails to meet."""
+        return self.spec.to_specification().compare(self.performance)
+
+    def meets_spec(self) -> bool:
+        """True when no hard entry is violated by the prediction."""
+        return self.spec.to_specification().meets(self.performance)
+
+    def soft_violation_count(self) -> int:
+        return sum(1 for v in self.violations() if not v.hard)
+
+    # ------------------------------------------------------------------
+    def standalone_circuit(self, name: Optional[str] = None) -> Circuit:
+        """The amp with supplies and grounded inputs, for inspection."""
+        builder = CircuitBuilder(name or f"opamp_{self.style}", self.process)
+        builder.supplies()
+        builder.vsource("inp", "inp", "0", dc=0.0)
+        builder.vsource("inn", "inn", "0", dc=0.0)
+        builder.capacitor("load", "out", "0", self.spec.load_capacitance)
+        self.emit(builder, "inp", "inn", "out")
+        return builder.build()
+
+    def schematic(self) -> str:
+        """Sized-schematic text report (the repo's Figure 5 rendering)."""
+        return schematic_report(self.standalone_circuit())
+
+    def transistor_count(self) -> int:
+        return self.standalone_circuit().transistor_count()
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the design."""
+        out = io.StringIO()
+        out.write(
+            f"{self.style} op amp on {self.process.name}: "
+            f"{self.transistor_count()} transistors, "
+            f"area {self.area * 1e12:.0f} um^2\n"
+        )
+        for key in (
+            "gain_db",
+            "unity_gain_hz",
+            "phase_margin_deg",
+            "slew_rate",
+            "output_swing",
+            "offset_mv",
+            "power",
+        ):
+            if key in self.performance:
+                out.write(f"  {key:<18} {format_quantity(self.performance[key])}\n")
+        for violation in self.violations():
+            out.write(f"  VIOLATION: {violation}\n")
+        return out.getvalue()
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of top-level synthesis (style selection included).
+
+    Attributes:
+        best: the winning design.
+        candidates: every style that was attempted, feasible or not.
+        trace: combined design trace across styles and selection.
+    """
+
+    best: DesignedOpAmp
+    candidates: List[CandidateResult]
+    trace: DesignTrace
+
+    @property
+    def style(self) -> str:
+        return self.best.style
+
+    def candidate(self, style: str) -> CandidateResult:
+        for cand in self.candidates:
+            if cand.style == style:
+                return cand
+        raise SynthesisError(f"no candidate style {style!r}")
+
+    def feasible_styles(self) -> List[str]:
+        return [c.style for c in self.candidates if c.feasible]
+
+    def summary(self) -> str:
+        lines = [
+            f"Selected style: {self.best.style} "
+            f"({len(self.feasible_styles())}/{len(self.candidates)} styles feasible)"
+        ]
+        for cand in self.candidates:
+            if cand.feasible:
+                lines.append(
+                    f"  {cand.style}: feasible, area "
+                    f"{cand.cost * 1e12:.0f} um^2, soft violations "
+                    f"{cand.soft_violations}"
+                )
+            else:
+                lines.append(f"  {cand.style}: infeasible ({cand.error})")
+        lines.append("")
+        lines.append(self.best.summary())
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Fabrication-process descriptions (Table 1 of the paper).
+
+OASYS "simply reads process parameters from a technology file"; this package
+provides the parameter model (:class:`~repro.process.parameters.DeviceParams`,
+:class:`~repro.process.parameters.ProcessParameters`), a technology-file
+parser/writer (:mod:`repro.process.technology_file`), and built-in parameter
+sets for representative CMOS generations (:mod:`repro.process.library`).
+"""
+
+from .parameters import DeviceParams, ProcessParameters
+from .technology_file import load_technology, loads_technology, dump_technology
+from .library import CMOS_5UM, CMOS_3UM, CMOS_1P2UM, builtin_processes
+
+__all__ = [
+    "DeviceParams",
+    "ProcessParameters",
+    "load_technology",
+    "loads_technology",
+    "dump_technology",
+    "CMOS_5UM",
+    "CMOS_3UM",
+    "CMOS_1P2UM",
+    "builtin_processes",
+]

@@ -1,0 +1,170 @@
+"""Built-in process parameter sets.
+
+The paper evaluates OASYS on "a proprietary industrial 5 um CMOS process".
+That deck is unavailable, so :data:`CMOS_5UM` is a representative mid-1980s
+5 um CMOS parameter set assembled from era-typical textbook values (see
+DESIGN.md, substitutions).  Two later generations are included to exercise
+the technology-file mechanism the paper emphasises ("to keep pace with the
+rapid evolution of process technology").
+
+All built-ins satisfy :meth:`ProcessParameters.check_consistency`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .parameters import DeviceParams, ProcessParameters
+
+__all__ = ["CMOS_5UM", "CMOS_3UM", "CMOS_1P2UM", "builtin_processes"]
+
+
+#: Representative 5 um CMOS (double-poly, ~1985): tox 85 nm, +-5 V rails.
+CMOS_5UM = ProcessParameters(
+    name="generic-5um",
+    nmos=DeviceParams(
+        polarity="nmos",
+        vto=1.0,
+        kp=24.0e-6,
+        gamma=0.6,
+        phi=0.6,
+        lambda_a=0.06,
+        lambda_b=0.003,
+        mobility=591.0,
+        pb=0.8,
+        cj=1.0e-4,
+        cjsw=5.0e-10,
+        cgdo=3.5e-10,
+        cgso=3.5e-10,
+        cgbo=2.0e-10,
+        kf=2.0e-24,
+        avt=60e-9,
+    ),
+    pmos=DeviceParams(
+        polarity="pmos",
+        vto=-1.0,
+        kp=8.0e-6,
+        gamma=0.6,
+        phi=0.6,
+        lambda_a=0.08,
+        lambda_b=0.004,
+        mobility=197.0,
+        pb=0.8,
+        cj=1.2e-4,
+        cjsw=5.5e-10,
+        cgdo=3.5e-10,
+        cgso=3.5e-10,
+        cgbo=2.0e-10,
+        kf=5.0e-25,
+        avt=60e-9,
+    ),
+    min_width=5.0e-6,
+    min_length=5.0e-6,
+    min_drain_width=6.0e-6,
+    vdd=5.0,
+    vss=-5.0,
+    tox=85.0e-9,
+)
+
+#: Representative 3 um CMOS (~1987): tox 50 nm, +-5 V rails.
+CMOS_3UM = ProcessParameters(
+    name="generic-3um",
+    nmos=DeviceParams(
+        polarity="nmos",
+        vto=0.85,
+        kp=40.0e-6,
+        gamma=0.55,
+        phi=0.6,
+        lambda_a=0.05,
+        lambda_b=0.004,
+        mobility=580.0,
+        pb=0.8,
+        cj=1.4e-4,
+        cjsw=4.5e-10,
+        cgdo=2.5e-10,
+        cgso=2.5e-10,
+        cgbo=1.8e-10,
+        kf=2.0e-24,
+        avt=40e-9,
+    ),
+    pmos=DeviceParams(
+        polarity="pmos",
+        vto=-0.85,
+        kp=14.0e-6,
+        gamma=0.55,
+        phi=0.6,
+        lambda_a=0.07,
+        lambda_b=0.005,
+        mobility=203.0,
+        pb=0.8,
+        cj=1.6e-4,
+        cjsw=5.0e-10,
+        cgdo=2.5e-10,
+        cgso=2.5e-10,
+        cgbo=1.8e-10,
+        kf=5.0e-25,
+        avt=40e-9,
+    ),
+    min_width=3.0e-6,
+    min_length=3.0e-6,
+    min_drain_width=4.0e-6,
+    vdd=5.0,
+    vss=-5.0,
+    tox=50.0e-9,
+)
+
+#: Representative 1.2 um CMOS (~1990): tox 25 nm, +-2.5 V rails.
+CMOS_1P2UM = ProcessParameters(
+    name="generic-1.2um",
+    nmos=DeviceParams(
+        polarity="nmos",
+        vto=0.75,
+        kp=76.0e-6,
+        gamma=0.5,
+        phi=0.7,
+        lambda_a=0.04,
+        lambda_b=0.006,
+        mobility=550.0,
+        pb=0.9,
+        cj=2.0e-4,
+        cjsw=4.0e-10,
+        cgdo=2.0e-10,
+        cgso=2.0e-10,
+        cgbo=1.5e-10,
+        kf=2.0e-24,
+        avt=25e-9,
+    ),
+    pmos=DeviceParams(
+        polarity="pmos",
+        vto=-0.80,
+        kp=27.0e-6,
+        gamma=0.5,
+        phi=0.7,
+        lambda_a=0.06,
+        lambda_b=0.008,
+        mobility=195.0,
+        pb=0.9,
+        cj=2.4e-4,
+        cjsw=4.5e-10,
+        cgdo=2.0e-10,
+        cgso=2.0e-10,
+        cgbo=1.5e-10,
+        kf=5.0e-25,
+        avt=25e-9,
+    ),
+    min_width=1.2e-6,
+    min_length=1.2e-6,
+    min_drain_width=1.8e-6,
+    vdd=2.5,
+    vss=-2.5,
+    tox=25.0e-9,
+)
+
+
+def builtin_processes() -> Dict[str, ProcessParameters]:
+    """All built-in processes keyed by name."""
+    return {
+        CMOS_5UM.name: CMOS_5UM,
+        CMOS_3UM.name: CMOS_3UM,
+        CMOS_1P2UM.name: CMOS_1P2UM,
+    }

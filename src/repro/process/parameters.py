@@ -1,0 +1,338 @@
+"""Process-parameter model mirroring Table 1 of the paper.
+
+Table 1 lists the fourteen parameters OASYS reads from its technology file:
+threshold voltage, K (transconductance parameter), process minimum width,
+junction built-in voltage, minimum drain width, supply voltage, oxide
+thickness, mobility, Cox, Cgd/Cgb overlap capacitances, junction
+capacitances Cj and Cjsw, and the coefficients of the channel-length-
+modulation fit ``lambda = f(L)``.
+
+We keep the same inventory but hold one :class:`DeviceParams` per device
+polarity (a real CMOS deck specifies NMOS and PMOS separately) plus the
+polarity-independent geometry/supply values on :class:`ProcessParameters`.
+
+All values are stored in SI units (V, A/V^2, m, F/m^2, F/m ...); the
+technology-file layer handles the human-friendly engineering notation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Tuple
+
+from ..errors import TechnologyError
+
+#: Permittivity of SiO2, F/m (3.9 * eps0).
+EPS_OX = 3.9 * 8.854e-12
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Electrical parameters for one MOSFET polarity.
+
+    Attributes:
+        polarity: ``"nmos"`` or ``"pmos"``.
+        vto: zero-bias threshold voltage, volts.  Positive for NMOS,
+            negative for PMOS (SPICE convention).
+        kp: process transconductance parameter ``K' = mu * Cox``, A/V^2.
+        gamma: body-effect coefficient, V^0.5.
+        phi: surface potential ``2*phi_F``, volts.
+        lambda_a / lambda_b: channel-length-modulation fit coefficients;
+            ``lambda(L) = lambda_a / (L in um) + lambda_b`` in 1/V.  This is
+            the paper's ``lambda = f(L)`` (two fit coefficients), capturing
+            that short devices have worse output resistance.
+        mobility: carrier mobility, cm^2/V-s (Table 1 unit).
+        pb: junction built-in voltage, volts.
+        cj: zero-bias bulk junction capacitance, F/m^2.
+        cjsw: zero-bias junction sidewall capacitance, F/m.
+        cgdo: gate-drain overlap capacitance, F/m of width.
+        cgso: gate-source overlap capacitance, F/m of width.
+        cgbo: gate-bulk overlap capacitance, F/m of length.
+        kf: flicker-noise coefficient, V^2 * F; the gate-referred
+            flicker PSD is ``kf / (Cox * W * L * f)``.  Zero disables
+            flicker noise.
+        avt: Pelgrom threshold-matching coefficient, V*m; the random
+            threshold mismatch of a device is
+            ``sigma(Vth) = avt / sqrt(W * L)``.  Zero disables mismatch
+            analysis.
+    """
+
+    polarity: str
+    vto: float
+    kp: float
+    gamma: float = 0.5
+    phi: float = 0.6
+    lambda_a: float = 0.05
+    lambda_b: float = 0.002
+    mobility: float = 600.0
+    pb: float = 0.8
+    cj: float = 1.0e-4
+    cjsw: float = 4.0e-10
+    cgdo: float = 3.0e-10
+    cgso: float = 3.0e-10
+    cgbo: float = 2.0e-10
+    kf: float = 0.0
+    avt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise TechnologyError(f"polarity must be nmos/pmos, got {self.polarity!r}")
+        if self.kp <= 0:
+            raise TechnologyError(f"{self.polarity}: kp must be positive, got {self.kp}")
+        if self.polarity == "nmos" and self.vto <= 0:
+            raise TechnologyError(f"nmos vto must be positive, got {self.vto}")
+        if self.polarity == "pmos" and self.vto >= 0:
+            raise TechnologyError(f"pmos vto must be negative, got {self.vto}")
+        if self.phi <= 0 or self.pb <= 0:
+            raise TechnologyError(f"{self.polarity}: phi and pb must be positive")
+        if self.gamma < 0 or self.lambda_a < 0 or self.lambda_b < 0:
+            raise TechnologyError(f"{self.polarity}: gamma/lambda must be non-negative")
+        if self.kf < 0:
+            raise TechnologyError(f"{self.polarity}: kf must be non-negative")
+        if self.avt < 0:
+            raise TechnologyError(f"{self.polarity}: avt must be non-negative")
+
+    def sigma_vth(self, width: float, length: float) -> float:
+        """Random threshold mismatch (1 sigma) of a device of this
+        geometry, volts: the Pelgrom area law ``avt / sqrt(W*L)``."""
+        if width <= 0 or length <= 0:
+            raise TechnologyError(f"non-positive geometry: W={width}, L={length}")
+        return self.avt / math.sqrt(width * length)
+
+    @property
+    def vth_magnitude(self) -> float:
+        """Magnitude of the zero-bias threshold voltage, volts."""
+        return abs(self.vto)
+
+    def lambda_at(self, length: float) -> float:
+        """Channel-length modulation coefficient at channel length ``length``
+        (metres), per the ``lambda = f(L)`` fit of Table 1."""
+        if length <= 0:
+            raise TechnologyError(f"non-positive channel length: {length}")
+        length_um = length * 1e6
+        return self.lambda_a / length_um + self.lambda_b
+
+    def length_for_lambda(self, lambda_target: float) -> float:
+        """Invert the ``lambda = f(L)`` fit: the channel length (metres)
+        at which lambda falls to ``lambda_target``.
+
+        Returns ``inf`` when the target is at or below the ``lambda_b``
+        floor (no finite length achieves it).
+        """
+        if lambda_target <= 0:
+            raise TechnologyError(f"lambda target must be positive")
+        if lambda_target <= self.lambda_b:
+            return math.inf
+        return self.lambda_a / (lambda_target - self.lambda_b) * 1e-6
+
+    def beta(self, width: float, length: float) -> float:
+        """Device transconductance factor ``K' * W / L`` in A/V^2."""
+        if width <= 0 or length <= 0:
+            raise TechnologyError(f"non-positive geometry: W={width}, L={length}")
+        return self.kp * width / length
+
+
+@dataclass(frozen=True)
+class ProcessParameters:
+    """A complete fabrication-process description (paper Table 1).
+
+    Combines per-polarity :class:`DeviceParams` with the geometry and supply
+    parameters shared by both polarities.
+
+    Attributes:
+        name: human-readable process name.
+        nmos / pmos: the two device parameter sets.
+        min_width: minimum drawn device width, metres (Table 1 item 3).
+        min_length: minimum drawn channel length, metres.
+        min_drain_width: minimum drain/source diffusion extension, metres
+            (Table 1 item 5) - used for junction-capacitance estimates.
+        vdd / vss: positive / negative supply rails, volts (item 6).
+        tox: gate-oxide thickness, metres (item 7).
+    """
+
+    name: str
+    nmos: DeviceParams
+    pmos: DeviceParams
+    min_width: float
+    min_length: float
+    min_drain_width: float
+    vdd: float
+    vss: float
+    tox: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nmos.polarity != "nmos" or self.pmos.polarity != "pmos":
+            raise TechnologyError("nmos/pmos DeviceParams polarity mismatch")
+        if self.min_width <= 0 or self.min_length <= 0 or self.min_drain_width <= 0:
+            raise TechnologyError("minimum geometry values must be positive")
+        if self.vdd <= self.vss:
+            raise TechnologyError(f"vdd ({self.vdd}) must exceed vss ({self.vss})")
+        if self.tox <= 0:
+            raise TechnologyError("oxide thickness must be positive")
+        headroom = self.supply_span
+        needed = self.nmos.vth_magnitude + self.pmos.vth_magnitude
+        if headroom <= needed:
+            raise TechnologyError(
+                f"supply span {headroom:.2f} V cannot bias both thresholds "
+                f"({needed:.2f} V)"
+            )
+
+    @property
+    def supply_span(self) -> float:
+        """Total supply span ``vdd - vss``, volts."""
+        return self.vdd - self.vss
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area, F/m^2, derived from tox."""
+        return EPS_OX / self.tox
+
+    def device(self, polarity: str) -> DeviceParams:
+        """Return the :class:`DeviceParams` for ``"nmos"`` or ``"pmos"``."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise TechnologyError(f"unknown polarity: {polarity!r}")
+
+    def with_supplies(self, vdd: float, vss: float) -> "ProcessParameters":
+        """Return a copy with different supply rails (specs sometimes
+        override the nominal supply)."""
+        return replace(self, vdd=vdd, vss=vss)
+
+    def corner(self, name: str) -> "ProcessParameters":
+        """A classic process corner of this deck.
+
+        The influence of process variation is one of the paper's central
+        themes (Section 2.1); corners let a first-cut design be screened
+        across fabrication extremes:
+
+        * ``"typical"`` -- this deck unchanged;
+        * ``"fast"``    -- K' +15 %, |Vth| -0.1 V (strong, leaky silicon);
+        * ``"slow"``    -- K' -15 %, |Vth| +0.1 V (weak silicon).
+        """
+        if name == "typical":
+            return self
+        if name == "fast":
+            kp_scale, vth_shift = 1.15, -0.1
+        elif name == "slow":
+            kp_scale, vth_shift = 0.85, +0.1
+        else:
+            raise TechnologyError(
+                f"unknown corner {name!r} (typical/fast/slow)"
+            )
+        nmos = replace(
+            self.nmos,
+            kp=self.nmos.kp * kp_scale,
+            vto=self.nmos.vto + vth_shift,
+            mobility=self.nmos.mobility * kp_scale,
+        )
+        pmos = replace(
+            self.pmos,
+            kp=self.pmos.kp * kp_scale,
+            vto=self.pmos.vto - vth_shift,
+            mobility=self.pmos.mobility * kp_scale,
+        )
+        return replace(self, name=f"{self.name}-{name}", nmos=nmos, pmos=pmos)
+
+    def table1_rows(self) -> Iterator[Tuple[str, str]]:
+        """Yield (parameter, value) rows in the order of the paper's
+        Table 1, for report generation."""
+        n, p = self.nmos, self.pmos
+        yield "Threshold Voltage (V)", f"n:{n.vto:+.2f} p:{p.vto:+.2f}"
+        yield "K' (uA/V^2)", f"n:{n.kp * 1e6:.1f} p:{p.kp * 1e6:.1f}"
+        yield "Process Min. Width (um)", f"{self.min_width * 1e6:.1f}"
+        yield "Built-in Voltage (V)", f"n:{n.pb:.2f} p:{p.pb:.2f}"
+        yield "Min. Drain Width (um)", f"{self.min_drain_width * 1e6:.1f}"
+        yield "Supply Voltage (V)", f"{self.vdd:+.1f}/{self.vss:+.1f}"
+        yield "Oxide Thickness (A)", f"{self.tox * 1e10:.0f}"
+        yield "Mobility (cm^2/V-s)", f"n:{n.mobility:.0f} p:{p.mobility:.0f}"
+        yield "Cox (fF/um^2)", f"{self.cox * 1e15 / 1e12:.3f}"
+        yield "Cgd (fF/um)", f"n:{n.cgdo * 1e15 / 1e6:.3f} p:{p.cgdo * 1e15 / 1e6:.3f}"
+        yield "Cgb (fF/um)", f"n:{n.cgbo * 1e15 / 1e6:.3f} p:{p.cgbo * 1e15 / 1e6:.3f}"
+        yield "Cjsw (fF/um)", f"n:{n.cjsw * 1e15 / 1e6:.3f} p:{p.cjsw * 1e15 / 1e6:.3f}"
+        yield "Cj (fF/um^2)", f"n:{n.cj * 1e15 / 1e12:.3f} p:{p.cj * 1e15 / 1e12:.3f}"
+        yield (
+            "lambda = f(L) coefficients (a, b)",
+            f"n:({n.lambda_a:.3f},{n.lambda_b:.4f}) "
+            f"p:({p.lambda_a:.3f},{p.lambda_b:.4f})",
+        )
+
+    def check_consistency(self, tolerance: float = 0.5) -> None:
+        """Cross-check mobility/tox against the stated K' values.
+
+        ``K' = mu * Cox`` should hold to within ``tolerance`` (fractional);
+        a grossly inconsistent deck is usually a unit mistake in the
+        technology file.
+        """
+        for dev in (self.nmos, self.pmos):
+            derived = dev.mobility * 1e-4 * self.cox  # cm^2 -> m^2
+            if derived <= 0:
+                raise TechnologyError(f"{dev.polarity}: non-positive derived K'")
+            ratio = dev.kp / derived
+            if not (1.0 - tolerance) <= ratio <= (1.0 + tolerance):
+                raise TechnologyError(
+                    f"{dev.polarity}: K'={dev.kp:.3g} inconsistent with "
+                    f"mu*Cox={derived:.3g} (ratio {ratio:.2f})"
+                )
+
+
+def estimate_junction_area(width: float, drain_width: float) -> float:
+    """Drain/source junction area for a device of drawn ``width``, given the
+    process minimum drain diffusion width (Table 1 item 5), m^2."""
+    if width <= 0 or drain_width <= 0:
+        raise TechnologyError("junction geometry must be positive")
+    return width * drain_width
+
+
+def estimate_junction_perimeter(width: float, drain_width: float) -> float:
+    """Drain/source junction perimeter, metres."""
+    if width <= 0 or drain_width <= 0:
+        raise TechnologyError("junction geometry must be positive")
+    return 2.0 * (width + drain_width)
+
+
+def thermal_voltage(temperature_k: float = 300.0) -> float:
+    """kT/q at the given temperature, volts."""
+    if temperature_k <= 0:
+        raise TechnologyError("temperature must be positive")
+    return 1.380649e-23 * temperature_k / 1.602176634e-19
+
+
+def oxide_capacitance(tox: float) -> float:
+    """Cox (F/m^2) from oxide thickness (m)."""
+    if tox <= 0:
+        raise TechnologyError("oxide thickness must be positive")
+    return EPS_OX / tox
+
+
+def kp_from_physics(mobility_cm2: float, tox: float) -> float:
+    """K' = mu*Cox from mobility (cm^2/V-s) and tox (m), A/V^2."""
+    if mobility_cm2 <= 0:
+        raise TechnologyError("mobility must be positive")
+    return mobility_cm2 * 1e-4 * oxide_capacitance(tox)
+
+
+def lambda_fit(lengths_um, lambdas) -> Tuple[float, float]:
+    """Fit the Table 1 ``lambda = a / L + b`` model to measured
+    (length-in-um, lambda) points by least squares.
+
+    Returns (a, b).  At least two distinct lengths are required.
+    """
+    import numpy as np
+
+    lengths_um = np.asarray(list(lengths_um), dtype=float)
+    lambdas = np.asarray(list(lambdas), dtype=float)
+    if lengths_um.size < 2 or lengths_um.size != lambdas.size:
+        raise TechnologyError("lambda_fit needs >= 2 (L, lambda) pairs")
+    if np.any(lengths_um <= 0):
+        raise TechnologyError("lengths must be positive")
+    if np.unique(lengths_um).size < 2:
+        raise TechnologyError("lambda_fit needs >= 2 distinct lengths")
+    design = np.column_stack([1.0 / lengths_um, np.ones_like(lengths_um)])
+    (a, b), *_ = np.linalg.lstsq(design, lambdas, rcond=None)
+    if math.isnan(a) or math.isnan(b):
+        raise TechnologyError("lambda_fit produced NaN coefficients")
+    return float(a), float(b)

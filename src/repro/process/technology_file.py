@@ -1,0 +1,200 @@
+"""Technology-file reader/writer.
+
+OASYS "simply reads process parameters from a technology file" so that the
+tool keeps pace with process evolution.  The format here is a simple
+INI-style text file with SPICE engineering suffixes::
+
+    * generic 5 micron CMOS (representative mid-1980s values)
+    name = generic-5um
+
+    [process]
+    min_width       = 5u
+    min_length      = 5u
+    min_drain_width = 6u
+    vdd             = 5.0
+    vss             = -5.0
+    tox             = 850a     ; angstrom-free: metres with suffix
+
+    [nmos]
+    vto      = 1.0
+    kp       = 24u
+    ...
+
+Comment characters are ``*`` (SPICE style), ``;`` and ``#``.  Keys are
+case-insensitive.  Unknown keys in the ``[process]`` section are preserved
+in :attr:`ProcessParameters.extras` so downstream designers can carry
+process-specific hints (e.g. matching tolerances) without a schema change.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Tuple, Union
+
+from ..errors import TechnologyError, UnitError
+from ..units import parse_quantity
+from .parameters import DeviceParams, ProcessParameters
+
+__all__ = ["load_technology", "loads_technology", "dump_technology"]
+
+_DEVICE_KEYS = {
+    "vto",
+    "kp",
+    "gamma",
+    "phi",
+    "lambda_a",
+    "lambda_b",
+    "mobility",
+    "pb",
+    "cj",
+    "cjsw",
+    "cgdo",
+    "cgso",
+    "cgbo",
+    "kf",
+    "avt",
+}
+
+_PROCESS_REQUIRED = {
+    "min_width",
+    "min_length",
+    "min_drain_width",
+    "vdd",
+    "vss",
+    "tox",
+}
+
+_DEVICE_REQUIRED = {"vto", "kp"}
+
+
+def _parse_sections(text: str) -> Tuple[str, Dict[str, Dict[str, float]]]:
+    """Split the file into a name plus ``{section: {key: value}}``."""
+    name = "unnamed"
+    sections: Dict[str, Dict[str, float]] = {}
+    current: Union[Dict[str, float], None] = None
+    current_name = ""
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line[0] in "*;#":
+            continue
+        # strip trailing comments
+        for comment_char in (";", "#"):
+            if comment_char in line:
+                line = line.split(comment_char, 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current_name = line[1:-1].strip().lower()
+            if not current_name:
+                raise TechnologyError(f"line {lineno}: empty section header")
+            if current_name in sections:
+                raise TechnologyError(
+                    f"line {lineno}: duplicate section [{current_name}]"
+                )
+            current = sections.setdefault(current_name, {})
+            continue
+        if "=" not in line:
+            raise TechnologyError(f"line {lineno}: expected key = value, got {raw!r}")
+        key, _, value = line.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if not key or not value:
+            raise TechnologyError(f"line {lineno}: malformed assignment {raw!r}")
+        if current is None:
+            if key == "name":
+                name = value
+                continue
+            raise TechnologyError(
+                f"line {lineno}: key {key!r} appears before any [section]"
+            )
+        try:
+            current[key] = parse_quantity(value)
+        except UnitError as exc:
+            raise TechnologyError(f"line {lineno}: {exc}") from exc
+    return name, sections
+
+
+def _build_device(polarity: str, data: Dict[str, float]) -> DeviceParams:
+    missing = _DEVICE_REQUIRED - set(data)
+    if missing:
+        raise TechnologyError(f"[{polarity}] missing keys: {sorted(missing)}")
+    unknown = set(data) - _DEVICE_KEYS
+    if unknown:
+        raise TechnologyError(f"[{polarity}] unknown keys: {sorted(unknown)}")
+    return DeviceParams(polarity=polarity, **data)
+
+
+def loads_technology(text: str) -> ProcessParameters:
+    """Parse a technology file from a string.
+
+    Raises:
+        TechnologyError: on any syntactic or semantic problem.
+    """
+    name, sections = _parse_sections(text)
+    for required in ("process", "nmos", "pmos"):
+        if required not in sections:
+            raise TechnologyError(f"missing [{required}] section")
+    process = dict(sections["process"])
+    missing = _PROCESS_REQUIRED - set(process)
+    if missing:
+        raise TechnologyError(f"[process] missing keys: {sorted(missing)}")
+    extras = {k: v for k, v in process.items() if k not in _PROCESS_REQUIRED}
+    nmos = _build_device("nmos", sections["nmos"])
+    pmos = _build_device("pmos", sections["pmos"])
+    return ProcessParameters(
+        name=name,
+        nmos=nmos,
+        pmos=pmos,
+        min_width=process["min_width"],
+        min_length=process["min_length"],
+        min_drain_width=process["min_drain_width"],
+        vdd=process["vdd"],
+        vss=process["vss"],
+        tox=process["tox"],
+        extras=extras,
+    )
+
+
+def load_technology(path: Union[str, "os.PathLike[str]"]) -> ProcessParameters:
+    """Load a technology file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_technology(handle.read())
+
+
+def dump_technology(params: ProcessParameters) -> str:
+    """Serialise :class:`ProcessParameters` back to technology-file text.
+
+    ``loads_technology(dump_technology(p))`` reproduces ``p`` exactly (all
+    values are written in full precision SI units, no suffixes).
+    """
+    out = io.StringIO()
+    out.write("* OASYS technology file (generated)\n")
+    out.write(f"name = {params.name}\n\n")
+    out.write("[process]\n")
+    out.write(f"min_width = {params.min_width!r}\n")
+    out.write(f"min_length = {params.min_length!r}\n")
+    out.write(f"min_drain_width = {params.min_drain_width!r}\n")
+    out.write(f"vdd = {params.vdd!r}\n")
+    out.write(f"vss = {params.vss!r}\n")
+    out.write(f"tox = {params.tox!r}\n")
+    for key, value in sorted(params.extras.items()):
+        out.write(f"{key} = {value!r}\n")
+    for dev in (params.nmos, params.pmos):
+        out.write(f"\n[{dev.polarity}]\n")
+        out.write(f"vto = {dev.vto!r}\n")
+        out.write(f"kp = {dev.kp!r}\n")
+        out.write(f"gamma = {dev.gamma!r}\n")
+        out.write(f"phi = {dev.phi!r}\n")
+        out.write(f"lambda_a = {dev.lambda_a!r}\n")
+        out.write(f"lambda_b = {dev.lambda_b!r}\n")
+        out.write(f"mobility = {dev.mobility!r}\n")
+        out.write(f"pb = {dev.pb!r}\n")
+        out.write(f"cj = {dev.cj!r}\n")
+        out.write(f"cjsw = {dev.cjsw!r}\n")
+        out.write(f"cgdo = {dev.cgdo!r}\n")
+        out.write(f"cgso = {dev.cgso!r}\n")
+        out.write(f"cgbo = {dev.cgbo!r}\n")
+        out.write(f"kf = {dev.kf!r}\n")
+        out.write(f"avt = {dev.avt!r}\n")
+    return out.getvalue()

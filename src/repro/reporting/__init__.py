@@ -1,0 +1,23 @@
+"""Report generators that regenerate the paper's tables and figures.
+
+* :mod:`repro.reporting.table` -- plain-text tables (Table 1, Table 2);
+* :mod:`repro.reporting.gainphase` -- the Figure 6 gain-phase data/plot;
+* :mod:`repro.reporting.area_gain` -- the Figure 7 area-versus-gain
+  sweep with topology-change points.
+"""
+
+from .table import render_table, table1_report, table2_report
+from .gainphase import GainPhasePoint, gain_phase_series, render_gain_phase
+from .area_gain import AreaGainPoint, area_gain_sweep, render_area_gain
+
+__all__ = [
+    "render_table",
+    "table1_report",
+    "table2_report",
+    "GainPhasePoint",
+    "gain_phase_series",
+    "render_gain_phase",
+    "AreaGainPoint",
+    "area_gain_sweep",
+    "render_area_gain",
+]

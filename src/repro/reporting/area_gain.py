@@ -1,0 +1,135 @@
+"""Figure 7: area versus achievable gain under continuous variation.
+
+"To illustrate this, we reconsider the specifications of test case A
+with a slight modification: we now wish to examine the range of
+achievable gain when driving a small load capacitance of 5 pF, or a
+large load of 20 pF. ... Figure 7 plots area versus gain for all the
+circuits OASYS can design to meet these specifications.  Notice that
+the one-stage designs are clearly smaller, but always have a smaller
+range of achievable gains. ... Also shown in the Figure are the points
+at which OASYS automatically makes a topology change to meet the
+increasing gain requirements."
+
+:func:`area_gain_sweep` sweeps the gain specification over a dB grid
+for each load, designing *every* style at every point (the breadth-first
+selection machinery exposes all candidates), and records the estimated
+area plus the sub-block topology signature so topology-change points can
+be located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..kb.specs import OpAmpSpec
+from ..opamp.designer import OPAMP_STYLES, design_style
+from ..process.parameters import ProcessParameters
+
+__all__ = ["AreaGainPoint", "area_gain_sweep", "render_area_gain", "topology_changes"]
+
+
+@dataclass(frozen=True)
+class AreaGainPoint:
+    """One feasible design in the Figure 7 plane.
+
+    Attributes:
+        gain_db: the swept gain specification.
+        load_f: the load capacitance, farads.
+        style: op amp style that produced this design.
+        area: estimated area, m^2.
+        topology: sub-block style signature, e.g.
+            ``"load:cascode,shifter:yes"`` -- used to mark the paper's
+            topology-change points.
+    """
+
+    gain_db: float
+    load_f: float
+    style: str
+    area: float
+    topology: str
+
+
+def _topology_signature(amp) -> str:
+    parts = []
+    for block in amp.hierarchy.children:
+        if block.block_type == "current_mirror":
+            parts.append(f"{block.name}:{block.style}")
+        if block.block_type == "level_shifter":
+            parts.append("level_shifter:inserted")
+    return ",".join(parts)
+
+
+def area_gain_sweep(
+    base_spec: OpAmpSpec,
+    process: ProcessParameters,
+    gains_db: Sequence[float],
+    loads_f: Sequence[float],
+    styles: Optional[Tuple[str, ...]] = None,
+) -> List[AreaGainPoint]:
+    """Design every style at every (gain, load) grid point.
+
+    Infeasible combinations are simply absent from the result -- exactly
+    how Figure 7's curves terminate where a style runs out of achievable
+    gain.
+    """
+    styles = tuple(styles) if styles is not None else OPAMP_STYLES
+    points: List[AreaGainPoint] = []
+    for load in loads_f:
+        for gain_db in gains_db:
+            spec = base_spec.scaled_gain(gain_db).with_load(load)
+            for style in styles:
+                try:
+                    amp = design_style(style, spec, process)
+                except SynthesisError:
+                    continue
+                points.append(
+                    AreaGainPoint(
+                        gain_db=gain_db,
+                        load_f=load,
+                        style=style,
+                        area=amp.area,
+                        topology=_topology_signature(amp),
+                    )
+                )
+    return points
+
+
+def topology_changes(points: List[AreaGainPoint]) -> List[AreaGainPoint]:
+    """The points where a style's topology signature first differs from
+    its predecessor along the gain axis (the paper's marked points)."""
+    changes = []
+    series: Dict[Tuple[str, float], List[AreaGainPoint]] = {}
+    for point in sorted(points, key=lambda p: p.gain_db):
+        series.setdefault((point.style, point.load_f), []).append(point)
+    for key, chain in series.items():
+        for previous, current in zip(chain, chain[1:]):
+            if current.topology != previous.topology:
+                changes.append(current)
+    return changes
+
+
+def render_area_gain(points: List[AreaGainPoint]) -> str:
+    """Text rendering of Figure 7: one row per feasible design, grouped
+    by load and style, with topology-change markers."""
+    if not points:
+        return "(no feasible designs)\n"
+    marked = {id(p) for p in topology_changes(points)}
+    lines = ["Figure 7: Area vs Achievable Gain (all feasible designs)"]
+    loads = sorted({p.load_f for p in points})
+    for load in loads:
+        lines.append(f"\nLoad {load * 1e12:.0f} pF:")
+        lines.append(
+            f"  {'Gain(dB)':>8} {'Style':<10} {'Area(um^2)':>11}  Topology"
+        )
+        for point in sorted(
+            (p for p in points if p.load_f == load),
+            key=lambda p: (p.style, p.gain_db),
+        ):
+            marker = "  <-- topology change" if id(point) in marked else ""
+            lines.append(
+                f"  {point.gain_db:>8.1f} {point.style:<10} "
+                f"{point.area * 1e12:>11.0f}  {point.topology}{marker}"
+            )
+    return "\n".join(lines) + "\n"

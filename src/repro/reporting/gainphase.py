@@ -1,0 +1,104 @@
+"""Figure 6: gain-phase plot for a synthesized test circuit.
+
+The paper plots the simulated open-loop gain (dB) and phase (degrees)
+of test circuit C from 1 Hz to 10 MHz.  :func:`gain_phase_series`
+produces the same series from the in-repo simulator, and
+:func:`render_gain_phase` draws it as a text plot (one row per
+frequency point, columns for dB and degrees plus an ASCII strip chart).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..opamp.result import DesignedOpAmp
+from ..opamp.verify import open_loop_response
+from ..simulator.analysis import FrequencyResponse
+
+__all__ = ["GainPhasePoint", "gain_phase_series", "render_gain_phase"]
+
+
+@dataclass(frozen=True)
+class GainPhasePoint:
+    """One sampled point of the Figure 6 data."""
+
+    frequency_hz: float
+    gain_db: float
+    phase_deg: float
+
+
+def gain_phase_series(
+    amp: DesignedOpAmp,
+    f_start: float = 1.0,
+    f_stop: float = 10e6,
+    points_per_decade: int = 4,
+    response: Optional[FrequencyResponse] = None,
+) -> List[GainPhasePoint]:
+    """The Figure 6 series for a synthesized amplifier.
+
+    Args:
+        amp: the designed op amp (simulated open loop).
+        f_start / f_stop: the paper's axis runs 1 Hz .. 10 MHz.
+        points_per_decade: sampling density of the report.
+        response: optionally reuse an already-computed response.
+    """
+    if response is None:
+        response = open_loop_response(
+            amp, f_start=f_start, f_stop=f_stop, points_per_decade=15
+        )
+    mag_db = response.magnitude_db
+    # Normalise the phase so DC reads 0 deg (excess phase lag only).
+    phase = response.phase_deg
+    phase = phase - phase[0]
+    decades = math.log10(f_stop / f_start)
+    count = int(round(decades * points_per_decade)) + 1
+    targets = np.logspace(math.log10(f_start), math.log10(f_stop), count)
+    log_f = np.log10(response.frequencies)
+    series = []
+    for f in targets:
+        series.append(
+            GainPhasePoint(
+                frequency_hz=float(f),
+                gain_db=float(np.interp(math.log10(f), log_f, mag_db)),
+                phase_deg=float(np.interp(math.log10(f), log_f, phase)),
+            )
+        )
+    return series
+
+
+def render_gain_phase(series: List[GainPhasePoint], width: int = 40) -> str:
+    """Text rendering of the Figure 6 plot.
+
+    Each row shows frequency, gain and phase, plus a strip chart with
+    ``*`` marking gain and ``o`` marking phase position across the row.
+    """
+    if not series:
+        return "(empty series)\n"
+    g_lo = min(p.gain_db for p in series)
+    g_hi = max(p.gain_db for p in series)
+    p_lo = min(p.phase_deg for p in series)
+    p_hi = max(p.phase_deg for p in series)
+
+    def position(value: float, lo: float, hi: float) -> int:
+        if hi - lo < 1e-12:
+            return 0
+        return int(round((value - lo) / (hi - lo) * (width - 1)))
+
+    lines = [
+        "Figure 6: Gain-Phase Plot (simulated)",
+        f"{'Freq (Hz)':>12} {'Gain(dB)':>9} {'Phase(deg)':>10}  "
+        f"[gain * | phase o]",
+    ]
+    for point in series:
+        strip = [" "] * width
+        strip[position(point.phase_deg, p_lo, p_hi)] = "o"
+        strip[position(point.gain_db, g_lo, g_hi)] = "*"
+        lines.append(
+            f"{point.frequency_hz:>12.3g} {point.gain_db:>9.1f} "
+            f"{point.phase_deg:>10.1f}  |{''.join(strip)}|"
+        )
+    return "\n".join(lines) + "\n"

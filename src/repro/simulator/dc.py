@@ -1,0 +1,159 @@
+"""DC operating-point solver: damped Newton-Raphson with homotopy.
+
+The solve strategy mirrors SPICE2 practice:
+
+1. plain Newton-Raphson from a flat initial guess, with per-iteration
+   voltage-step limiting (damping);
+2. on failure, *gmin stepping*: converge with a large gmin shunt on every
+   node, then relax gmin decade by decade, re-converging each time;
+3. on failure, *source stepping*: ramp all independent sources from 0 to
+   100 % in increments, converging at each level.
+
+All MOSFET evaluations flow through :meth:`MnaSystem.assemble_dc`, so the
+solver is model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..errors import ConvergenceError
+from ..process.parameters import ProcessParameters
+from .mna import MnaSystem, OperatingPointResult
+
+__all__ = ["operating_point", "newton_solve"]
+
+#: Absolute voltage tolerance, volts.
+VTOL = 1e-9
+#: Relative tolerance.
+RELTOL = 1e-6
+#: Residual current tolerance, amps.
+ITOL = 1e-12
+#: Largest allowed Newton voltage update per iteration, volts.
+MAX_STEP = 1.0
+
+
+def newton_solve(
+    system: MnaSystem,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    max_iterations: int = 150,
+):
+    """Damped NR iteration at fixed gmin / source level.
+
+    Returns:
+        (x, device_ops, iterations)
+
+    Raises:
+        ConvergenceError: if the iteration limit is reached or the
+            Jacobian is numerically singular.
+    """
+    x = x0.copy()
+    n_nodes = system.n_nodes
+    for iteration in range(1, max_iterations + 1):
+        residual, jacobian, device_ops = system.assemble_dc(x, gmin, source_scale)
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(f"singular Jacobian: {exc}", iteration) from exc
+        if not np.all(np.isfinite(delta)):
+            raise ConvergenceError("non-finite Newton update", iteration)
+
+        # Damp: limit the largest voltage move per iteration.
+        v_delta = delta[:n_nodes]
+        worst = np.max(np.abs(v_delta)) if n_nodes else 0.0
+        if worst > MAX_STEP:
+            delta = delta * (MAX_STEP / worst)
+        x = x + delta
+
+        v_converged = np.all(
+            np.abs(delta[:n_nodes]) <= VTOL + RELTOL * np.abs(x[:n_nodes])
+        )
+        # Residual check on the freshly updated point.
+        residual_new, _, device_ops = system.assemble_dc(x, gmin, source_scale)
+        kcl_converged = np.all(np.abs(residual_new[:n_nodes]) <= ITOL * 10 + 1e-9)
+        if v_converged and kcl_converged:
+            return x, device_ops, iteration
+    raise ConvergenceError(
+        f"no convergence in {max_iterations} NR iterations "
+        f"(gmin={gmin:g}, scale={source_scale:g})",
+        max_iterations,
+    )
+
+
+def operating_point(
+    circuit: Circuit,
+    process: ProcessParameters,
+    initial_guess: Optional[Dict[str, float]] = None,
+    max_iterations: int = 150,
+    vth_shifts: Optional[Dict[str, float]] = None,
+) -> OperatingPointResult:
+    """Solve the DC operating point of ``circuit``.
+
+    Args:
+        circuit: the netlist (validated by the caller or here).
+        process: process parameters providing the MOSFET models.
+        initial_guess: optional node-voltage seeds (unlisted nodes start
+            at 0 V).
+        max_iterations: NR budget per homotopy step.
+        vth_shifts: optional per-device threshold perturbations, volts
+            (Monte Carlo mismatch hook; see :class:`MnaSystem`).
+
+    Returns:
+        A converged :class:`OperatingPointResult`.
+
+    Raises:
+        ConvergenceError: if all homotopy strategies fail.
+    """
+    circuit.validate()
+    system = MnaSystem(circuit, process, vth_shifts=vth_shifts)
+    x0 = np.zeros(system.size)
+    if initial_guess:
+        for node, voltage in initial_guess.items():
+            if node in system.node_index:
+                x0[system.node_index[node]] = voltage
+
+    total_iterations = 0
+
+    # Strategy 1: plain NR.
+    try:
+        x, ops, used = newton_solve(system, x0, 1e-12, 1.0, max_iterations)
+        return system.package_result(x, ops, used)
+    except ConvergenceError as exc:
+        total_iterations += exc.iterations
+
+    # Strategy 2: gmin stepping.
+    try:
+        x = x0.copy()
+        for exponent in range(3, 13):
+            gmin = 10.0 ** (-exponent)
+            x, ops, used = newton_solve(system, x, gmin, 1.0, max_iterations)
+            total_iterations += used
+        x, ops, used = newton_solve(system, x, 1e-12, 1.0, max_iterations)
+        total_iterations += used
+        result = system.package_result(x, ops, total_iterations)
+        return result
+    except ConvergenceError as exc:
+        total_iterations += exc.iterations
+
+    # Strategy 3: source stepping.
+    x = x0.copy()
+    last_error: Optional[ConvergenceError] = None
+    try:
+        for scale in np.linspace(0.1, 1.0, 19):
+            x, ops, used = newton_solve(system, x, 1e-12, float(scale), max_iterations)
+            total_iterations += used
+        return system.package_result(x, ops, total_iterations)
+    except ConvergenceError as exc:
+        last_error = exc
+        total_iterations += exc.iterations
+
+    raise ConvergenceError(
+        f"{circuit.name}: DC operating point failed after NR, gmin stepping "
+        f"and source stepping ({total_iterations} total iterations): {last_error}",
+        total_iterations,
+    )

@@ -1,0 +1,393 @@
+"""Modified nodal analysis: unknown numbering, model binding, stamping.
+
+The MNA unknown vector is ``[node voltages..., vsource branch currents...]``
+with ground eliminated.  :class:`MnaSystem` binds a :class:`~repro.circuit.
+netlist.Circuit` to a :class:`~repro.process.parameters.ProcessParameters`
+(creating one :class:`~repro.devices.mosfet.MosfetModel` per transistor)
+and provides the residual/Jacobian assembly used by the DC solver and the
+complex-matrix assembly used by the AC solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from ..circuit.netlist import Circuit
+from ..devices.mosfet import MosfetModel, MosfetOperatingPoint
+from ..errors import SimulationError
+from ..process.parameters import ProcessParameters
+
+__all__ = ["MnaSystem", "OperatingPointResult"]
+
+
+@dataclass
+class OperatingPointResult:
+    """A converged DC operating point.
+
+    Attributes:
+        voltages: node name -> DC voltage (ground implicit at 0).
+        source_currents: voltage-source name -> branch current (flowing
+            from the positive terminal through the source).
+        device_ops: MOSFET name -> :class:`MosfetOperatingPoint`.
+        iterations: NR iterations used (total across homotopy steps).
+    """
+
+    voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    device_ops: Dict[str, MosfetOperatingPoint]
+    iterations: int = 0
+
+    def voltage(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise SimulationError(f"no node named {node!r} in result") from None
+
+    def device(self, name: str) -> MosfetOperatingPoint:
+        try:
+            return self.device_ops[name.lower()]
+        except KeyError:
+            raise SimulationError(f"no MOSFET named {name!r} in result") from None
+
+    def supply_current(self, source_name: str) -> float:
+        try:
+            return self.source_currents[source_name.lower()]
+        except KeyError:
+            raise SimulationError(f"no source named {source_name!r}") from None
+
+    def total_power(self) -> float:
+        """Total power delivered by all voltage sources, watts (positive =
+        dissipated in the circuit)."""
+        power = 0.0
+        for name, current in self.source_currents.items():
+            # P = V * I with I flowing out of the + terminal through the
+            # circuit; our branch current convention makes delivered power
+            # -V*I_branch.
+            source = self._sources_by_name[name]
+            power += -source.dc * current
+        return power
+
+    # populated by MnaSystem when constructing the result
+    _sources_by_name: Dict[str, VoltageSource] = field(default_factory=dict, repr=False)
+
+
+class MnaSystem:
+    """Numbering, model binding and matrix assembly for one circuit.
+
+    Args:
+        circuit / process: the netlist and its process.
+        vth_shifts: optional per-device threshold perturbations, volts
+            (instance name -> delta applied to ``vto``) -- the hook the
+            Monte Carlo mismatch analysis uses to model random Vth
+            variation without editing the netlist.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        process: ProcessParameters,
+        vth_shifts: Optional[Dict[str, float]] = None,
+    ):
+        from dataclasses import replace as dc_replace
+
+        self.circuit = circuit
+        self.process = process
+        self.nodes: List[str] = circuit.internal_nodes()
+        self.node_index: Dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.vsources: List[VoltageSource] = [
+            e for e in circuit.elements if isinstance(e, VoltageSource)
+        ]
+        self.n_nodes = len(self.nodes)
+        self.size = self.n_nodes + len(self.vsources)
+        shifts = {k.lower(): v for k, v in (vth_shifts or {}).items()}
+        self.models: Dict[str, MosfetModel] = {}
+        for mosfet in circuit.mosfets:
+            params = process.device(mosfet.polarity)
+            key = mosfet.name.lower()
+            if key in shifts:
+                params = dc_replace(params, vto=params.vto + shifts[key])
+            self.models[key] = MosfetModel(
+                params,
+                mosfet.effective_width,
+                mosfet.length,
+                process.min_drain_width,
+                process.cox,
+            )
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def index_of(self, node: str) -> int:
+        """MNA index of a node, or -1 for ground."""
+        if node == GROUND:
+            return -1
+        return self.node_index[node]
+
+    def branch_index(self, source_position: int) -> int:
+        return self.n_nodes + source_position
+
+    # ------------------------------------------------------------------
+    # Nonlinear DC assembly
+    # ------------------------------------------------------------------
+    def assemble_dc(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, MosfetOperatingPoint]]:
+        """Residual F(x) and Jacobian J(x) for the DC system.
+
+        The residual convention is KCL: F[node] = sum of currents *leaving*
+        the node through elements minus injected source currents; voltage
+        source rows hold ``V(p) - V(n) - Vdc``.
+
+        Args:
+            x: current unknown vector.
+            gmin: conductance from every node to ground (homotopy aid).
+            source_scale: multiplies all independent sources (source
+                stepping).
+
+        Returns:
+            (F, J, device_ops)
+        """
+        size = self.size
+        residual = np.zeros(size)
+        jacobian = np.zeros((size, size))
+        device_ops: Dict[str, MosfetOperatingPoint] = {}
+
+        def volt(idx: int) -> float:
+            return 0.0 if idx < 0 else float(x[idx])
+
+        def add_j(row: int, col: int, value: float) -> None:
+            if row >= 0 and col >= 0:
+                jacobian[row, col] += value
+
+        def add_f(row: int, value: float) -> None:
+            if row >= 0:
+                residual[row] += value
+
+        # gmin to ground on every node keeps the matrix non-singular.
+        for i in range(self.n_nodes):
+            residual[i] += gmin * x[i]
+            jacobian[i, i] += gmin
+
+        for element in self.circuit.elements:
+            if isinstance(element, Resistor):
+                a = self.index_of(element.node_a)
+                b = self.index_of(element.node_b)
+                g = 1.0 / element.resistance
+                v = volt(a) - volt(b)
+                add_f(a, g * v)
+                add_f(b, -g * v)
+                add_j(a, a, g)
+                add_j(a, b, -g)
+                add_j(b, a, -g)
+                add_j(b, b, g)
+            elif isinstance(element, Capacitor):
+                continue  # open at DC
+            elif isinstance(element, CurrentSource):
+                p = self.index_of(element.positive)
+                n = self.index_of(element.negative)
+                i_dc = element.dc * source_scale
+                # Current flows from positive node through the source to
+                # negative node: it *leaves* the positive node.
+                add_f(p, i_dc)
+                add_f(n, -i_dc)
+            elif isinstance(element, Mosfet):
+                self._stamp_mosfet_dc(
+                    element, x, residual, jacobian, device_ops, volt, add_f, add_j
+                )
+            elif isinstance(element, VoltageSource):
+                pass  # handled below with branch rows
+            else:  # pragma: no cover
+                raise SimulationError(f"unsupported element {type(element).__name__}")
+
+        for position, source in enumerate(self.vsources):
+            row = self.branch_index(position)
+            p = self.index_of(source.positive)
+            n = self.index_of(source.negative)
+            i_branch = float(x[row])
+            # KCL: branch current leaves the positive node.
+            add_f(p, i_branch)
+            add_f(n, -i_branch)
+            add_j(p, row, 1.0)
+            add_j(n, row, -1.0)
+            # Branch equation.
+            residual[row] = volt(p) - volt(n) - source.dc * source_scale
+            add_j(row, p, 1.0)
+            add_j(row, n, -1.0)
+
+        return residual, jacobian, device_ops
+
+    def _stamp_mosfet_dc(
+        self, element: Mosfet, x, residual, jacobian, device_ops, volt, add_f, add_j
+    ) -> None:
+        model = self.models[element.name.lower()]
+        d = self.index_of(element.drain)
+        g = self.index_of(element.gate)
+        s = self.index_of(element.source)
+        b = self.index_of(element.bulk)
+        vgs = volt(g) - volt(s)
+        vds = volt(d) - volt(s)
+        vbs = volt(b) - volt(s)
+        op = model.evaluate(vgs, vds, vbs)
+        device_ops[element.name.lower()] = op
+
+        # Drain current op.ids enters the drain and exits the source.
+        add_f(d, op.ids)
+        add_f(s, -op.ids)
+        # Partials: dId/dVg = gm, dId/dVd = gds, dId/dVb = gmbs,
+        # dId/dVs = -(gm + gds + gmbs).
+        gm, gds, gmbs = op.gm, op.gds, op.gmbs
+        g_s = -(gm + gds + gmbs)
+        add_j(d, g, gm)
+        add_j(d, d, gds)
+        add_j(d, b, gmbs)
+        add_j(d, s, g_s)
+        add_j(s, g, -gm)
+        add_j(s, d, -gds)
+        add_j(s, b, -gmbs)
+        add_j(s, s, -g_s)
+
+    # ------------------------------------------------------------------
+    # AC assembly (complex, at one angular frequency)
+    # ------------------------------------------------------------------
+    def assemble_ac(
+        self,
+        omega: float,
+        device_ops: Dict[str, MosfetOperatingPoint],
+        source_overrides: Optional[Dict[str, complex]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Complex MNA matrix and excitation vector at ``omega``.
+
+        Args:
+            omega: angular frequency, rad/s.
+            device_ops: converged DC operating points (for gm/gds/caps).
+            source_overrides: optional map source-name -> complex AC
+                amplitude, replacing the elements' own ``ac`` values (used
+                for CMRR/PSRR-style analyses without netlist edits).
+
+        Returns:
+            (Y, rhs) with the same unknown ordering as the DC system.
+        """
+        size = self.size
+        matrix = np.zeros((size, size), dtype=complex)
+        rhs = np.zeros(size, dtype=complex)
+        overrides = {k.lower(): v for k, v in (source_overrides or {}).items()}
+
+        def add(row: int, col: int, value: complex) -> None:
+            if row >= 0 and col >= 0:
+                matrix[row, col] += value
+
+        def add_rhs(row: int, value: complex) -> None:
+            if row >= 0:
+                rhs[row] += value
+
+        def stamp_admittance(a: int, b: int, y: complex) -> None:
+            add(a, a, y)
+            add(b, b, y)
+            add(a, b, -y)
+            add(b, a, -y)
+
+        for element in self.circuit.elements:
+            if isinstance(element, Resistor):
+                stamp_admittance(
+                    self.index_of(element.node_a),
+                    self.index_of(element.node_b),
+                    1.0 / element.resistance,
+                )
+            elif isinstance(element, Capacitor):
+                stamp_admittance(
+                    self.index_of(element.node_a),
+                    self.index_of(element.node_b),
+                    1j * omega * element.capacitance,
+                )
+            elif isinstance(element, CurrentSource):
+                amplitude = overrides.get(element.name.lower(), element.ac)
+                p = self.index_of(element.positive)
+                n = self.index_of(element.negative)
+                add_rhs(p, -amplitude)
+                add_rhs(n, amplitude)
+            elif isinstance(element, Mosfet):
+                self._stamp_mosfet_ac(element, device_ops, omega, add, stamp_admittance)
+            elif isinstance(element, VoltageSource):
+                pass
+            else:  # pragma: no cover
+                raise SimulationError(f"unsupported element {type(element).__name__}")
+
+        for position, source in enumerate(self.vsources):
+            row = self.branch_index(position)
+            p = self.index_of(source.positive)
+            n = self.index_of(source.negative)
+            add(p, row, 1.0)
+            add(n, row, -1.0)
+            add(row, p, 1.0)
+            add(row, n, -1.0)
+            rhs[row] = overrides.get(source.name.lower(), source.ac)
+
+        return matrix, rhs
+
+    def _stamp_mosfet_ac(self, element, device_ops, omega, add, stamp_admittance):
+        name = element.name.lower()
+        try:
+            op = device_ops[name]
+        except KeyError:
+            raise SimulationError(
+                f"device {element.name} missing from operating point"
+            ) from None
+        d = self.index_of(element.drain)
+        g = self.index_of(element.gate)
+        s = self.index_of(element.source)
+        b = self.index_of(element.bulk)
+        gm, gds, gmbs = op.gm, op.gds, op.gmbs
+        # VCCS: i_d = gm*vgs + gds*vds + gmbs*vbs; exits the source.
+        g_s = -(gm + gds + gmbs)
+        add(d, g, gm)
+        add(d, d, gds)
+        add(d, b, gmbs)
+        add(d, s, g_s)
+        add(s, g, -gm)
+        add(s, d, -gds)
+        add(s, b, -gmbs)
+        add(s, s, -g_s)
+        # Capacitances at the operating point.
+        stamp_admittance(g, s, 1j * omega * op.cgs)
+        stamp_admittance(g, d, 1j * omega * op.cgd)
+        stamp_admittance(g, b, 1j * omega * op.cgb)
+        stamp_admittance(b, d, 1j * omega * op.cbd)
+        stamp_admittance(b, s, 1j * omega * op.cbs)
+
+    # ------------------------------------------------------------------
+    # Result packaging
+    # ------------------------------------------------------------------
+    def package_result(
+        self, x: np.ndarray, device_ops: Dict[str, MosfetOperatingPoint], iterations: int
+    ) -> OperatingPointResult:
+        voltages = {node: float(x[i]) for node, i in self.node_index.items()}
+        currents = {
+            source.name.lower(): float(x[self.branch_index(pos)])
+            for pos, source in enumerate(self.vsources)
+        }
+        result = OperatingPointResult(
+            voltages=voltages,
+            source_currents=currents,
+            device_ops=dict(device_ops),
+            iterations=iterations,
+        )
+        result._sources_by_name = {
+            source.name.lower(): source for source in self.vsources
+        }
+        return result

@@ -1,0 +1,65 @@
+"""Operating-point reports: the working analog designer's first look.
+
+After any DC solve, the question is always "is every device where I
+meant it to be?"  :func:`op_report` renders a converged operating point
+as a table of devices -- region, current, gm, Vds against Vdsat margin --
+flagging devices that are off or riding the saturation edge, plus the
+node voltages and supply power.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from ..circuit.netlist import Circuit
+from ..devices.mosfet import Region
+from ..units import format_quantity
+from .mna import OperatingPointResult
+
+__all__ = ["op_report"]
+
+#: A saturated device within this fraction of Vdsat is flagged as
+#: riding the edge.
+EDGE_FRACTION = 1.15
+
+
+def op_report(
+    circuit: Circuit,
+    op: OperatingPointResult,
+    title: Optional[str] = None,
+) -> str:
+    """Render an operating-point report.
+
+    Flags: ``!off`` for a cutoff device, ``!lin`` for triode, ``~edge``
+    for a saturated device with less than 15 % Vds margin over Vdsat.
+    """
+    out = io.StringIO()
+    out.write(f"Operating point: {title or circuit.name}\n")
+    out.write(
+        f"{'device':<22} {'region':<10} {'Id':>10} {'gm':>10} "
+        f"{'Vds':>8} {'Vdsat':>7}  flag\n"
+    )
+    for element in circuit.mosfets:
+        name = element.name.lower()
+        if name not in op.device_ops:
+            continue
+        device = op.device_ops[name]
+        flag = ""
+        if device.region is Region.CUTOFF:
+            flag = "!off"
+        elif device.region is Region.TRIODE:
+            flag = "!lin"
+        elif abs(device.vds) < EDGE_FRACTION * device.vdsat:
+            flag = "~edge"
+        out.write(
+            f"{element.name:<22} {device.region.value:<10} "
+            f"{format_quantity(device.ids, 'A'):>10} "
+            f"{format_quantity(device.gm, 'S'):>10} "
+            f"{device.vds:>8.3f} {device.vdsat:>7.3f}  {flag}\n"
+        )
+    out.write("\nNode voltages:\n")
+    for node in sorted(op.voltages):
+        out.write(f"  {node:<22} {op.voltages[node]:>9.4f} V\n")
+    out.write(f"\nSupply power: {format_quantity(abs(op.total_power()), 'W')}\n")
+    return out.getvalue()

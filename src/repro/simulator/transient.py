@@ -1,0 +1,301 @@
+"""Transient analysis with trapezoidal integration.
+
+Used by the verification layer to measure slew rate and settling of
+synthesized op amps (unity-gain step response), standing in for the
+paper's SPICE transient runs.
+
+Capacitors (explicit elements and the MOSFET intrinsic/junction
+capacitances evaluated quasi-statically at each accepted timepoint) are
+replaced by their trapezoidal companion models; the resulting nonlinear
+system is solved by the same damped NR as the DC solver.
+
+Voltage sources may be driven by arbitrary waveforms via ``stimuli``:
+a mapping from source name to ``f(t) -> volts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.elements import GROUND, Capacitor
+from ..circuit.netlist import Circuit
+from ..errors import ConvergenceError, SimulationError
+from ..process.parameters import ProcessParameters
+from .dc import MAX_STEP, RELTOL, VTOL, operating_point
+from .mna import MnaSystem
+
+__all__ = ["TransientResult", "transient_analysis", "step_waveform"]
+
+
+@dataclass
+class TransientResult:
+    """Waveforms from a transient run.
+
+    Attributes:
+        times: seconds, ascending, including t=0.
+        waveforms: node name -> voltage array aligned with ``times``.
+    """
+
+    times: np.ndarray
+    waveforms: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node == GROUND:
+            return np.zeros_like(self.times)
+        try:
+            return self.waveforms[node]
+        except KeyError:
+            raise SimulationError(f"no node named {node!r} in transient result") from None
+
+
+def step_waveform(
+    low: float, high: float, t_step: float, t_rise: float = 1e-9
+) -> Callable[[float], float]:
+    """A step from ``low`` to ``high`` at ``t_step`` with linear rise."""
+
+    def wave(t: float) -> float:
+        if t <= t_step:
+            return low
+        if t >= t_step + t_rise:
+            return high
+        return low + (high - low) * (t - t_step) / t_rise
+
+    return wave
+
+
+class _CapState:
+    """Trapezoidal companion state for one capacitor branch a->b."""
+
+    __slots__ = ("node_a", "node_b", "capacitance", "v_prev", "i_prev")
+
+    def __init__(self, node_a: int, node_b: int, capacitance: float):
+        self.node_a = node_a
+        self.node_b = node_b
+        self.capacitance = capacitance
+        self.v_prev = 0.0
+        self.i_prev = 0.0
+
+
+def _device_cap_branches(system: MnaSystem, op) -> List[Tuple[str, int, int, str]]:
+    """Terminal pairs carrying MOSFET capacitances: (device, a, b, kind)."""
+    branches = []
+    for element in system.circuit.mosfets:
+        d = system.index_of(element.drain)
+        g = system.index_of(element.gate)
+        s = system.index_of(element.source)
+        b = system.index_of(element.bulk)
+        name = element.name.lower()
+        branches.extend(
+            [
+                (name, g, s, "cgs"),
+                (name, g, d, "cgd"),
+                (name, g, b, "cgb"),
+                (name, b, d, "cbd"),
+                (name, b, s, "cbs"),
+            ]
+        )
+    return branches
+
+
+def transient_analysis(
+    circuit: Circuit,
+    process: ProcessParameters,
+    t_stop: float,
+    t_step: float,
+    stimuli: Optional[Dict[str, Callable[[float], float]]] = None,
+    max_iterations: int = 100,
+) -> TransientResult:
+    """Run a fixed-step trapezoidal transient.
+
+    The initial condition is the DC operating point with all stimuli
+    evaluated at t=0.
+
+    Args:
+        circuit / process: netlist and process.
+        t_stop: final time, seconds.
+        t_step: fixed integration step, seconds.
+        stimuli: optional waveform per voltage-source name; sources not
+            listed hold their DC value.
+        max_iterations: NR budget per timestep.
+
+    Returns:
+        :class:`TransientResult`.
+    """
+    if t_stop <= 0 or t_step <= 0 or t_step > t_stop:
+        raise SimulationError(f"bad transient range t_stop={t_stop}, t_step={t_step}")
+    stimuli = {k.lower(): v for k, v in (stimuli or {}).items()}
+
+    # Initial condition: DC solve with t=0 stimulus values.
+    initial = Circuit(circuit.name)
+    from dataclasses import replace as dc_replace
+
+    for element in circuit.elements:
+        key = element.name.lower()
+        if key in stimuli:
+            initial.add(dc_replace(element, dc=float(stimuli[key](0.0))))
+        else:
+            initial.add(element)
+    op0 = operating_point(initial, process)
+
+    system = MnaSystem(initial, process)
+    x = np.zeros(system.size)
+    for node, index in system.node_index.items():
+        x[index] = op0.voltages[node]
+    for pos, source in enumerate(system.vsources):
+        x[system.branch_index(pos)] = op0.source_currents[source.name.lower()]
+
+    # Companion states: explicit caps + device cap branches.
+    explicit_states: List[_CapState] = []
+    for cap in initial.capacitors:
+        state = _CapState(
+            system.index_of(cap.node_a), system.index_of(cap.node_b), cap.capacitance
+        )
+        state.v_prev = _branch_voltage(x, state)
+        explicit_states.append(state)
+
+    device_branches = _device_cap_branches(system, op0.device_ops)
+    device_states: List[_CapState] = []
+    for name, a, b, kind in device_branches:
+        state = _CapState(a, b, getattr(op0.device_ops[name], kind))
+        state.v_prev = _branch_voltage(x, state)
+        device_states.append(state)
+
+    times = [0.0]
+    history = [x.copy()]
+    device_ops = op0.device_ops
+
+    t = 0.0
+    while t < t_stop - 1e-15:
+        h = min(t_step, t_stop - t)
+        t_next = t + h
+        x_next, device_ops = _solve_timestep(
+            system,
+            x,
+            t_next,
+            h,
+            stimuli,
+            explicit_states,
+            device_states,
+            max_iterations,
+        )
+        # Accept: update companion histories.
+        for state in explicit_states + device_states:
+            v_new = _branch_voltage(x_next, state)
+            geq = 2.0 * state.capacitance / h
+            i_new = geq * (v_new - state.v_prev) - state.i_prev
+            state.v_prev = v_new
+            state.i_prev = i_new
+        # Refresh device capacitance values quasi-statically.
+        for state, (name, a, b, kind) in zip(device_states, device_branches):
+            state.capacitance = getattr(device_ops[name], kind)
+        x = x_next
+        t = t_next
+        times.append(t)
+        history.append(x.copy())
+
+    stacked = np.vstack(history)
+    waveforms = {
+        node: stacked[:, index] for node, index in system.node_index.items()
+    }
+    return TransientResult(times=np.asarray(times), waveforms=waveforms)
+
+
+def _branch_voltage(x: np.ndarray, state: _CapState) -> float:
+    va = 0.0 if state.node_a < 0 else float(x[state.node_a])
+    vb = 0.0 if state.node_b < 0 else float(x[state.node_b])
+    return va - vb
+
+
+def _solve_timestep(
+    system: MnaSystem,
+    x_prev: np.ndarray,
+    t: float,
+    h: float,
+    stimuli,
+    explicit_states: List[_CapState],
+    device_states: List[_CapState],
+    max_iterations: int,
+):
+    """Damped NR for one trapezoidal timestep."""
+    x = x_prev.copy()
+    n_nodes = system.n_nodes
+
+    # Evaluate stimulus values for this time.
+    source_values = {}
+    for source in system.vsources:
+        key = source.name.lower()
+        if key in stimuli:
+            source_values[key] = float(stimuli[key](t))
+    from ..circuit.elements import CurrentSource
+
+    isource_values = {}
+    for element in system.circuit.elements:
+        if isinstance(element, CurrentSource):
+            key = element.name.lower()
+            if key in stimuli:
+                isource_values[key] = (element, float(stimuli[key](t)))
+
+    for iteration in range(1, max_iterations + 1):
+        residual, jacobian, device_ops = system.assemble_dc(x, 1e-12, 1.0)
+
+        # Override voltage-source branch equations with waveform values.
+        for pos, source in enumerate(system.vsources):
+            key = source.name.lower()
+            if key in source_values:
+                row = system.branch_index(pos)
+                p = system.index_of(source.positive)
+                n = system.index_of(source.negative)
+                vp = 0.0 if p < 0 else x[p]
+                vn = 0.0 if n < 0 else x[n]
+                residual[row] = vp - vn - source_values[key]
+
+        # Adjust current-source injections for waveform values (the
+        # assemble already stamped the DC value; add the difference).
+        for element, value in isource_values.values():
+            extra = value - element.dc
+            p = system.index_of(element.positive)
+            n = system.index_of(element.negative)
+            if p >= 0:
+                residual[p] += extra
+            if n >= 0:
+                residual[n] -= extra
+
+        # Capacitor companion stamps.
+        for state in explicit_states + device_states:
+            if state.capacitance <= 0:
+                continue
+            geq = 2.0 * state.capacitance / h
+            ieq = geq * state.v_prev + state.i_prev
+            v_now = _branch_voltage(x, state)
+            current = geq * v_now - ieq
+            a, b = state.node_a, state.node_b
+            if a >= 0:
+                residual[a] += current
+                jacobian[a, a] += geq
+                if b >= 0:
+                    jacobian[a, b] -= geq
+            if b >= 0:
+                residual[b] -= current
+                jacobian[b, b] += geq
+                if a >= 0:
+                    jacobian[b, a] -= geq
+
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"transient singular Jacobian at t={t:g}: {exc}", iteration
+            ) from exc
+        worst = np.max(np.abs(delta[:n_nodes])) if n_nodes else 0.0
+        if worst > MAX_STEP:
+            delta = delta * (MAX_STEP / worst)
+        x = x + delta
+        if np.all(np.abs(delta[:n_nodes]) <= VTOL * 100 + RELTOL * np.abs(x[:n_nodes])):
+            return x, device_ops
+    raise ConvergenceError(
+        f"transient NR failed at t={t:g} ({max_iterations} iterations)",
+        max_iterations,
+    )

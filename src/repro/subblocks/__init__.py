@@ -1,0 +1,69 @@
+"""Reusable sub-block designers (Section 4.2).
+
+"Sub-blocks include differential pairs, current mirrors, level shifters,
+and transconductance amplifiers. ... none of these sub-blocks is specific
+to a particular topology: they are based on their own independent
+templates and plans, and are fully reusable as parts of other
+higher-level designs."
+
+Each module in this package is one sub-block designer: it owns the fixed
+topology templates for its block type, the (simple) plan that sizes the
+devices, and a netlist emitter.  The op amp designers in
+:mod:`repro.opamp` and the ADC designers in :mod:`repro.adc` call these
+designers with translated sub-block specifications.
+"""
+
+from .sizing import (
+    SizedDevice,
+    gds_at,
+    gm_at,
+    size_for_gm_id,
+    size_for_vov,
+    snap_width,
+    vov_at,
+)
+from .current_mirror import (
+    DesignedMirror,
+    MirrorSpec,
+    design_current_mirror,
+    emit_mirror,
+)
+from .diff_pair import DesignedDiffPair, DiffPairSpec, design_diff_pair, emit_diff_pair
+from .level_shifter import (
+    DesignedLevelShifter,
+    LevelShifterSpec,
+    design_level_shifter,
+    emit_level_shifter,
+)
+from .gm_stage import DesignedGmStage, GmStageSpec, design_gm_stage, emit_gm_stage
+from .bias import BiasSpec, DesignedBias, design_bias, emit_bias
+
+__all__ = [
+    "SizedDevice",
+    "size_for_gm_id",
+    "size_for_vov",
+    "snap_width",
+    "vov_at",
+    "gm_at",
+    "gds_at",
+    "MirrorSpec",
+    "DesignedMirror",
+    "design_current_mirror",
+    "emit_mirror",
+    "DiffPairSpec",
+    "DesignedDiffPair",
+    "design_diff_pair",
+    "emit_diff_pair",
+    "LevelShifterSpec",
+    "DesignedLevelShifter",
+    "design_level_shifter",
+    "emit_level_shifter",
+    "GmStageSpec",
+    "DesignedGmStage",
+    "design_gm_stage",
+    "emit_gm_stage",
+    "BiasSpec",
+    "DesignedBias",
+    "design_bias",
+    "emit_bias",
+]

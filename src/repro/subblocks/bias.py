@@ -1,0 +1,126 @@
+"""Bias-network designer.
+
+Builds the master bias: an external reference current into a
+diode-connected device, whose gate line drives the tail/sink/source
+mirrors elsewhere in the amplifier.  Each consumer taps the gate line
+with its own mirror output device (sized here so all consumers share a
+common overdrive and mirror accurately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+from .sizing import SizedDevice, size_for_vov
+
+__all__ = ["BiasSpec", "DesignedBias", "design_bias", "emit_bias"]
+
+#: Overdrive for bias devices, volts: generous for matching, small enough
+#: to keep tail-source headroom cheap.
+VOV_BIAS = 0.25
+
+
+@dataclass(frozen=True)
+class BiasSpec:
+    """Specification of the bias network.
+
+    Attributes:
+        polarity: mirror polarity (NMOS bias sinks from vss in this
+            prototype).
+        i_ref: master reference current, amps.
+        taps: name -> output current for every consumer leg, amps.
+        length: channel length of bias devices, metres.
+    """
+
+    polarity: str
+    i_ref: float
+    taps: Tuple[Tuple[str, float], ...]
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.i_ref <= 0 or self.length <= 0:
+            raise SynthesisError(f"bias i_ref/length must be positive")
+        if not self.taps:
+            raise SynthesisError("bias network needs at least one tap")
+        for name, current in self.taps:
+            if current <= 0:
+                raise SynthesisError(f"bias tap {name!r} current must be positive")
+
+
+@dataclass(frozen=True)
+class DesignedBias:
+    """The sized bias network: one master diode plus one device per tap."""
+
+    spec: BiasSpec
+    master: SizedDevice
+    legs: Tuple[Tuple[str, SizedDevice], ...]
+    area: float
+
+    def leg(self, name: str) -> SizedDevice:
+        for tap_name, device in self.legs:
+            if tap_name == name:
+                return device
+        raise SynthesisError(f"bias network has no tap {name!r}")
+
+    @property
+    def vov(self) -> float:
+        """Common overdrive of the bias line, volts."""
+        return self.master.vov
+
+
+def design_bias(spec: BiasSpec, process: ProcessParameters) -> DesignedBias:
+    """Size the master diode and each consumer leg at a common overdrive."""
+    params = process.device(spec.polarity)
+    master = size_for_vov(params, process, spec.i_ref, VOV_BIAS, spec.length)
+    legs = []
+    for name, current in spec.taps:
+        leg = size_for_vov(params, process, current, master.vov, spec.length)
+        legs.append((name, leg))
+    area = master.active_area(process) + sum(
+        leg.active_area(process) for _, leg in legs
+    )
+    return DesignedBias(spec=spec, master=master, legs=tuple(legs), area=area)
+
+
+def emit_bias(
+    builder: CircuitBuilder,
+    bias: DesignedBias,
+    ref_node: str,
+    tap_nodes: Dict[str, str],
+    rail_node: str,
+    prefix: str = "bias",
+) -> None:
+    """Emit the bias network.
+
+    Args:
+        ref_node: node where the external reference current arrives (the
+            master diode connects here).
+        tap_nodes: tap name -> drain node of that consumer leg.  Taps not
+            listed are skipped (their gate line is still available via
+            ``ref_node``); listed names must exist in the design.
+    """
+    tag = f"{prefix}_" if prefix else ""
+    builder.mosfet(
+        f"{tag}mmaster",
+        ref_node,
+        ref_node,
+        rail_node,
+        bias.spec.polarity,
+        bias.master.width,
+        bias.master.length,
+    )
+    for name, node in tap_nodes.items():
+        leg = bias.leg(name)
+        builder.mosfet(
+            f"{tag}m_{name}",
+            node,
+            ref_node,
+            rail_node,
+            bias.spec.polarity,
+            leg.width,
+            leg.length,
+        )

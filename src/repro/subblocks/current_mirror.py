@@ -1,0 +1,500 @@
+"""Current-mirror designer (Section 3.2's worked selection example).
+
+"There are two possible topologies (simple and cascode) for a current
+mirror.  Selection is based primarily on area, as evaluated from circuit
+equations; the style with the smaller area is selected.  However, the
+detailed design of one topology requires some simple heuristics ...
+in a four-transistor cascode topology, we choose to fix the length of
+two devices at their minimum size, and require the width of all four
+devices to be equal."
+
+This module reproduces that designer: a two-style catalogue (``simple``,
+``cascode``), per-style sizing from the square-law equations,
+breadth-first selection on estimated area, and the quoted cascode
+heuristic (cascode devices at minimum length, all four widths equal).
+
+Each style *solves its own channel length* from the output-resistance
+requirement by inverting the process ``lambda = f(L)`` fit -- the length
+is the mirror's degree of freedom, so the knowledge of how to choose it
+belongs to this designer, not to the calling plan.  Keeping mirrors at
+the shortest adequate length also keeps their gate capacitance (and
+hence the mirror pole that erodes the amplifier's phase margin) as
+small as the gain spec allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..process.parameters import DeviceParams, ProcessParameters
+from ..kb.selection import breadth_first_select
+from ..kb.trace import DesignTrace
+from .sizing import GRID, VOV_MAX, VOV_MIN, SizedDevice, size_for_vov
+
+__all__ = ["MirrorSpec", "DesignedMirror", "design_current_mirror", "emit_mirror"]
+
+#: Styles in catalogue order.  The 1987 prototype's catalogue is exactly
+#: these two ("There are two possible topologies (simple and cascode)
+#: for a current mirror"); the wide-swing style below is a demonstrated
+#: extension and must be opted into explicitly via ``styles=``.
+MIRROR_STYLES = ("simple", "cascode")
+
+#: Extended catalogue including the wide-swing (Sooch) cascode, whose
+#: output needs only ``2*vov`` of headroom at cascode-grade rout.
+EXTENDED_MIRROR_STYLES = ("simple", "cascode", "wide_swing")
+
+#: Largest overdrive a mirror device is given even when headroom is
+#: plentiful (beyond this, matching gains nothing and Vgs grows).
+VOV_CEILING = 0.5
+
+
+@dataclass(frozen=True)
+class MirrorSpec:
+    """Translated specification for one current mirror.
+
+    Attributes:
+        polarity: device polarity (``"nmos"`` sinks, ``"pmos"`` sources).
+        i_in: reference current, amps.
+        i_out: output current, amps (sets the mirror ratio).
+        rout_min: minimum small-signal output resistance, ohms.
+        headroom: voltage available across the mirror output, volts
+            (limits the style: a cascode needs vth + 2*vov).
+        length_max: longest channel length the designer may use, metres
+            (the plan's area/pole budget).
+    """
+
+    polarity: str
+    i_in: float
+    i_out: float
+    rout_min: float
+    headroom: float
+    length_max: float
+
+    def __post_init__(self) -> None:
+        if self.i_in <= 0 or self.i_out <= 0:
+            raise SynthesisError(
+                f"mirror currents must be positive (i_in={self.i_in}, "
+                f"i_out={self.i_out})"
+            )
+        if self.rout_min <= 0 or self.headroom <= 0 or self.length_max <= 0:
+            raise SynthesisError("mirror rout/headroom/length_max must be positive")
+
+    @property
+    def ratio(self) -> float:
+        return self.i_out / self.i_in
+
+
+@dataclass(frozen=True)
+class DesignedMirror:
+    """A fully designed current mirror.
+
+    ``devices`` holds (role, SizedDevice) pairs; roles are ``ref`` /
+    ``out`` for the simple style plus ``ref_cascode`` / ``out_cascode``
+    for the cascode style.
+    """
+
+    spec: MirrorSpec
+    style: str
+    devices: Tuple[Tuple[str, SizedDevice], ...]
+    rout: float
+    v_required: float  # minimum |V| across the output for saturation
+    area: float
+
+    def device(self, role: str) -> SizedDevice:
+        for name, dev in self.devices:
+            if name == role:
+                return dev
+        raise SynthesisError(f"mirror has no device role {role!r}")
+
+    @property
+    def transistor_count(self) -> int:
+        return len(self.devices)
+
+    def pole_frequencies_hz(self, process: ProcessParameters) -> Tuple[float, ...]:
+        """Parasitic poles the mirror contributes to a signal path:
+        ``gm/(2 pi C)`` at each gate-line node, with C the gate
+        capacitance of the devices tied to it."""
+        poles = []
+        pairs = [("ref", "out")]
+        if self.style in ("cascode", "wide_swing"):
+            pairs.append(("ref_cascode", "out_cascode"))
+        for ref_role, out_role in pairs:
+            ref = self.device(ref_role)
+            out = self.device(out_role)
+            c_node = 0.0
+            for dev in (ref, out):
+                c_node += (2.0 / 3.0) * process.cox * dev.width * dev.length
+            poles.append(ref.gm / (2.0 * math.pi * c_node))
+        return tuple(poles)
+
+
+def _solve_length(
+    params: DeviceParams, process: ProcessParameters, lambda_target: float,
+    length_max: float,
+) -> float:
+    """Shortest grid length with lambda <= target.
+
+    Raises:
+        SynthesisError: when even ``length_max`` cannot reach the target.
+    """
+    needed = params.length_for_lambda(lambda_target)
+    if needed > length_max:
+        raise SynthesisError(
+            f"needs lambda <= {lambda_target:.4g} (L >= "
+            f"{'inf' if math.isinf(needed) else f'{needed * 1e6:.1f}um'}), "
+            f"budget is {length_max * 1e6:.1f} um"
+        )
+    length = max(process.min_length, needed)
+    return math.ceil(length / GRID - 1e-9) * GRID
+
+
+def _mirror_vov(spec: MirrorSpec, vth: float = 0.0) -> float:
+    """Overdrive choice: as large as headroom comfortably allows (small
+    devices, good matching), capped at the ceiling.
+
+    For a cascode (``vth`` > 0) the output needs ``vth + 2*vov`` of
+    headroom, so the overdrive budget is ``(headroom - vth) / 2`` less a
+    10 % guard; for a simple mirror it is 80 % of the headroom.
+    """
+    if vth > 0.0:
+        budget = 0.9 * (spec.headroom - vth) / 2.0
+    else:
+        budget = 0.8 * spec.headroom
+    vov = min(VOV_CEILING, budget)
+    if vov < VOV_MIN:
+        raise SynthesisError(
+            f"headroom {spec.headroom:.2f} V too small for a "
+            f"{'cascode' if vth > 0 else 'simple'} mirror"
+        )
+    return vov
+
+
+def _design_simple(
+    spec: MirrorSpec, params: DeviceParams, process: ProcessParameters
+) -> DesignedMirror:
+    """Two-transistor mirror: rout = 1/(lambda(L) * Iout); L solved from
+    the rout requirement."""
+    lambda_target = 1.0 / (spec.rout_min * spec.i_out)
+    try:
+        length = _solve_length(params, process, lambda_target, spec.length_max)
+    except SynthesisError as exc:
+        raise SynthesisError(f"simple mirror: {exc}") from exc
+    vov = _mirror_vov(spec)
+    ref = size_for_vov(params, process, spec.i_in, vov, length)
+    out = size_for_vov(params, process, spec.i_out, ref.vov, length)
+    if out.vov > spec.headroom:
+        raise SynthesisError(
+            f"simple mirror needs {out.vov:.2f} V headroom, has {spec.headroom:.2f} V"
+        )
+    rout = 1.0 / (params.lambda_at(length) * spec.i_out)
+    area = ref.active_area(process) + out.active_area(process)
+    return DesignedMirror(
+        spec=spec,
+        style="simple",
+        devices=(("ref", ref), ("out", out)),
+        rout=rout,
+        v_required=out.vov,
+        area=area,
+    )
+
+
+def _design_cascode(
+    spec: MirrorSpec, params: DeviceParams, process: ProcessParameters
+) -> DesignedMirror:
+    """Four-transistor cascode with the paper's heuristic: the two cascode
+    devices use the process minimum length, and all four widths are equal.
+
+    ``rout ~ gm_casc / (gds_casc * gds_bottom)``; the bottom length is
+    solved so that holds against the requirement.
+    """
+    l_cascode = process.min_length
+    vov = _mirror_vov(spec, vth=params.vth_magnitude)
+    v_required = params.vth_magnitude + 2.0 * vov
+    if v_required > spec.headroom:
+        raise SynthesisError(
+            f"cascode mirror needs {v_required:.2f} V headroom, "
+            f"has {spec.headroom:.2f} V"
+        )
+    # Cascode leg small-signal values at the output current.
+    gm_casc = 2.0 * spec.i_out / vov
+    gds_casc = params.lambda_at(l_cascode) * spec.i_out
+    lambda_bottom_target = gm_casc / (spec.rout_min * gds_casc * spec.i_out)
+    # Bottom length: min length if that already meets rout, else solved.
+    if params.lambda_at(process.min_length) <= lambda_bottom_target:
+        l_bottom = process.min_length
+    else:
+        try:
+            l_bottom = _solve_length(
+                params, process, lambda_bottom_target, spec.length_max
+            )
+        except SynthesisError as exc:
+            raise SynthesisError(f"cascode mirror: {exc}") from exc
+
+    # Size the bottom reference device, then apply the equal-width
+    # heuristic across all four devices.
+    ref_sized = size_for_vov(params, process, spec.i_in, vov, l_bottom)
+    out_sized = size_for_vov(params, process, spec.i_out, ref_sized.vov, l_bottom)
+    width = max(ref_sized.width, out_sized.width)
+
+    def resized(ids: float, length: float) -> SizedDevice:
+        beta = params.beta(width, length)
+        vov_actual = math.sqrt(2.0 * ids / beta)
+        if vov_actual > VOV_MAX:
+            raise SynthesisError("cascode device overdrive out of range")
+        return SizedDevice(
+            polarity=params.polarity,
+            width=width,
+            length=length,
+            ids=ids,
+            vov=vov_actual,
+            gm=math.sqrt(2.0 * beta * ids),
+            gds=params.lambda_at(length) * ids,
+            vth=params.vth_magnitude,
+        )
+
+    ref = resized(spec.i_in, l_bottom)
+    out = resized(spec.i_out, l_bottom)
+    ref_cascode = resized(spec.i_in, l_cascode)
+    out_cascode = resized(spec.i_out, l_cascode)
+
+    rout = out_cascode.gm / (out_cascode.gds * out.gds)
+    if rout < spec.rout_min:
+        raise SynthesisError(
+            f"cascode mirror rout {rout:.3g} < required {spec.rout_min:.3g}"
+        )
+    devices = (
+        ("ref", ref),
+        ("out", out),
+        ("ref_cascode", ref_cascode),
+        ("out_cascode", out_cascode),
+    )
+    area = sum(dev.active_area(process) for _, dev in devices)
+    return DesignedMirror(
+        spec=spec,
+        style="cascode",
+        devices=devices,
+        rout=rout,
+        v_required=v_required,
+        area=area,
+    )
+
+
+def _design_wide_swing(
+    spec: MirrorSpec, params: DeviceParams, process: ProcessParameters
+) -> DesignedMirror:
+    """Wide-swing (Sooch) cascode: cascode-grade output resistance with
+    only ``2*vov`` of output headroom.
+
+    Structure: the four mirror/cascode devices of the classic cascode,
+    but the cascode gates are biased one threshold *lower* by an
+    auxiliary branch -- a diode-connected device at a quarter of the
+    mirror width (so its overdrive is doubled: ``vgs = vth + 2*vov``),
+    carrying its own small reference current.  The emitter provides that
+    branch internally.
+    """
+    l_cascode = process.min_length
+    # vov budget: with the W/7 bias diode the cascode gate sits at
+    # vth + sqrt(7)*vov ~ vth + 2.65*vov, so the bottom devices keep
+    # ~0.15 V of saturation margin even after the body effect raises the
+    # cascode threshold; the output then needs ~2.8*vov of headroom --
+    # above the ideal 2*vov but far below the classic cascode's
+    # vth + 2*vov.
+    vov = min(VOV_CEILING, 0.9 * spec.headroom / 2.8)
+    if vov < VOV_MIN:
+        raise SynthesisError(
+            f"headroom {spec.headroom:.2f} V too small for a wide-swing mirror"
+        )
+    v_required = 2.8 * vov
+    gm_casc = 2.0 * spec.i_out / vov
+    gds_casc = params.lambda_at(l_cascode) * spec.i_out
+    lambda_bottom_target = gm_casc / (spec.rout_min * gds_casc * spec.i_out)
+    if params.lambda_at(process.min_length) <= lambda_bottom_target:
+        l_bottom = process.min_length
+    else:
+        try:
+            l_bottom = _solve_length(
+                params, process, lambda_bottom_target, spec.length_max
+            )
+        except SynthesisError as exc:
+            raise SynthesisError(f"wide-swing mirror: {exc}") from exc
+
+    ref = size_for_vov(params, process, spec.i_in, vov, l_bottom)
+    out = size_for_vov(params, process, spec.i_out, ref.vov, l_bottom)
+    ref_cascode = size_for_vov(params, process, spec.i_in, vov, l_cascode)
+    out_cascode = size_for_vov(params, process, spec.i_out, vov, l_cascode)
+    # Bias diode: one seventh of the cascode width at the full
+    # reference current makes its overdrive sqrt(7) * vov, biasing the
+    # cascode gates at vth + ~2.65*vov (see the headroom comment above).
+    bias_w = max(process.min_width, ref_cascode.width / 7.0)
+    beta_b = params.beta(bias_w, l_cascode)
+    i_bias = spec.i_in
+    vov_b = math.sqrt(2.0 * i_bias / beta_b)
+    bias = SizedDevice(
+        polarity=params.polarity,
+        width=bias_w,
+        length=l_cascode,
+        ids=i_bias,
+        vov=vov_b,
+        gm=math.sqrt(2.0 * beta_b * i_bias),
+        gds=params.lambda_at(l_cascode) * i_bias,
+        vth=params.vth_magnitude,
+    )
+
+    rout = out_cascode.gm / (out_cascode.gds * out.gds)
+    if rout < spec.rout_min:
+        raise SynthesisError(
+            f"wide-swing mirror rout {rout:.3g} < required {spec.rout_min:.3g}"
+        )
+    devices = (
+        ("ref", ref),
+        ("out", out),
+        ("ref_cascode", ref_cascode),
+        ("out_cascode", out_cascode),
+        ("bias_diode", bias),
+    )
+    area = sum(dev.active_area(process) for _, dev in devices)
+    return DesignedMirror(
+        spec=spec,
+        style="wide_swing",
+        devices=devices,
+        rout=rout,
+        v_required=v_required,
+        area=area,
+    )
+
+
+def design_current_mirror(
+    spec: MirrorSpec,
+    process: ProcessParameters,
+    trace: Optional[DesignTrace] = None,
+    block: str = "current_mirror",
+    styles: Tuple[str, ...] = MIRROR_STYLES,
+) -> DesignedMirror:
+    """Design a current mirror by breadth-first style selection on area.
+
+    Raises:
+        SynthesisError: when no permitted style meets rout within the
+            headroom and length budget.
+    """
+    params = process.device(spec.polarity)
+
+    def design_one(style: str):
+        if style == "simple":
+            result = _design_simple(spec, params, process)
+        elif style == "cascode":
+            result = _design_cascode(spec, params, process)
+        elif style == "wide_swing":
+            result = _design_wide_swing(spec, params, process)
+        else:  # pragma: no cover
+            raise SynthesisError(f"unknown mirror style {style!r}")
+        return result, result.area, 0
+
+    winner, _ = breadth_first_select(list(styles), design_one, trace, block)
+    return winner.result
+
+
+def emit_mirror(
+    builder: CircuitBuilder,
+    mirror: DesignedMirror,
+    input_node: str,
+    output_node: str,
+    rail_node: str,
+    prefix: str = "",
+) -> None:
+    """Emit the mirror into a builder.
+
+    Args:
+        input_node: the diode-connected reference input.
+        output_node: the mirrored output.
+        rail_node: common source rail (vss for NMOS, vdd for PMOS).
+        prefix: optional instance-name prefix inside the current scope.
+    """
+    tag = f"{prefix}_" if prefix else ""
+    polarity = mirror.spec.polarity
+    if mirror.style == "simple":
+        ref, out = mirror.device("ref"), mirror.device("out")
+        builder.mosfet(
+            f"{tag}mref", input_node, input_node, rail_node, polarity,
+            ref.width, ref.length,
+        )
+        builder.mosfet(
+            f"{tag}mout", output_node, input_node, rail_node, polarity,
+            out.width, out.length,
+        )
+        return
+    if mirror.style == "wide_swing":
+        _emit_wide_swing(builder, mirror, input_node, output_node, rail_node, tag)
+        return
+    # Cascode: bottom pair mirrors, top pair cascodes; the reference side
+    # is double-diode connected (classic 4T cascode mirror).
+    ref = mirror.device("ref")
+    out = mirror.device("out")
+    ref_cascode = mirror.device("ref_cascode")
+    out_cascode = mirror.device("out_cascode")
+    mid_ref = builder.node(f"{tag}casc_ref")
+    mid_out = builder.node(f"{tag}casc_out")
+    builder.mosfet(
+        f"{tag}mref", mid_ref, mid_ref, rail_node, polarity, ref.width, ref.length
+    )
+    builder.mosfet(
+        f"{tag}mrefc", input_node, input_node, mid_ref, polarity,
+        ref_cascode.width, ref_cascode.length,
+    )
+    builder.mosfet(
+        f"{tag}mout", mid_out, mid_ref, rail_node, polarity, out.width, out.length
+    )
+    builder.mosfet(
+        f"{tag}moutc", output_node, input_node, mid_out, polarity,
+        out_cascode.width, out_cascode.length,
+    )
+
+
+def _emit_wide_swing(
+    builder: CircuitBuilder,
+    mirror: DesignedMirror,
+    input_node: str,
+    output_node: str,
+    rail_node: str,
+    tag: str,
+) -> None:
+    """Wide-swing cascode: the cascode gate line is biased by an
+    auxiliary narrow diode carrying the full reference current (the
+    designer provides it as an internal ideal source, standing in for a
+    tap on the amplifier's master bias)."""
+    polarity = mirror.spec.polarity
+    ref = mirror.device("ref")
+    out = mirror.device("out")
+    ref_cascode = mirror.device("ref_cascode")
+    out_cascode = mirror.device("out_cascode")
+    bias = mirror.device("bias_diode")
+    nb = builder.node(f"{tag}ws_bias")
+    x1 = builder.node(f"{tag}ws_ref")
+    x2 = builder.node(f"{tag}ws_out")
+    i_bias = mirror.spec.i_in
+    if polarity == "nmos":
+        builder.isource(f"{tag}ib", builder.vdd_node, nb, dc=i_bias)
+    else:
+        builder.isource(f"{tag}ib", nb, builder.vss_node, dc=i_bias)
+    builder.mosfet(
+        f"{tag}mbias", nb, nb, rail_node, polarity, bias.width, bias.length
+    )
+    # Input branch: bottom gates tie to the cascode drain (input node).
+    builder.mosfet(
+        f"{tag}mref", x1, input_node, rail_node, polarity, ref.width, ref.length
+    )
+    builder.mosfet(
+        f"{tag}mrefc", input_node, nb, x1, polarity,
+        ref_cascode.width, ref_cascode.length,
+    )
+    # Output branch.
+    builder.mosfet(
+        f"{tag}mout", x2, input_node, rail_node, polarity, out.width, out.length
+    )
+    builder.mosfet(
+        f"{tag}moutc", output_node, nb, x2, polarity,
+        out_cascode.width, out_cascode.length,
+    )

@@ -1,0 +1,116 @@
+"""Differential-pair designer.
+
+Sizes a source-coupled pair for a required transconductance at a given
+tail current.  Each half carries ``i_tail / 2``; the pair gm equals the
+per-device gm.  The designer reports the electrical summary the op amp
+plans need: overdrive (for common-mode range bookkeeping), per-device
+vgs, input capacitance estimate, and active area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+from .sizing import SizedDevice, size_for_gm_id
+
+__all__ = ["DiffPairSpec", "DesignedDiffPair", "design_diff_pair", "emit_diff_pair"]
+
+
+@dataclass(frozen=True)
+class DiffPairSpec:
+    """Translated specification for a differential pair.
+
+    Attributes:
+        polarity: pair device polarity.
+        gm: required differential transconductance, siemens.
+        i_tail: tail current the pair splits, amps.
+        length: channel length, metres.
+    """
+
+    polarity: str
+    gm: float
+    i_tail: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.gm <= 0 or self.i_tail <= 0 or self.length <= 0:
+            raise SynthesisError(
+                f"diff pair spec must be positive (gm={self.gm}, "
+                f"i_tail={self.i_tail}, L={self.length})"
+            )
+
+
+@dataclass(frozen=True)
+class DesignedDiffPair:
+    """A designed source-coupled pair (two matched devices)."""
+
+    spec: DiffPairSpec
+    device: SizedDevice
+    area: float
+
+    @property
+    def gm(self) -> float:
+        return self.device.gm
+
+    @property
+    def vov(self) -> float:
+        return self.device.vov
+
+    @property
+    def vgs(self) -> float:
+        """|Vgs| of each half at balance, volts."""
+        return self.device.vgs_magnitude
+
+    def input_capacitance(self, process: ProcessParameters) -> float:
+        """Single-ended input capacitance estimate: cgs ~ (2/3) Cox W L
+        plus gate overlap, farads."""
+        dev = process.device(self.spec.polarity)
+        w, l = self.device.width, self.device.length
+        return (2.0 / 3.0) * process.cox * w * l + dev.cgso * w
+
+
+def design_diff_pair(
+    spec: DiffPairSpec, process: ProcessParameters
+) -> DesignedDiffPair:
+    """Size the pair: each half provides ``spec.gm`` at ``i_tail/2``.
+
+    Raises:
+        SynthesisError: if the implied overdrive leaves the trusted
+            square-law range (the calling plan should adjust the tail
+            current) or the width limit is exceeded.
+    """
+    params = process.device(spec.polarity)
+    half_current = spec.i_tail / 2.0
+    device = size_for_gm_id(params, process, spec.gm, half_current, spec.length)
+    area = 2.0 * device.active_area(process)
+    return DesignedDiffPair(spec=spec, device=device, area=area)
+
+
+def emit_diff_pair(
+    builder: CircuitBuilder,
+    pair: DesignedDiffPair,
+    inp: str,
+    inn: str,
+    out_p: str,
+    out_n: str,
+    tail: str,
+    prefix: str = "",
+) -> None:
+    """Emit the two pair devices.
+
+    Args:
+        inp / inn: non-inverting / inverting gate nodes.
+        out_p / out_n: drains of the inp / inn halves.
+        tail: common source node.
+    """
+    tag = f"{prefix}_" if prefix else ""
+    dev = pair.device
+    builder.mosfet(
+        f"{tag}m1", out_p, inp, tail, pair.spec.polarity, dev.width, dev.length
+    )
+    builder.mosfet(
+        f"{tag}m2", out_n, inn, tail, pair.spec.polarity, dev.width, dev.length
+    )

@@ -1,0 +1,133 @@
+"""Transconductance (output) stage designer.
+
+The second stage of the two-stage op amp: a common-source device
+providing the stage transconductance, loaded by a current sink/source
+from the bias network.  The designer resolves the coupled choice of
+(gm, bias current, overdrive) under an output-swing ceiling: the stage's
+saturation limit at the output is its overdrive, so
+``vov <= rail_margin`` where ``rail_margin = (rail - swing)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+from .sizing import VOV_MAX, VOV_MIN, SizedDevice, size_for_gm_id
+
+__all__ = ["GmStageSpec", "DesignedGmStage", "design_gm_stage", "emit_gm_stage"]
+
+
+@dataclass(frozen=True)
+class GmStageSpec:
+    """Translated specification for a common-source gm stage.
+
+    Attributes:
+        polarity: the common-source device polarity.
+        gm: required stage transconductance, siemens.
+        vov_max: largest overdrive the output swing allows, volts.
+        length: channel length, metres.
+        i_min: lower bound on the stage current (e.g. from the slew
+            requirement on the load capacitor), amps.
+    """
+
+    polarity: str
+    gm: float
+    vov_max: float
+    length: float
+    i_min: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gm <= 0 or self.length <= 0:
+            raise SynthesisError(f"gm stage spec must be positive (gm={self.gm})")
+        if self.vov_max <= 0:
+            raise SynthesisError(
+                f"gm stage has no overdrive headroom (vov_max={self.vov_max}); "
+                "the output swing cannot be met by this style"
+            )
+        if self.i_min < 0:
+            raise SynthesisError("i_min must be non-negative")
+
+
+@dataclass(frozen=True)
+class DesignedGmStage:
+    """A designed common-source stage (the load sink is sized by the
+    caller's bias network at ``bias_current``)."""
+
+    spec: GmStageSpec
+    device: SizedDevice
+    bias_current: float
+    area: float
+
+    @property
+    def gm(self) -> float:
+        return self.device.gm
+
+    @property
+    def vov(self) -> float:
+        return self.device.vov
+
+    @property
+    def gds(self) -> float:
+        return self.device.gds
+
+
+def design_gm_stage(spec: GmStageSpec, process: ProcessParameters) -> DesignedGmStage:
+    """Choose the stage current and size the device.
+
+    Since ``I = gm * vov / 2``, a smaller overdrive delivers the required
+    gm at less current (and less power); the designer therefore picks the
+    smallest trusted overdrive unless the slew-driven current floor forces
+    more.  This is exactly the kind of heuristic tradeoff Section 3.3
+    describes: the equations relate gm, I and vov but do not choose them.
+    """
+    params = process.device(spec.polarity)
+    vov_cap = min(spec.vov_max, VOV_MAX)
+    if vov_cap < VOV_MIN:
+        raise SynthesisError(
+            f"swing limits the stage overdrive to {vov_cap:.2f} V, below the "
+            f"trusted minimum {VOV_MIN:.2f} V"
+        )
+    # Current from gm at the smallest trusted overdrive...
+    i_stage = spec.gm * VOV_MIN / 2.0
+    # ...but never below the slew-driven floor.
+    if i_stage < spec.i_min:
+        i_stage = spec.i_min
+    # The implied overdrive must respect the swing cap.
+    vov_implied = 2.0 * i_stage / spec.gm
+    if vov_implied > vov_cap:
+        raise SynthesisError(
+            f"stage current floor {spec.i_min * 1e6:.1f} uA forces overdrive "
+            f"{vov_implied:.2f} V beyond the swing limit {vov_cap:.2f} V"
+        )
+    device = size_for_gm_id(params, process, spec.gm, i_stage, spec.length)
+    return DesignedGmStage(
+        spec=spec,
+        device=device,
+        bias_current=i_stage,
+        area=device.active_area(process),
+    )
+
+
+def emit_gm_stage(
+    builder: CircuitBuilder,
+    stage: DesignedGmStage,
+    input_node: str,
+    output_node: str,
+    rail_node: str,
+    prefix: str = "",
+) -> None:
+    """Emit the common-source device (source at the rail)."""
+    tag = f"{prefix}_" if prefix else ""
+    dev = stage.device
+    builder.mosfet(
+        f"{tag}mcs",
+        output_node,
+        input_node,
+        rail_node,
+        stage.spec.polarity,
+        dev.width,
+        dev.length,
+    )

@@ -1,0 +1,124 @@
+"""Level-shifter designer.
+
+A source follower that shifts a signal down (NMOS) or up (PMOS) by its
+|Vgs|.  The paper's test case C inserts one "to match the output voltage
+of the differential pair in the first stage to the input voltage of the
+transconductance amplifier in the second stage" after the load mirror is
+cascoded.
+
+The designer chooses the follower overdrive to realise a requested shift
+(``shift = vth + vov``), then sizes the follower and its current sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.builder import CircuitBuilder
+from ..errors import SynthesisError
+from ..process.parameters import ProcessParameters
+from .sizing import VOV_MAX, VOV_MIN, SizedDevice, size_for_vov
+
+__all__ = [
+    "LevelShifterSpec",
+    "DesignedLevelShifter",
+    "design_level_shifter",
+    "emit_level_shifter",
+]
+
+
+@dataclass(frozen=True)
+class LevelShifterSpec:
+    """Translated specification for a source-follower level shifter.
+
+    Attributes:
+        polarity: follower device polarity (NMOS shifts down by |vgs|,
+            PMOS shifts up).
+        shift: required |Vgs| shift, volts.
+        i_bias: follower bias current, amps.
+        length: channel length, metres.
+    """
+
+    polarity: str
+    shift: float
+    i_bias: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.shift <= 0 or self.i_bias <= 0 or self.length <= 0:
+            raise SynthesisError(
+                f"level shifter spec must be positive (shift={self.shift}, "
+                f"i_bias={self.i_bias})"
+            )
+
+
+@dataclass(frozen=True)
+class DesignedLevelShifter:
+    """A designed follower (the bias sink is sized by the caller's bias
+    network; its required current is ``spec.i_bias``)."""
+
+    spec: LevelShifterSpec
+    device: SizedDevice
+    achieved_shift: float
+    area: float
+
+    @property
+    def gain(self) -> float:
+        """Small-signal follower gain gm/(gm + gds) (body effect ignored
+        at this level -- first-order model)."""
+        return self.device.gm / (self.device.gm + self.device.gds)
+
+
+def design_level_shifter(
+    spec: LevelShifterSpec, process: ProcessParameters
+) -> DesignedLevelShifter:
+    """Size the follower so |Vgs| equals the requested shift.
+
+    Raises:
+        SynthesisError: when the requested shift is below |Vth| + VOV_MIN
+            (cannot be reached by a follower in strong inversion) or
+            above |Vth| + VOV_MAX.
+    """
+    params = process.device(spec.polarity)
+    vov = spec.shift - params.vth_magnitude
+    if vov < VOV_MIN:
+        raise SynthesisError(
+            f"requested shift {spec.shift:.2f} V below the follower minimum "
+            f"{params.vth_magnitude + VOV_MIN:.2f} V"
+        )
+    if vov > VOV_MAX:
+        raise SynthesisError(
+            f"requested shift {spec.shift:.2f} V above the follower maximum "
+            f"{params.vth_magnitude + VOV_MAX:.2f} V"
+        )
+    device = size_for_vov(params, process, spec.i_bias, vov, spec.length)
+    achieved = params.vth_magnitude + device.vov
+    return DesignedLevelShifter(
+        spec=spec,
+        device=device,
+        achieved_shift=achieved,
+        area=device.active_area(process),
+    )
+
+
+def emit_level_shifter(
+    builder: CircuitBuilder,
+    shifter: DesignedLevelShifter,
+    input_node: str,
+    output_node: str,
+    rail_node: str,
+    prefix: str = "",
+) -> None:
+    """Emit the follower device (drain to the rail; the bias sink is
+    emitted by the caller's bias network on ``output_node``)."""
+    tag = f"{prefix}_" if prefix else ""
+    dev = shifter.device
+    builder.mosfet(
+        f"{tag}mfollow",
+        rail_node,
+        input_node,
+        output_node,
+        shifter.spec.polarity,
+        dev.width,
+        dev.length,
+    )

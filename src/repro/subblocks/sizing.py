@@ -1,0 +1,174 @@
+"""Square-law sizing helpers shared by all sub-block designers.
+
+These are the "highly simplified models of devices and device
+interactions" good designers use to make tradeoffs (Section 3.3): the
+saturation square law ``Id = (K'/2)(W/L) Vov^2`` and its corollaries
+
+* ``gm = sqrt(2 K' (W/L) Id) = 2 Id / Vov``
+* ``gds = lambda(L) * Id``
+* ``W = 2 Id L / (K' Vov^2)``
+
+plus geometry legalisation against the process grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from ..process.parameters import DeviceParams, ProcessParameters
+
+__all__ = [
+    "GRID",
+    "WIDTH_MAX",
+    "VOV_MIN",
+    "VOV_MAX",
+    "SizedDevice",
+    "snap_width",
+    "size_for_vov",
+    "size_for_gm_id",
+    "vov_at",
+    "gm_at",
+    "gds_at",
+]
+
+#: Layout grid for drawn widths, metres.
+GRID = 0.5e-6
+
+#: Largest width a single (multi-finger) device may have before the
+#: designer should give up rather than emit an absurd layout, metres.
+WIDTH_MAX = 5000e-6
+
+#: Smallest overdrive the square-law model is trusted for, volts
+#: (below this the device drifts toward weak inversion).
+VOV_MIN = 0.10
+
+#: Largest overdrive a designer will deliberately choose, volts.
+VOV_MAX = 2.0
+
+
+@dataclass(frozen=True)
+class SizedDevice:
+    """A sized transistor with its design-point electrical summary.
+
+    Attributes:
+        polarity: ``"nmos"`` / ``"pmos"``.
+        width / length: drawn geometry, metres.
+        ids: magnitude of the design drain current, amps.
+        vov: design overdrive, volts.
+        gm: design transconductance, siemens.
+        gds: design output conductance, siemens.
+        vth: zero-bias threshold magnitude, volts.
+    """
+
+    polarity: str
+    width: float
+    length: float
+    ids: float
+    vov: float
+    gm: float
+    gds: float
+    vth: float = 0.0
+
+    @property
+    def vgs_magnitude(self) -> float:
+        """|Vgs| = |Vth| + Vov at the design point (no body effect)."""
+        return self.vth + self.vov
+
+    def active_area(self, process: ProcessParameters) -> float:
+        """Gate plus two diffusions, m^2."""
+        gate = self.width * self.length
+        diffusion = 2.0 * self.width * process.min_drain_width
+        return gate + diffusion
+
+
+def snap_width(width: float, process: ProcessParameters) -> float:
+    """Legalise a width: snap up to the grid, enforce process minimum.
+
+    Raises:
+        SynthesisError: if the required width exceeds :data:`WIDTH_MAX`
+            (the design wants an absurdly strong device -- the calling
+            plan should raise the overdrive or give up).
+    """
+    if width > WIDTH_MAX:
+        raise SynthesisError(
+            f"required width {width * 1e6:.0f} um exceeds the "
+            f"{WIDTH_MAX * 1e6:.0f} um design limit"
+        )
+    snapped = max(width, process.min_width)
+    return math.ceil(snapped / GRID - 1e-9) * GRID
+
+
+def size_for_vov(
+    dev: DeviceParams,
+    process: ProcessParameters,
+    ids: float,
+    vov: float,
+    length: float,
+) -> SizedDevice:
+    """Size a device to carry ``ids`` at overdrive ``vov``.
+
+    Raises:
+        SynthesisError: for out-of-range overdrive or unattainable width.
+    """
+    if ids <= 0:
+        raise SynthesisError(f"cannot size for non-positive current {ids}")
+    if not VOV_MIN <= vov <= VOV_MAX:
+        raise SynthesisError(
+            f"overdrive {vov:.3f} V outside trusted range "
+            f"[{VOV_MIN}, {VOV_MAX}]"
+        )
+    beta = 2.0 * ids / (vov * vov)
+    width = snap_width(beta * length / dev.kp, process)
+    # Recompute the actual design point with the legalised width.
+    beta_actual = dev.beta(width, length)
+    vov_actual = math.sqrt(2.0 * ids / beta_actual)
+    return SizedDevice(
+        polarity=dev.polarity,
+        width=width,
+        length=length,
+        ids=ids,
+        vov=vov_actual,
+        gm=math.sqrt(2.0 * beta_actual * ids),
+        gds=dev.lambda_at(length) * ids,
+        vth=dev.vth_magnitude,
+    )
+
+
+def size_for_gm_id(
+    dev: DeviceParams,
+    process: ProcessParameters,
+    gm: float,
+    ids: float,
+    length: float,
+) -> SizedDevice:
+    """Size a device to provide ``gm`` at current ``ids``.
+
+    The implied overdrive is ``2*ids/gm``; it must fall inside the
+    trusted square-law range, otherwise the caller should change the
+    current budget.
+    """
+    if gm <= 0 or ids <= 0:
+        raise SynthesisError(f"cannot size for gm={gm}, ids={ids}")
+    vov = 2.0 * ids / gm
+    return size_for_vov(dev, process, ids, vov, length)
+
+
+def vov_at(dev: DeviceParams, ids: float, width: float, length: float) -> float:
+    """Overdrive of a sized device at a given current, volts."""
+    if ids <= 0:
+        return 0.0
+    return math.sqrt(2.0 * ids / dev.beta(width, length))
+
+
+def gm_at(dev: DeviceParams, ids: float, width: float, length: float) -> float:
+    """Transconductance of a sized device at a given current, siemens."""
+    if ids <= 0:
+        return 0.0
+    return math.sqrt(2.0 * dev.beta(width, length) * ids)
+
+
+def gds_at(dev: DeviceParams, ids: float, length: float) -> float:
+    """Output conductance ``lambda(L) * Id``, siemens."""
+    return dev.lambda_at(length) * abs(ids)

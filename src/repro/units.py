@@ -1,0 +1,169 @@
+"""Engineering-unit parsing and formatting.
+
+Analog specifications and technology files are written with SPICE-style
+engineering suffixes (``1.5u``, ``10MEG``, ``4.7k``) and with derived
+conveniences such as decibels.  This module is the single place those
+conventions live.
+
+Suffix conventions follow SPICE: suffixes are case-insensitive, ``MEG``
+means 1e6 and a bare ``m`` means 1e-3 (milli).  Any trailing alphabetic
+unit after a recognised suffix is ignored (``10pF`` parses as 10e-12),
+exactly as SPICE ignores trailing letters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+from .errors import UnitError
+
+__all__ = [
+    "parse_quantity",
+    "format_quantity",
+    "db",
+    "undb",
+    "db20",
+    "undb20",
+    "degrees",
+    "radians",
+    "parallel",
+]
+
+# Longest suffixes must be matched first ("MEG" before "M").
+_SUFFIXES = [
+    ("T", 1e12),
+    ("G", 1e9),
+    ("MEG", 1e6),
+    ("X", 1e6),  # historical SPICE alias for MEG
+    ("K", 1e3),
+    ("M", 1e-3),
+    ("U", 1e-6),
+    ("N", 1e-9),
+    ("P", 1e-12),
+    ("F", 1e-15),
+    ("A", 1e-18),
+]
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z%]*)\s*$"
+)
+
+# Display suffixes keyed by decimal exponent, used by format_quantity.
+_DISPLAY = {
+    12: "T",
+    9: "G",
+    6: "MEG",
+    3: "k",
+    0: "",
+    -3: "m",
+    -6: "u",
+    -9: "n",
+    -12: "p",
+    -15: "f",
+    -18: "a",
+}
+
+
+def parse_quantity(text: Union[str, float, int]) -> float:
+    """Parse a SPICE-style quantity string into a float.
+
+    Numbers pass through unchanged.  Strings accept an optional engineering
+    suffix and an optional trailing unit, which is ignored::
+
+        >>> parse_quantity("1.5u")
+        1.5e-06
+        >>> parse_quantity("10MEG")
+        10000000.0
+        >>> parse_quantity("20pF")
+        2e-11
+        >>> parse_quantity(3.3)
+        3.3
+
+    Raises:
+        UnitError: if the string is not a number with optional suffix.
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitError(f"cannot parse quantity from {type(text).__name__}")
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitError(f"malformed quantity: {text!r}")
+    value = float(match.group(1))
+    tail = match.group(2).upper()
+    if not tail or tail == "%":
+        return value * (0.01 if tail == "%" else 1.0)
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            # MEG must be matched in full, not as M + "EG"-unit, which the
+            # ordering above already guarantees; remaining letters are the
+            # unit and are ignored (e.g. the "F" of "pF").
+            return value * scale
+    # No recognised suffix: the tail is a bare unit like "V" or "Hz".
+    if tail.isalpha():
+        return value
+    raise UnitError(f"malformed quantity: {text!r}")
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a value with an engineering suffix, e.g. ``format_quantity(
+    2.2e-05, "F")`` -> ``"22u F".replace(" ", "")`` -> ``"22uF"``.
+
+    Zero, NaN and infinity are rendered without a suffix.
+    """
+    if value == 0 or math.isnan(value) or math.isinf(value):
+        return f"{value:g}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0)) * 3
+    exponent = max(-18, min(12, exponent))
+    suffix = _DISPLAY[exponent]
+    scaled = value / 10.0**exponent
+    return f"{scaled:.{digits}g}{suffix}{unit}"
+
+
+def db(power_ratio: float) -> float:
+    """Power ratio -> decibels (10*log10)."""
+    if power_ratio <= 0:
+        raise UnitError(f"dB of non-positive ratio: {power_ratio}")
+    return 10.0 * math.log10(power_ratio)
+
+
+def undb(decibels: float) -> float:
+    """Decibels -> power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def db20(amplitude_ratio: float) -> float:
+    """Amplitude (voltage/current) ratio -> decibels (20*log10)."""
+    if amplitude_ratio <= 0:
+        raise UnitError(f"dB of non-positive ratio: {amplitude_ratio}")
+    return 20.0 * math.log10(amplitude_ratio)
+
+
+def undb20(decibels: float) -> float:
+    """Decibels -> amplitude ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def degrees(rad: float) -> float:
+    """Radians -> degrees."""
+    return math.degrees(rad)
+
+
+def radians(deg: float) -> float:
+    """Degrees -> radians."""
+    return math.radians(deg)
+
+
+def parallel(*values: float) -> float:
+    """Parallel combination of resistances (or series of capacitances).
+
+    ``parallel(r1, r2, ...) = 1 / (1/r1 + 1/r2 + ...)``.  Any zero operand
+    short-circuits the result to zero.
+    """
+    if not values:
+        raise UnitError("parallel() needs at least one value")
+    if any(v == 0 for v in values):
+        return 0.0
+    return 1.0 / sum(1.0 / v for v in values)

@@ -1,0 +1,229 @@
+"""Tests for the SAR A/D converter hierarchy (Figure 1 / Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import (
+    CapDacSpec,
+    ComparatorSpec,
+    SampleHoldSpec,
+    SarAdcSpec,
+    design_cap_dac,
+    design_comparator,
+    design_sample_hold,
+    design_sar_adc,
+    figure1_hierarchy,
+    simulate_conversion,
+)
+from repro.adc.comparator import translate_to_opamp_spec
+from repro.adc.sar import transfer_curve
+from repro.errors import SynthesisError
+from repro.kb import DesignTrace
+from repro.process import CMOS_5UM
+
+
+@pytest.fixture(scope="module")
+def adc8():
+    return design_sar_adc(SarAdcSpec(bits=8, sample_rate=20e3, v_full_scale=5.0), CMOS_5UM)
+
+
+class TestFigure1Hierarchy:
+    def test_levels(self):
+        tree = figure1_hierarchy()
+        # Level 0 (adc) .. level 3 (devices under the preamp).
+        assert tree.depth() == 3
+
+    def test_functional_blocks_present(self):
+        tree = figure1_hierarchy()
+        names = [b.name for b in tree.children]
+        assert names == ["sample_hold", "comparator", "dac", "sar_logic"]
+
+    def test_loose_hierarchy(self):
+        """Siblings of very different complexity: the sample-and-hold is
+        two leaves while the comparator subtree is much deeper."""
+        tree = figure1_hierarchy()
+        assert tree.child("sample_hold").depth() == 1
+        assert tree.child("comparator").depth() == 2
+
+    def test_opamp_is_a_subblock(self):
+        tree = figure1_hierarchy()
+        assert len(tree.find_all("opamp")) == 1
+
+    def test_render(self):
+        text = figure1_hierarchy().render()
+        assert "successive_approximation_converter" in text
+        assert "comparator" in text
+
+
+class TestSampleHold:
+    def test_two_transistors(self):
+        sh = design_sample_hold(
+            SampleHoldSpec(lsb=20e-3, t_acquire=10e-6), CMOS_5UM
+        )
+        assert sh.transistor_count == 2
+
+    def test_noise_budget_met(self):
+        sh = design_sample_hold(
+            SampleHoldSpec(lsb=20e-3, t_acquire=10e-6), CMOS_5UM
+        )
+        assert sh.kt_c_noise_rms() <= 0.1 * 20e-3 / 2 * 1.01
+
+    def test_finer_lsb_needs_bigger_cap(self):
+        coarse = design_sample_hold(SampleHoldSpec(lsb=20e-3, t_acquire=10e-6), CMOS_5UM)
+        fine = design_sample_hold(SampleHoldSpec(lsb=0.05e-3, t_acquire=10e-6), CMOS_5UM)
+        assert fine.c_hold > coarse.c_hold
+
+    def test_short_acquisition_widens_switches(self):
+        slow = design_sample_hold(SampleHoldSpec(lsb=1e-3, t_acquire=10e-6), CMOS_5UM)
+        fast = design_sample_hold(SampleHoldSpec(lsb=1e-3, t_acquire=50e-9), CMOS_5UM)
+        assert fast.w_nmos > slow.w_nmos
+
+    def test_impossible_acquisition_raises(self):
+        with pytest.raises(SynthesisError):
+            design_sample_hold(SampleHoldSpec(lsb=0.02e-3, t_acquire=1e-10), CMOS_5UM)
+
+    def test_bad_spec(self):
+        with pytest.raises(SynthesisError):
+            SampleHoldSpec(lsb=-1.0, t_acquire=1e-6)
+
+
+class TestCapDac:
+    def test_matching_drives_unit_cap(self):
+        low = design_cap_dac(CapDacSpec(bits=6, lsb=80e-3, t_settle=1e-6), CMOS_5UM)
+        high = design_cap_dac(CapDacSpec(bits=12, lsb=1.2e-3, t_settle=1e-6), CMOS_5UM)
+        assert high.c_unit > low.c_unit
+
+    def test_dnl_within_half_lsb(self):
+        dac = design_cap_dac(CapDacSpec(bits=10, lsb=5e-3, t_settle=1e-6), CMOS_5UM)
+        assert dac.predicted_dnl_lsb() <= 0.5
+
+    def test_array_total(self):
+        dac = design_cap_dac(CapDacSpec(bits=8, lsb=20e-3, t_settle=1e-6), CMOS_5UM)
+        assert dac.c_total == pytest.approx(dac.c_unit * 256, rel=1e-9)
+
+    def test_switch_count(self):
+        dac = design_cap_dac(CapDacSpec(bits=8, lsb=20e-3, t_settle=1e-6), CMOS_5UM)
+        assert dac.transistor_count == 18
+
+    def test_impossible_settling_raises(self):
+        with pytest.raises(SynthesisError):
+            design_cap_dac(CapDacSpec(bits=14, lsb=0.3e-3, t_settle=1e-12), CMOS_5UM)
+
+    def test_resolution_bounds(self):
+        with pytest.raises(SynthesisError):
+            CapDacSpec(bits=20, lsb=1e-3, t_settle=1e-6)
+
+
+class TestComparator:
+    def test_translation_gain(self):
+        spec = ComparatorSpec(v_resolution=20e-3, decision_time=1e-6)
+        opamp_spec = translate_to_opamp_spec(spec, CMOS_5UM)
+        # gain >= 2 V / 10 mV = 200 -> 46 dB
+        assert opamp_spec.gain_db == pytest.approx(46.0, abs=0.5)
+
+    def test_translation_offset_budget(self):
+        spec = ComparatorSpec(v_resolution=20e-3, decision_time=1e-6)
+        opamp_spec = translate_to_opamp_spec(spec, CMOS_5UM)
+        assert opamp_spec.offset_max_mv == pytest.approx(10.0)
+
+    def test_designed_comparator_resolves_lsb(self):
+        comparator = design_comparator(
+            ComparatorSpec(v_resolution=20e-3, decision_time=2e-6), CMOS_5UM
+        )
+        assert comparator.resolves(10e-3)
+        assert comparator.transistor_count > 10
+
+    def test_reuses_opamp_designer(self):
+        trace = DesignTrace()
+        comparator = design_comparator(
+            ComparatorSpec(v_resolution=20e-3, decision_time=2e-6),
+            CMOS_5UM,
+            trace=trace,
+        )
+        assert comparator.preamp.style in ("one_stage", "two_stage")
+        # The op amp selection events appear in the comparator's trace.
+        assert trace.count("selection") >= 1
+
+    def test_impossible_resolution_raises(self):
+        with pytest.raises(SynthesisError):
+            design_comparator(
+                ComparatorSpec(v_resolution=1e-9, decision_time=1e-9), CMOS_5UM
+            )
+
+
+class TestSarAdc:
+    def test_design_completes(self, adc8):
+        assert adc8.spec.bits == 8
+        assert adc8.area > 0
+        assert adc8.transistor_count() > 20
+
+    def test_hierarchy_matches_figure1(self, adc8):
+        names = [b.name for b in adc8.hierarchy.children]
+        assert names == ["sample_hold", "comparator", "dac", "sar_logic"]
+        assert len(adc8.hierarchy.find_all("opamp")) == 1
+
+    def test_trace_records_system_plan(self, adc8):
+        steps = [e.step for e in adc8.trace.events if e.kind == "step" and e.block == "adc"]
+        assert "design_comparator" in steps
+        assert "budget_timing" in steps
+
+    def test_summary(self, adc8):
+        text = adc8.summary()
+        assert "8-bit SAR ADC" in text
+        assert "unit capacitor" in text
+
+    def test_ideal_conversion_exact(self, adc8):
+        lsb = adc8.spec.lsb
+        for code in (0, 1, 100, 200, 255):
+            v = (code + 0.5) * lsb
+            assert simulate_conversion(adc8, v) == code
+
+    def test_transfer_curve_monotone_ideal(self, adc8):
+        codes = transfer_curve(adc8, points=512)
+        assert codes[0] == 0
+        assert codes[-1] == 255
+        assert all(b >= a for a, b in zip(codes, codes[1:]))
+
+    def test_transfer_with_mismatch_close_to_ideal(self, adc8):
+        codes = transfer_curve(adc8, points=512, mismatch_seed=7)
+        ideal = transfer_curve(adc8, points=512)
+        errors = np.abs(np.array(codes) - np.array(ideal))
+        # The designed matching keeps code errors within 1 LSB.
+        assert errors.max() <= 1
+
+    def test_all_codes_reachable(self, adc8):
+        codes = set(transfer_curve(adc8, points=4096))
+        assert len(codes) == 256
+
+    def test_bad_specs(self):
+        with pytest.raises(SynthesisError):
+            SarAdcSpec(bits=2, sample_rate=1e3, v_full_scale=5.0)
+        with pytest.raises(SynthesisError):
+            SarAdcSpec(bits=8, sample_rate=-1.0, v_full_scale=5.0)
+
+    def test_too_fast_converter_fails(self):
+        with pytest.raises(SynthesisError):
+            design_sar_adc(
+                SarAdcSpec(bits=12, sample_rate=50e6, v_full_scale=5.0), CMOS_5UM
+            )
+
+
+class TestEnob:
+    def test_ideal_converter_scores_full_bits(self, adc8):
+        from repro.adc import estimate_enob
+
+        enob = estimate_enob(adc8, points=512, mismatch_seed=None, noise_seed=None)
+        assert enob == pytest.approx(adc8.spec.bits, abs=0.05)
+
+    def test_designed_converter_loses_little(self, adc8):
+        """The designers budget noise and mismatch to fractions of an
+        LSB, so the behavioural ENOB stays within 0.3 bit of ideal."""
+        from repro.adc import estimate_enob
+
+        enob = estimate_enob(adc8, points=512)
+        assert adc8.spec.bits - 0.3 <= enob <= adc8.spec.bits + 0.05
+
+    def test_comparator_noise_below_lsb(self, adc8):
+        from repro.adc import comparator_noise_rms
+
+        assert comparator_noise_rms(adc8) < 0.1 * adc8.spec.lsb

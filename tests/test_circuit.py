@@ -1,0 +1,293 @@
+"""Tests for the circuit package: elements, netlist, builder, IO, report."""
+
+import pytest
+
+from repro.circuit import (
+    GROUND,
+    Circuit,
+    CircuitBuilder,
+    Mosfet,
+    from_spice,
+    schematic_report,
+    to_spice,
+)
+from repro.errors import NetlistError
+from repro.process import CMOS_5UM
+
+
+def simple_inverter() -> Circuit:
+    c = Circuit("inverter")
+    c.add_vsource("vdd", "vdd", GROUND, dc=5.0)
+    c.add_vsource("vin", "in", GROUND, dc=2.5, ac=1.0)
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", "pmos", 30e-6, 5e-6)
+    c.add_mosfet("mn", "out", "in", GROUND, GROUND, "nmos", 10e-6, 5e-6)
+    c.add_capacitor("cl", "out", GROUND, 1e-12)
+    return c
+
+
+class TestElements:
+    def test_mosfet_nodes(self):
+        m = Mosfet("m1", "d", "g", "s", "b", "nmos", 10e-6, 5e-6)
+        assert m.nodes == ("d", "g", "s", "b")
+
+    def test_mosfet_effective_width(self):
+        m = Mosfet("m1", "d", "g", "s", "b", "nmos", 10e-6, 5e-6, multiplier=4)
+        assert m.effective_width == pytest.approx(40e-6)
+
+    def test_mosfet_name_letter_enforced(self):
+        with pytest.raises(NetlistError):
+            Mosfet("x1", "d", "g", "s", "b", "nmos", 10e-6, 5e-6)
+
+    def test_mosfet_bad_polarity(self):
+        with pytest.raises(NetlistError):
+            Mosfet("m1", "d", "g", "s", "b", "cmos", 10e-6, 5e-6)
+
+    def test_mosfet_bad_geometry(self):
+        with pytest.raises(NetlistError):
+            Mosfet("m1", "d", "g", "s", "b", "nmos", 0.0, 5e-6)
+
+    def test_mosfet_bad_multiplier(self):
+        with pytest.raises(NetlistError):
+            Mosfet("m1", "d", "g", "s", "b", "nmos", 10e-6, 5e-6, multiplier=0)
+
+    def test_vsource_same_node_rejected(self):
+        from repro.circuit import VoltageSource
+
+        with pytest.raises(NetlistError):
+            VoltageSource("v1", "a", "a", 1.0)
+
+    def test_renamed(self):
+        m = Mosfet("m1", "d", "g", "s", "b", "nmos", 10e-6, 5e-6)
+        assert m.renamed("m2").name == "m2"
+        assert m.renamed("m2").drain == "d"
+
+
+class TestCircuit:
+    def test_duplicate_name_rejected(self):
+        c = Circuit("c")
+        c.add_resistor("r1", "a", GROUND, 1e3)
+        with pytest.raises(NetlistError):
+            c.add_resistor("R1", "b", GROUND, 1e3)  # case-insensitive
+
+    def test_lookup(self):
+        c = simple_inverter()
+        assert c["mp"].polarity == "pmos"
+        assert "MN" in c
+        with pytest.raises(NetlistError):
+            c["nonexistent"]
+
+    def test_nodes_sorted(self):
+        c = simple_inverter()
+        assert c.nodes == sorted(c.nodes)
+        assert GROUND in c.nodes
+
+    def test_internal_nodes_exclude_ground(self):
+        assert GROUND not in simple_inverter().internal_nodes()
+
+    def test_transistor_count_includes_fingers(self):
+        c = Circuit("c")
+        c.add_vsource("v1", "d", GROUND, 1.0)
+        c.add_mosfet("m1", "d", "d", GROUND, GROUND, "nmos", 10e-6, 5e-6, 3)
+        assert c.transistor_count() == 3
+
+    def test_validate_ok(self):
+        simple_inverter().validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(NetlistError, match="empty"):
+            Circuit("c").validate()
+
+    def test_validate_no_ground(self):
+        c = Circuit("c")
+        c.add_resistor("r1", "a", "b", 1e3)
+        c.add_resistor("r2", "b", "a", 1e3)
+        with pytest.raises(NetlistError, match="ground"):
+            c.validate()
+
+    def test_validate_dangling_node(self):
+        c = Circuit("c")
+        c.add_vsource("v1", "a", GROUND, 1.0)
+        c.add_resistor("r1", "a", "floating", 1e3)
+        with pytest.raises(NetlistError, match="dangling"):
+            c.validate()
+
+    def test_merge_with_prefix(self):
+        inner = Circuit("mirror")
+        inner.add_mosfet("m1", "iref", "iref", GROUND, GROUND, "nmos", 10e-6, 5e-6)
+        inner.add_mosfet("m2", "iout", "iref", GROUND, GROUND, "nmos", 10e-6, 5e-6)
+        outer = Circuit("top")
+        outer.merge(inner, prefix="bias", node_map={"iout": "tail"})
+        names = [e.name for e in outer.elements]
+        assert "mbias.m1" in names
+        nodes = outer.nodes
+        assert "bias.iref" in nodes  # private node got prefixed
+        assert "tail" in nodes  # mapped node kept its public name
+
+    def test_merge_preserves_ground(self):
+        inner = Circuit("inner")
+        inner.add_resistor("r1", "x", GROUND, 1e3)
+        outer = Circuit("top")
+        outer.merge(inner, prefix="sub")
+        assert GROUND in outer.nodes
+
+    def test_copy_independent(self):
+        c = simple_inverter()
+        duplicate = c.copy("dup")
+        duplicate.add_resistor("rx", "out", GROUND, 1e6)
+        assert len(duplicate) == len(c) + 1
+
+    def test_of_type(self):
+        c = simple_inverter()
+        assert len(list(c.of_type(Mosfet))) == 2
+
+
+class TestBuilder:
+    def test_scoped_names(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        with b.scope("stage1"):
+            m = b.nmos("m1", "out", "in", "tail", 10e-6)
+        assert m.name == "mstage1.m1"
+        assert m.drain == "stage1.out"
+
+    def test_nested_scopes(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        with b.scope("stage1"):
+            with b.scope("mirror"):
+                m = b.pmos("m3", "d", "g", "vdd", 20e-6)
+        assert m.name == "mstage1.mirror.m3"
+        assert m.source == "vdd"  # rails pass through unscoped
+
+    def test_rails_and_ground_unscoped(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        with b.scope("x"):
+            assert b.node("vdd") == "vdd"
+            assert b.node("vss") == "vss"
+            assert b.node(GROUND) == GROUND
+            assert b.node("local") == "x.local"
+            assert b.node("other.node") == "other.node"  # pre-qualified
+
+    def test_bulk_defaults(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        n = b.nmos("m1", "d", "g", "s", 10e-6)
+        p = b.pmos("m2", "d2", "g", "vdd", 10e-6)
+        assert n.bulk == "vss"
+        assert p.bulk == "vdd"
+
+    def test_length_defaults_to_process_min(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        m = b.nmos("m1", "d", "g", "s", 10e-6)
+        assert m.length == CMOS_5UM.min_length
+
+    def test_fresh_name(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        assert b.fresh_name("node") == "node1"
+        assert b.fresh_name("node") == "node2"
+
+    def test_supplies(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        b.supplies()
+        b.resistor("r1", "vdd", "vss", 1e6)
+        circuit = b.build()
+        assert "vdd" in circuit
+        assert "vss" in circuit
+
+    def test_bad_scope_label(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        with pytest.raises(NetlistError):
+            b.scope("has.dot")
+
+    def test_build_validates(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        b.vsource("v1", "a", GROUND, 1.0)
+        b.resistor("r1", "a", "dangling", 1e3)
+        with pytest.raises(NetlistError):
+            b.build()
+
+    def test_mosfets_in_scope(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        with b.scope("stage1"):
+            b.nmos("m1", "d", "g", "s", 10e-6)
+        with b.scope("stage2"):
+            b.nmos("m1", "d", "g", "s", 20e-6)
+        found = list(b.mosfets_in_scope("stage1"))
+        assert len(found) == 1
+        assert found[0].width == pytest.approx(10e-6)
+
+
+class TestSpiceIO:
+    def test_roundtrip(self):
+        c = simple_inverter()
+        deck = to_spice(c)
+        recovered = from_spice(deck, "inverter")
+        assert len(recovered) == len(c)
+        m = recovered["mp"]
+        assert m.polarity == "pmos"
+        assert m.width == pytest.approx(30e-6)
+        v = recovered["vin"]
+        assert v.dc == pytest.approx(2.5)
+        assert v.ac == pytest.approx(1.0)
+
+    def test_deck_has_title_and_end(self):
+        deck = to_spice(simple_inverter(), title="my amp")
+        assert deck.startswith("* my amp")
+        assert deck.rstrip().endswith(".end")
+
+    def test_mosfet_missing_geometry_raises(self):
+        with pytest.raises(NetlistError):
+            from_spice("m1 d g s b nmos W=10u\n")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(NetlistError):
+            from_spice("m1 d g s b bjt W=10u L=5u\n")
+
+    def test_unsupported_element_raises(self):
+        with pytest.raises(NetlistError):
+            from_spice("q1 c b e npn\n")
+
+    def test_bare_source_value(self):
+        c = from_spice("v1 a 0 3.3\nr1 a 0 1k\n")
+        from repro.circuit import VoltageSource
+
+        source = c["v1"]
+        assert isinstance(source, VoltageSource)
+        assert source.dc == pytest.approx(3.3)
+
+    def test_model_cards_from_process(self):
+        from repro.circuit.netlist_io import model_cards
+
+        cards = model_cards(CMOS_5UM)
+        assert ".model nmos NMOS(LEVEL=1" in cards
+        assert ".model pmos PMOS(LEVEL=1" in cards
+        assert "VTO=1" in cards
+        assert "KF=" in cards  # flicker coefficients present
+
+    def test_to_spice_with_process_embeds_cards(self):
+        deck = to_spice(simple_inverter(), process=CMOS_5UM)
+        assert "LEVEL=1" in deck
+        assert "LAMBDA=" in deck
+        # and the placeholder cards are gone
+        assert ".model nmos nmos" not in deck
+
+    def test_to_spice_without_process_placeholder(self):
+        deck = to_spice(simple_inverter())
+        assert ".model nmos nmos" in deck
+
+
+class TestSchematicReport:
+    def test_report_contains_all_devices(self):
+        report = schematic_report(simple_inverter())
+        assert "mp" in report
+        assert "mn" in report
+        assert "PMOS" in report
+        assert "NMOS" in report
+
+    def test_report_groups_by_scope(self):
+        b = CircuitBuilder("amp", CMOS_5UM)
+        b.supplies()
+        with b.scope("stage1"):
+            b.nmos("m1", "out", "in", "vss", 10e-6)
+            b.capacitor("c1", "out", "vss", 1e-12)
+        b.vsource("in", "stage1.in", GROUND, 1.0)
+        report = schematic_report(b.build(validate=False))
+        assert "[stage1]" in report
+        assert "transistors" in report

@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_requires_core_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", "--gain-db", "60"])
+
+    def test_suffixes_accepted(self):
+        args = build_parser().parse_args(
+            [
+                "synthesize",
+                "--gain-db", "60",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+            ]
+        )
+        assert args.command == "synthesize"
+        assert args.load == "10p"
+
+
+class TestCommands:
+    def test_processes_lists_builtins(self, capsys):
+        assert main(["processes"]) == 0
+        out = capsys.readouterr().out
+        assert "generic-5um" in out
+        assert "generic-3um" in out
+
+    def test_processes_table1(self, capsys):
+        assert main(["processes", "--table1", "generic-5um"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_processes_table1_unknown(self, capsys):
+        assert main(["processes", "--table1", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_synthesize_basic(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "45",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Selected style" in out
+        assert "Schematic" in out
+
+    def test_synthesize_with_trace_and_spice(self, capsys, tmp_path):
+        deck_path = tmp_path / "amp.cir"
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "45",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+                "--trace",
+                "--spice", str(deck_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Design trace" in out
+        assert deck_path.exists()
+        assert ".end" in deck_path.read_text()
+
+    def test_synthesize_extended_styles(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "90",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.4",
+                "--offset", "2m",
+                "--styles", "extended",
+            ]
+        )
+        assert code == 0
+        assert "folded_cascode" in capsys.readouterr().out
+
+    def test_synthesize_impossible_spec_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "140",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_synthesize_bad_quantity(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "sixty",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+            ]
+        )
+        assert code == 1
+
+    def test_unknown_process(self, capsys):
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "45",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+                "--process", "exotic-90nm",
+            ]
+        )
+        assert code == 1
+        assert "unknown process" in capsys.readouterr().err
+
+    def test_tech_file_override(self, capsys, tmp_path):
+        from repro.process import CMOS_3UM, dump_technology
+
+        tech = tmp_path / "p.tech"
+        tech.write_text(dump_technology(CMOS_3UM))
+        code = main(
+            [
+                "synthesize",
+                "--gain-db", "45",
+                "--ugf", "1MEG",
+                "--slew", "2MEG",
+                "--load", "10p",
+                "--swing", "3.5",
+                "--tech", str(tech),
+            ]
+        )
+        assert code == 0
+        assert "generic-3um" in capsys.readouterr().out
+
+    def test_adc_command(self, capsys):
+        assert main(["adc", "--bits", "8", "--rate", "20k"]) == 0
+        out = capsys.readouterr().out
+        assert "8-bit SAR ADC" in out
+        assert "comparator" in out
+
+    def test_testcases_no_verify(self, capsys):
+        assert main(["testcases", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "one_stage" in out and "two_stage" in out

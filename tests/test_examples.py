@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline content.  (The two sweep-heavy examples are exercised by the
+corresponding benchmarks instead.)"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = spec.loader and spec.loader.exec_module(module) or module
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Selected style" in out
+        assert "Schematic" in out
+        assert ".end" in out  # SPICE deck printed
+        assert "measured gain_db" in out
+
+    def test_custom_process(self, capsys):
+        out = run_example("custom_process", capsys)
+        assert "Table 1" in out
+        assert "tweaked-5um" in out
+        assert "generic-3um" in out
+
+    def test_design_trace(self, capsys):
+        out = run_example("design_trace", capsys)
+        assert "cascode_first_stage" in out  # the rule fired
+        assert "plan restart" in out
+
+    def test_adc_system(self, capsys):
+        out = run_example("adc_system", capsys)
+        assert "8-bit SAR ADC" in out
+        assert "worst code error" in out
+
+    def test_noise_report(self, capsys):
+        out = run_example("noise_report", capsys)
+        assert "thermal estimate" in out
+        assert "Top contributors" in out
+
+    def test_extended_styles(self, capsys):
+        out = run_example("extended_styles", capsys)
+        assert "folded_cascode" in out
+        assert "cmrr_db" in out
+
+    def test_mismatch_and_corners(self, capsys):
+        out = run_example("mismatch_and_corners", capsys)
+        assert "Monte Carlo" in out
+        assert "slow" in out
+
+    def test_feedback_amplifier(self, capsys):
+        out = run_example("feedback_amplifier", capsys)
+        assert "Selected op amp: two_stage" in out
+        assert "bandwidth" in out

@@ -1,0 +1,148 @@
+"""Tests for the folded-cascode extension style (Section 5) and the
+CMRR/PSRR rejection measurements."""
+
+import pytest
+
+from repro import CMOS_5UM, OpAmpSpec, synthesize
+from repro.errors import SynthesisError
+from repro.opamp import EXTENDED_STYLES, OPAMP_STYLES, measure_rejection
+from repro.opamp.designer import design_style
+from repro.opamp.testcases import paper_test_cases
+from repro.opamp.verify import open_loop_response, verify_opamp
+
+
+def fc_spec(**overrides):
+    base = dict(
+        gain_db=85.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=3.0,
+        offset_max_mv=2.0,
+    )
+    base.update(overrides)
+    return OpAmpSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def fc_amp():
+    return design_style("folded_cascode", fc_spec(), CMOS_5UM)
+
+
+class TestFoldedCascodeDesign:
+    def test_design_completes(self, fc_amp):
+        assert fc_amp.style == "folded_cascode"
+        assert fc_amp.meets_spec()
+
+    def test_single_stage_high_gain(self, fc_amp):
+        # Gain well beyond the one-stage OTA ceiling, with no Miller cap.
+        assert fc_amp.performance["gain_db"] >= 85.0
+        assert fc_amp.performance["compensation_cap"] == 0.0
+
+    def test_netlist_valid(self, fc_amp):
+        circuit = fc_amp.standalone_circuit()
+        circuit.validate()
+        assert circuit.transistor_count() >= 12
+
+    def test_swing_cap_rejects_wide_swing(self):
+        # Both rails carry cascodes: +-4.3 V cannot fit +-5 V rails.
+        with pytest.raises(SynthesisError, match="swing"):
+            design_style("folded_cascode", fc_spec(output_swing=4.3), CMOS_5UM)
+
+    def test_excessive_gain_rejected(self):
+        with pytest.raises(SynthesisError):
+            design_style("folded_cascode", fc_spec(gain_db=130.0), CMOS_5UM)
+
+    def test_hierarchy(self, fc_amp):
+        names = [b.name for b in fc_amp.hierarchy.children]
+        assert "output_branches" in names
+        assert "bias_string" in names
+
+
+class TestFoldedCascodeVerified:
+    def test_gain_matches_prediction(self, fc_amp):
+        response = open_loop_response(fc_amp)
+        assert response.dc_gain_db == pytest.approx(
+            fc_amp.performance["gain_db"], abs=3.0
+        )
+
+    def test_phase_margin_excellent(self, fc_amp):
+        report = verify_opamp(fc_amp, measure_swing=False, measure_slew=False)
+        assert report.get("phase_margin_deg") > 70.0
+
+    def test_offset_tiny(self, fc_amp):
+        report = verify_opamp(fc_amp, measure_swing=False, measure_slew=False)
+        assert report.get("offset_mv") < 1.0
+
+
+class TestCatalogueSeparation:
+    def test_default_styles_are_paper_faithful(self):
+        assert OPAMP_STYLES == ("one_stage", "two_stage")
+        assert "folded_cascode" in EXTENDED_STYLES
+
+    def test_paper_cases_unchanged_by_extension(self):
+        """Registering the extension must not alter the Table 2
+        outcomes."""
+        expectations = {"A": "one_stage", "B": "two_stage", "C": "two_stage"}
+        for label, spec in paper_test_cases().items():
+            assert synthesize(spec, CMOS_5UM).style == expectations[label]
+
+    def test_extended_selection_includes_folded_cascode(self):
+        """The extended catalogue designs all three styles and the
+        folded cascode is competitive at high gain."""
+        spec = fc_spec(gain_db=90.0)
+        result = synthesize(spec, CMOS_5UM, styles=EXTENDED_STYLES)
+        assert "folded_cascode" in result.feasible_styles()
+        fc = result.candidate("folded_cascode")
+        two = result.candidate("two_stage")
+        assert fc.cost < two.cost  # single stage beats two-stage on area
+
+    def test_three_way_selection_dynamics(self):
+        """Across a narrow swing range every style gets its niche: at
+        +-3.3 V the OTA's cascode mirrors still fit cheaply; at +-3.4 V
+        they grow past the folded cascode; at +-3.5 V both single-stage
+        styles pay so much for headroom that the two-stage wins."""
+        winners = {}
+        for swing in (3.3, 3.4, 3.5):
+            result = synthesize(
+                fc_spec(gain_db=90.0, output_swing=swing),
+                CMOS_5UM,
+                styles=EXTENDED_STYLES,
+            )
+            winners[swing] = result.style
+        assert winners == {
+            3.3: "one_stage",
+            3.4: "folded_cascode",
+            3.5: "two_stage",
+        }
+
+
+class TestRejectionMeasurements:
+    def test_cmrr_positive(self, fc_amp):
+        rejection = measure_rejection(fc_amp)
+        assert rejection["cmrr_db"] > 20.0
+
+    def test_psrr_keys_present(self, fc_amp):
+        rejection = measure_rejection(fc_amp)
+        assert "psrr_vdd_db" in rejection
+        assert "psrr_vss_db" in rejection
+        assert rejection["psrr_vdd_db"] > 0.0
+
+    def test_two_stage_cmrr(self):
+        amp = design_style(
+            "two_stage",
+            fc_spec(gain_db=70.0, output_swing=4.0, offset_max_mv=5.0),
+            CMOS_5UM,
+        )
+        rejection = measure_rejection(amp)
+        assert rejection["cmrr_db"] > 30.0
+
+    def test_report_integration(self, fc_amp):
+        report = verify_opamp(
+            fc_amp,
+            measure_swing=False,
+            measure_slew=False,
+            measure_rejections=True,
+        )
+        assert "cmrr_db" in report.measured

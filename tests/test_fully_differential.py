@@ -1,0 +1,82 @@
+"""Tests for the fully differential style and its CMFB loop."""
+
+import pytest
+
+from repro import CMOS_5UM, OpAmpSpec
+from repro.errors import SynthesisError
+from repro.opamp.fully_differential import (
+    design_fully_differential,
+    verify_fd_opamp,
+)
+
+
+def fd_spec(**overrides):
+    base = dict(
+        gain_db=45.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=6.0,  # differential
+        offset_max_mv=5.0,
+    )
+    base.update(overrides)
+    return OpAmpSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def fd_amp():
+    return design_fully_differential(fd_spec(), CMOS_5UM)
+
+
+@pytest.fixture(scope="module")
+def fd_report(fd_amp):
+    return verify_fd_opamp(fd_amp)
+
+
+class TestDesign:
+    def test_completes(self, fd_amp):
+        assert fd_amp.performance["gain_db"] >= 45.0
+
+    def test_no_systematic_offset_by_symmetry(self, fd_amp):
+        assert fd_amp.performance["offset_mv"] == 0.0
+
+    def test_differential_swing_exceeds_single_ended(self, fd_amp):
+        """Symmetry doubles the swing: the differential reach exceeds the
+        supply half-span, which no single-ended one-stage can do."""
+        assert fd_amp.performance["output_swing"] > CMOS_5UM.supply_span / 2.0
+
+    def test_netlist_valid_with_cmfb_parts(self, fd_amp):
+        circuit = fd_amp.standalone_circuit()
+        circuit.validate()
+        names = [e.name for e in circuit.elements]
+        assert any("_rs1" in n for n in names)  # sense resistors
+        assert any("_aux" in n for n in names)  # aux amplifier
+        assert circuit.transistor_count() >= 10
+
+    def test_excessive_differential_swing_rejected(self):
+        with pytest.raises(SynthesisError, match="swing"):
+            design_fully_differential(fd_spec(output_swing=9.9), CMOS_5UM)
+
+    def test_excessive_gain_rejected(self):
+        with pytest.raises(SynthesisError, match="gain"):
+            design_fully_differential(fd_spec(gain_db=80.0), CMOS_5UM)
+
+    def test_hierarchy_has_cmfb(self, fd_amp):
+        names = [b.name for b in fd_amp.hierarchy.children]
+        assert "cmfb" in names
+
+
+class TestVerified:
+    def test_differential_gain_near_prediction(self, fd_amp, fd_report):
+        assert fd_report["gain_db"] == pytest.approx(
+            fd_amp.performance["gain_db"], abs=3.0
+        )
+
+    def test_cmfb_crushes_common_mode(self, fd_report):
+        """The loop rejects common-mode signals by >100 dB relative to
+        the differential path."""
+        assert fd_report["gain_db"] - fd_report["cm_gain_db"] > 100.0
+
+    def test_output_common_mode_held_at_target(self, fd_report):
+        assert abs(fd_report["output_cm_error_v"]) < 0.05

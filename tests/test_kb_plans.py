@@ -1,0 +1,330 @@
+"""Tests for the plan/rule execution machinery (the paper's Figure 3)."""
+
+import pytest
+
+from repro.errors import PlanError, SynthesisError
+from repro.kb import (
+    Abort,
+    DesignState,
+    DesignTrace,
+    Plan,
+    PlanExecutor,
+    PlanStep,
+    Restart,
+    Rule,
+    SpecEntry,
+    SpecKind,
+    Specification,
+)
+from repro.process import CMOS_5UM
+
+
+def make_state(**entries):
+    spec = Specification(
+        [SpecEntry(k, v, SpecKind.MIN) for k, v in entries.items()]
+    )
+    return DesignState(spec, CMOS_5UM)
+
+
+class TestDesignState:
+    def test_set_get(self):
+        state = make_state()
+        state.set("ibias", 10e-6)
+        assert state.get("ibias") == 10e-6
+
+    def test_missing_raises(self):
+        with pytest.raises(PlanError):
+            make_state().get("nothing")
+
+    def test_get_or_default(self):
+        assert make_state().get_or("x", 7) == 7
+
+    def test_choices(self):
+        state = make_state()
+        state.choose("mirror", "cascode")
+        assert state.choice("mirror") == "cascode"
+        assert state.choice("other", "simple") == "simple"
+
+    def test_snapshot(self):
+        state = make_state()
+        state.set("a", 1)
+        state.choose("slot", "style")
+        snap = state.snapshot()
+        assert snap["a"] == 1
+        assert snap["choice:slot"] == "style"
+
+
+class TestPlanConstruction:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            Plan("empty", [])
+
+    def test_duplicate_steps_rejected(self):
+        step = PlanStep("s", lambda st: None)
+        with pytest.raises(PlanError):
+            Plan("dup", [step, PlanStep("s", lambda st: None)])
+
+    def test_index_of(self):
+        plan = Plan("p", [PlanStep("a", lambda s: None), PlanStep("b", lambda s: None)])
+        assert plan.index_of("b") == 1
+        with pytest.raises(PlanError):
+            plan.index_of("zzz")
+
+
+class TestPlanExecution:
+    def test_steps_run_in_order(self):
+        order = []
+        plan = Plan(
+            "p",
+            [
+                PlanStep("first", lambda s: order.append("first")),
+                PlanStep("second", lambda s: order.append("second")),
+                PlanStep("third", lambda s: order.append("third")),
+            ],
+        )
+        PlanExecutor(plan).execute(make_state())
+        assert order == ["first", "second", "third"]
+
+    def test_state_flows_between_steps(self):
+        plan = Plan(
+            "p",
+            [
+                PlanStep("produce", lambda s: s.set("x", 21)),
+                PlanStep("consume", lambda s: s.set("y", s.get("x") * 2)),
+            ],
+        )
+        state = make_state()
+        PlanExecutor(plan).execute(state)
+        assert state.get("y") == 42
+
+    def test_trace_records_steps(self):
+        plan = Plan("p", [PlanStep("only", lambda s: "did it")])
+        trace = PlanExecutor(plan).execute(make_state(), block="blk")
+        assert trace.count("plan_start") == 1
+        assert trace.count("plan_done") == 1
+        steps = trace.steps_for("blk")
+        assert len(steps) == 1
+        assert steps[0].detail == "did it"
+
+    def test_step_failure_without_rules_raises(self):
+        def explode(state):
+            raise SynthesisError("cannot size")
+
+        plan = Plan("p", [PlanStep("bad", explode)])
+        with pytest.raises(SynthesisError, match="cannot size"):
+            PlanExecutor(plan).execute(make_state())
+
+
+class TestRulePatching:
+    def test_monitor_rule_fires_and_restarts(self):
+        """The paper's gain-partition example: a later step discovers the
+        partition is unimplementable, a rule re-skews it and restarts."""
+        attempts = []
+
+        def partition(state):
+            # First pass picks sqrt split; after the rule fires the skew
+            # variable changes the partition.
+            skew = state.get_or("skew", 0.5)
+            state.set("gain1", 100.0**skew)
+            attempts.append(skew)
+
+        def check(state):
+            state.set("partition_bad", state.get("gain1") < 50.0)
+
+        rule = Rule(
+            name="skew_gain_partition",
+            condition=lambda s: s.get_or("partition_bad", False),
+            action=lambda s: (s.set("skew", 0.9), s.set("partition_bad", False))
+            and Restart("partition", "skew gain into first stage")
+            or Restart("partition", "skew gain into first stage"),
+        )
+        plan = Plan("p", [PlanStep("partition", partition), PlanStep("check", check)])
+        state = make_state()
+        trace = PlanExecutor(plan, [rule]).execute(state, block="amp")
+        assert len(attempts) == 2
+        assert attempts[1] == 0.9
+        assert trace.count("rule_fired") == 1
+        assert trace.count("restart") == 1
+
+    def test_recovery_rule_patches_failed_step(self):
+        calls = []
+
+        def fragile(state):
+            calls.append(state.get_or("cascode", False))
+            if not state.get_or("cascode", False):
+                raise SynthesisError("gain unreachable without cascode")
+            state.set("gain_ok", True)
+
+        recovery = Rule(
+            name="cascode_stage",
+            condition=lambda s: not s.get_or("cascode", False),
+            action=lambda s: (s.set("cascode", True), Restart("size", "cascode it"))[1],
+            on_failure=True,
+        )
+        plan = Plan("p", [PlanStep("size", fragile)])
+        state = make_state()
+        trace = PlanExecutor(plan, [recovery]).execute(state, block="amp")
+        assert calls == [False, True]
+        assert state.get("gain_ok")
+        assert trace.count("restart") == 1
+
+    def test_recovery_rule_exhausted_reraises(self):
+        def always_fails(state):
+            raise SynthesisError("hopeless")
+
+        recovery = Rule(
+            name="try_once",
+            condition=lambda s: True,
+            action=lambda s: Restart("step", "retry"),
+            on_failure=True,
+            max_firings=2,
+        )
+        plan = Plan("p", [PlanStep("step", always_fails)])
+        with pytest.raises(SynthesisError, match="hopeless"):
+            PlanExecutor(plan, [recovery]).execute(make_state())
+
+    def test_abort_rule_stops_design(self):
+        rule = Rule(
+            name="give_up",
+            condition=lambda s: True,
+            action=lambda s: Abort("style cannot meet offset spec"),
+        )
+        plan = Plan("p", [PlanStep("any", lambda s: None)])
+        with pytest.raises(SynthesisError, match="offset"):
+            PlanExecutor(plan, [rule]).execute(make_state())
+
+    def test_rule_firing_budget_respected(self):
+        fired = []
+        rule = Rule(
+            name="limited",
+            condition=lambda s: True,
+            action=lambda s: fired.append(1),
+            max_firings=1,
+        )
+        plan = Plan(
+            "p", [PlanStep("a", lambda s: None), PlanStep("b", lambda s: None)]
+        )
+        PlanExecutor(plan, [rule]).execute(make_state())
+        assert len(fired) == 1
+
+    def test_restart_budget_exhausted(self):
+        rule = Rule(
+            name="loop_forever",
+            condition=lambda s: True,
+            action=lambda s: Restart("a", "again"),
+            max_firings=1000,
+        )
+        plan = Plan("p", [PlanStep("a", lambda s: None)])
+        with pytest.raises(SynthesisError, match="restart budget"):
+            PlanExecutor(plan, [rule], max_restarts=3).execute(make_state())
+
+    def test_condition_probing_unset_variable_skipped(self):
+        """A rule probing a variable set later in the plan must simply not
+        apply early, not crash."""
+        rule = Rule(
+            name="needs_late_var",
+            condition=lambda s: s.get("late") > 0,
+            action=lambda s: None,
+        )
+        plan = Plan(
+            "p",
+            [
+                PlanStep("early", lambda s: None),
+                PlanStep("late", lambda s: s.set("late", 1)),
+            ],
+        )
+        trace = PlanExecutor(plan, [rule]).execute(make_state(), block="b")
+        assert trace.count("rule_fired") == 1  # fires only after 'late'
+
+    def test_on_failure_steps_scopes_recovery(self):
+        """A recovery rule scoped to one step must not fire for another
+        step's failure."""
+
+        def fails(state):
+            raise SynthesisError("early failure")
+
+        rule = Rule(
+            name="patch_late_only",
+            condition=lambda s: True,
+            action=lambda s: Restart("early", "never applies"),
+            on_failure=True,
+            on_failure_steps=("late",),
+        )
+        plan = Plan(
+            "p",
+            [PlanStep("early", fails), PlanStep("late", lambda s: None)],
+        )
+        with pytest.raises(SynthesisError, match="early failure"):
+            PlanExecutor(plan, [rule]).execute(make_state())
+
+    def test_forward_skipping_restart_rejected(self):
+        """A patch may not jump past the failed step (it would skip
+        unexecuted work): the executor flags the template bug."""
+
+        def fails(state):
+            raise SynthesisError("boom")
+
+        rule = Rule(
+            name="bad_patch",
+            condition=lambda s: True,
+            action=lambda s: Restart("after", "skip ahead"),
+            on_failure=True,
+        )
+        plan = Plan(
+            "p",
+            [PlanStep("broken", fails), PlanStep("after", lambda s: None)],
+        )
+        with pytest.raises(PlanError, match="after the failed step"):
+            PlanExecutor(plan, [rule]).execute(make_state())
+
+    def test_on_failure_steps_requires_on_failure(self):
+        with pytest.raises(PlanError):
+            Rule(
+                "r",
+                lambda s: True,
+                lambda s: None,
+                on_failure=False,
+                on_failure_steps=("x",),
+            )
+
+    def test_duplicate_rule_names_rejected(self):
+        plan = Plan("p", [PlanStep("a", lambda s: None)])
+        rules = [
+            Rule("same", lambda s: False, lambda s: None),
+            Rule("same", lambda s: False, lambda s: None),
+        ]
+        with pytest.raises(PlanError):
+            PlanExecutor(plan, rules)
+
+    def test_rule_bad_max_firings(self):
+        with pytest.raises(PlanError):
+            Rule("r", lambda s: True, lambda s: None, max_firings=0)
+
+
+class TestTrace:
+    def test_render_contains_markers(self):
+        trace = DesignTrace()
+        trace.plan_start("amp", "two_stage")
+        trace.step("amp", "partition", "sqrt split")
+        trace.rule_fired("amp", "skew", "repartition")
+        trace.restart("amp", "partition", "retry")
+        trace.plan_done("amp")
+        text = trace.render()
+        assert "two_stage" in text
+        assert "[partition]" in text
+        assert "skew" in text
+
+    def test_render_filter(self):
+        trace = DesignTrace()
+        trace.step("a", "s1")
+        trace.rule_fired("a", "r1", "x")
+        filtered = trace.render(kinds=["rule_fired"])
+        assert "r1" in filtered
+        assert "[s1]" not in filtered
+
+    def test_extend(self):
+        a, b = DesignTrace(), DesignTrace()
+        a.note("x", "one")
+        b.note("y", "two")
+        a.extend(b)
+        assert len(a) == 2

@@ -1,0 +1,168 @@
+"""Tests for breadth-first design-style selection, blocks and templates."""
+
+import pytest
+
+from repro.errors import PlanError, SynthesisError
+from repro.kb import (
+    Block,
+    DesignTrace,
+    Plan,
+    PlanStep,
+    StyleCatalog,
+    TopologyTemplate,
+    breadth_first_select,
+)
+
+
+class TestSelection:
+    def test_picks_smallest_cost(self):
+        def design(style):
+            costs = {"one_stage": 100.0, "two_stage": 250.0}
+            return style, costs[style], 0
+
+        winner, candidates = breadth_first_select(
+            ["one_stage", "two_stage"], design
+        )
+        assert winner.style == "one_stage"
+        assert len(candidates) == 2
+        assert all(c.feasible for c in candidates)
+
+    def test_infeasible_styles_skipped(self):
+        def design(style):
+            if style == "one_stage":
+                raise SynthesisError("cannot reach gain")
+            return style, 250.0, 0
+
+        winner, candidates = breadth_first_select(
+            ["one_stage", "two_stage"], design
+        )
+        assert winner.style == "two_stage"
+        failed = [c for c in candidates if not c.feasible]
+        assert len(failed) == 1
+        assert "gain" in failed[0].error
+
+    def test_all_infeasible_raises_with_reasons(self):
+        def design(style):
+            raise SynthesisError(f"{style} is hopeless")
+
+        with pytest.raises(SynthesisError) as excinfo:
+            breadth_first_select(["a", "b"], design)
+        assert "a is hopeless" in str(excinfo.value)
+        assert "b is hopeless" in str(excinfo.value)
+
+    def test_soft_violations_break_ties_first(self):
+        """A larger design with no soft violations beats a smaller design
+        with one (matching the paper's 'best match to the
+        specifications... biasing the choice in favor of smallest area')."""
+
+        def design(style):
+            if style == "small_but_sloppy":
+                return style, 100.0, 1
+            return style, 300.0, 0
+
+        winner, _ = breadth_first_select(
+            ["small_but_sloppy", "large_and_clean"], design
+        )
+        assert winner.style == "large_and_clean"
+
+    def test_empty_styles_raises(self):
+        with pytest.raises(SynthesisError):
+            breadth_first_select([], lambda s: (s, 0, 0))
+
+    def test_trace_records_selection(self):
+        trace = DesignTrace()
+        breadth_first_select(
+            ["x"], lambda s: (s, 1.0, 0), trace=trace, block="amp"
+        )
+        assert trace.count("selection") == 2  # per-style + final
+
+
+class TestBlock:
+    def adc_tree(self):
+        adc = Block("adc", "successive_approximation")
+        adc.add_child(Block("sample_hold", "sample_hold"))
+        comparator = adc.add_child(Block("comparator", "comparator"))
+        opamp = comparator.add_child(Block("preamp", "opamp", style="one_stage"))
+        opamp.add_child(Block("input_pair", "diff_pair"))
+        opamp.add_child(Block("load", "current_mirror", style="cascode"))
+        adc.add_child(Block("dac", "dac"))
+        return adc
+
+    def test_walk_visits_all(self):
+        assert len(list(self.adc_tree().walk())) == 7
+
+    def test_depth(self):
+        assert self.adc_tree().depth() == 3
+
+    def test_duplicate_child_rejected(self):
+        block = Block("b", "t")
+        block.add_child(Block("x", "t"))
+        with pytest.raises(Exception):
+            block.add_child(Block("x", "t"))
+
+    def test_child_lookup(self):
+        tree = self.adc_tree()
+        assert tree.child("dac").block_type == "dac"
+        with pytest.raises(Exception):
+            tree.child("missing")
+
+    def test_find_all(self):
+        mirrors = self.adc_tree().find_all("current_mirror")
+        assert len(mirrors) == 1
+        assert mirrors[0].style == "cascode"
+
+    def test_leaf_count(self):
+        assert self.adc_tree().leaf_count() == 4
+
+    def test_render_shows_hierarchy(self):
+        text = self.adc_tree().render()
+        assert "adc (successive_approximation)" in text
+        assert "  comparator" in text
+        assert "[style: cascode]" in text
+
+    def test_render_attributes(self):
+        block = Block("amp", "opamp", attributes={"ibias": 1e-5})
+        text = block.render(show_attributes=True)
+        assert "ibias" in text
+
+
+class TestTemplatesCatalog:
+    def make_template(self, style="simple"):
+        return TopologyTemplate(
+            block_type="current_mirror",
+            style=style,
+            build_plan=lambda: Plan("p", [PlanStep("size", lambda s: None, "size it")]),
+            build_rules=lambda: [],
+            sub_blocks=(("ref_device", "mosfet"),),
+            description="test template",
+        )
+
+    def test_catalog_register_and_lookup(self):
+        catalog = StyleCatalog("current_mirror")
+        catalog.register(self.make_template("simple"))
+        catalog.register(self.make_template("cascode"))
+        assert catalog.styles == ["simple", "cascode"]
+        assert catalog["simple"].description == "test template"
+        assert len(catalog) == 2
+
+    def test_duplicate_style_rejected(self):
+        catalog = StyleCatalog("current_mirror")
+        catalog.register(self.make_template())
+        with pytest.raises(PlanError):
+            catalog.register(self.make_template())
+
+    def test_wrong_block_type_rejected(self):
+        catalog = StyleCatalog("opamp")
+        with pytest.raises(PlanError):
+            catalog.register(self.make_template())
+
+    def test_unknown_style_raises(self):
+        catalog = StyleCatalog("current_mirror")
+        with pytest.raises(PlanError):
+            catalog["nope"]
+
+    def test_template_render(self):
+        text = self.make_template().render()
+        assert "current_mirror/simple" in text
+        assert "size it" in text
+        assert "ref_device" in text

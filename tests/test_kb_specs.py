@@ -1,0 +1,170 @@
+"""Tests for the specification machinery and OpAmpSpec."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.kb import OpAmpSpec, SpecEntry, SpecKind, Specification
+
+
+def typical_spec(**overrides):
+    base = dict(
+        gain_db=60.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=3.0,
+    )
+    base.update(overrides)
+    return OpAmpSpec(**base)
+
+
+class TestSpecEntry:
+    def test_min_satisfied(self):
+        entry = SpecEntry("gain_db", 60.0, SpecKind.MIN)
+        assert entry.satisfied_by(65.0)
+        assert not entry.satisfied_by(55.0)
+
+    def test_max_satisfied(self):
+        entry = SpecEntry("power", 1e-3, SpecKind.MAX)
+        assert entry.satisfied_by(0.5e-3)
+        assert not entry.satisfied_by(2e-3)
+
+    def test_given_always_satisfied(self):
+        entry = SpecEntry("load", 10e-12, SpecKind.GIVEN)
+        assert entry.satisfied_by(999.0)
+
+    def test_tolerance_slack(self):
+        entry = SpecEntry("gain_db", 100.0, SpecKind.MIN, tolerance=0.02)
+        assert entry.satisfied_by(98.5)
+        assert not entry.satisfied_by(97.0)
+
+    def test_nan_fails(self):
+        entry = SpecEntry("gain_db", 60.0, SpecKind.MIN)
+        assert not entry.satisfied_by(math.nan)
+
+    def test_margin_signs(self):
+        floor = SpecEntry("gain_db", 60.0, SpecKind.MIN)
+        assert floor.margin(65.0) == pytest.approx(5.0)
+        assert floor.margin(55.0) == pytest.approx(-5.0)
+        ceiling = SpecEntry("power", 1e-3, SpecKind.MAX)
+        assert ceiling.margin(0.4e-3) == pytest.approx(0.6e-3)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_margin_consistent_with_satisfied(self, achieved):
+        entry = SpecEntry("x", 10.0, SpecKind.MIN)
+        assert entry.satisfied_by(achieved) == (entry.margin(achieved) >= 0)
+
+
+class TestSpecification:
+    def test_duplicate_rejected(self):
+        spec = Specification([SpecEntry("a", 1.0, SpecKind.MIN)])
+        with pytest.raises(SpecificationError):
+            spec.add(SpecEntry("a", 2.0, SpecKind.MIN))
+
+    def test_lookup(self):
+        spec = Specification([SpecEntry("a", 1.0, SpecKind.MIN)])
+        assert spec["a"].value == 1.0
+        assert "a" in spec
+        with pytest.raises(SpecificationError):
+            spec["b"]
+
+    def test_compare_reports_violations(self):
+        spec = Specification(
+            [
+                SpecEntry("gain_db", 60.0, SpecKind.MIN),
+                SpecEntry("power", 1e-3, SpecKind.MAX),
+            ]
+        )
+        violations = spec.compare({"gain_db": 50.0, "power": 0.5e-3})
+        assert len(violations) == 1
+        assert violations[0].entry.name == "gain_db"
+        assert "required" in str(violations[0])
+
+    def test_missing_achieved_is_violation(self):
+        spec = Specification([SpecEntry("gain_db", 60.0, SpecKind.MIN)])
+        assert len(spec.compare({})) == 1
+
+    def test_meets_soft_vs_hard(self):
+        spec = Specification(
+            [
+                SpecEntry("gain_db", 60.0, SpecKind.MIN, hard=True),
+                SpecEntry("pm", 60.0, SpecKind.MIN, hard=False),
+            ]
+        )
+        achieved = {"gain_db": 65.0, "pm": 45.0}
+        assert spec.meets(achieved)  # soft violation tolerated
+        assert not spec.meets(achieved, include_soft=True)
+
+    def test_relaxed_copy(self):
+        spec = Specification([SpecEntry("gain_db", 60.0, SpecKind.MIN)])
+        relaxed = spec.relaxed("gain_db", 40.0)
+        assert relaxed["gain_db"].value == 40.0
+        assert spec["gain_db"].value == 60.0  # original untouched
+
+    def test_given_never_violates(self):
+        spec = Specification([SpecEntry("load", 1e-12, SpecKind.GIVEN)])
+        assert spec.compare({}) == []
+
+
+class TestOpAmpSpec:
+    def test_valid_construction(self):
+        spec = typical_spec()
+        assert spec.gain_db == 60.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("gain_db", -5.0),
+            ("unity_gain_hz", 0.0),
+            ("phase_margin_deg", 95.0),
+            ("phase_margin_deg", 0.0),
+            ("slew_rate", -1.0),
+            ("load_capacitance", 0.0),
+            ("output_swing", -2.0),
+            ("offset_max_mv", 0.0),
+            ("power_max", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(SpecificationError):
+            typical_spec(**{field: value})
+
+    def test_to_specification_core_entries(self):
+        spec = typical_spec().to_specification()
+        for name in (
+            "gain_db",
+            "unity_gain_hz",
+            "phase_margin_deg",
+            "slew_rate",
+            "load_capacitance",
+            "output_swing",
+            "offset_mv",
+        ):
+            assert name in spec
+
+    def test_phase_margin_is_soft(self):
+        spec = typical_spec().to_specification()
+        assert not spec["phase_margin_deg"].hard
+
+    def test_optional_entries_only_when_set(self):
+        spec = typical_spec().to_specification()
+        assert "power" not in spec
+        spec2 = typical_spec(power_max=5e-3).to_specification()
+        assert "power" in spec2
+
+    def test_load_is_given(self):
+        spec = typical_spec().to_specification()
+        assert spec["load_capacitance"].kind is SpecKind.GIVEN
+
+    def test_scaled_gain(self):
+        spec = typical_spec().scaled_gain(80.0)
+        assert spec.gain_db == 80.0
+        assert spec.unity_gain_hz == 1e6
+
+    def test_with_load(self):
+        spec = typical_spec().with_load(20e-12)
+        assert spec.load_capacitance == 20e-12

@@ -1,0 +1,144 @@
+"""Tests for random-mismatch offset analysis (Pelgrom) and process
+corners."""
+
+import numpy as np
+import pytest
+
+from repro import CMOS_5UM, OpAmpSpec, synthesize
+from repro.errors import SimulationError, TechnologyError
+from repro.opamp.designer import design_style
+from repro.opamp.mismatch import (
+    device_offset_sensitivities,
+    monte_carlo_offset_mv,
+    predicted_offset_sigma_mv,
+)
+from repro.opamp.verify import open_loop_response
+
+
+def spec(**overrides):
+    base = dict(
+        gain_db=45.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=3.5,
+    )
+    base.update(overrides)
+    return OpAmpSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def ota():
+    return design_style("one_stage", spec(), CMOS_5UM)
+
+
+class TestPelgromModel:
+    def test_sigma_vth_area_law(self):
+        dev = CMOS_5UM.nmos
+        small = dev.sigma_vth(10e-6, 5e-6)
+        large = dev.sigma_vth(40e-6, 20e-6)
+        # 16x the area -> 4x smaller sigma.
+        assert small / large == pytest.approx(4.0, rel=1e-6)
+
+    def test_sigma_vth_magnitude(self):
+        # Avt = 60 mV*um at 100 um^2 -> 6 mV.
+        dev = CMOS_5UM.nmos
+        assert dev.sigma_vth(20e-6, 5e-6) == pytest.approx(6e-3, rel=1e-6)
+
+    def test_bad_geometry(self):
+        with pytest.raises(TechnologyError):
+            CMOS_5UM.nmos.sigma_vth(-1e-6, 5e-6)
+
+
+class TestSensitivities:
+    def test_input_pair_sensitivity_is_unity(self, ota):
+        """A threshold shift on an input device IS input offset: the
+        sensitivity must be 1 to within numerical error."""
+        sens = device_offset_sensitivities(ota)
+        pair = [v for k, v in sens.items() if k.endswith("m1") or k.endswith("m2")]
+        assert len(pair) == 2
+        for s in pair:
+            assert s == pytest.approx(1.0, abs=0.05)
+
+    def test_downstream_devices_attenuated(self, ota):
+        sens = device_offset_sensitivities(ota)
+        pair_max = max(
+            v for k, v in sens.items() if k.endswith("m1") or k.endswith("m2")
+        )
+        others = [
+            v for k, v in sens.items()
+            if not (k.endswith("m1") or k.endswith("m2"))
+        ]
+        assert all(v < pair_max for v in others)
+
+    def test_every_mosfet_reported(self, ota):
+        sens = device_offset_sensitivities(ota)
+        assert len(sens) == ota.standalone_circuit().transistor_count()
+
+
+class TestMonteCarloAgreement:
+    def test_mc_sigma_matches_prediction(self, ota):
+        """The sampled offset spread agrees with the analytic
+        root-sum-square to ~30 % (40 samples)."""
+        predicted = predicted_offset_sigma_mv(ota)
+        sampled = monte_carlo_offset_mv(ota, samples=40, seed=7)
+        assert np.std(sampled) == pytest.approx(predicted, rel=0.30)
+
+    def test_mc_mean_near_zero(self, ota):
+        """The random component has ~zero mean (the systematic part is
+        subtracted)."""
+        predicted = predicted_offset_sigma_mv(ota)
+        sampled = monte_carlo_offset_mv(ota, samples=40, seed=7)
+        assert abs(np.mean(sampled)) < predicted  # well inside 1 sigma * sqrt(40)
+
+    def test_seed_reproducible(self, ota):
+        a = monte_carlo_offset_mv(ota, samples=5, seed=3)
+        b = monte_carlo_offset_mv(ota, samples=5, seed=3)
+        assert np.allclose(a, b)
+
+    def test_sample_floor(self, ota):
+        with pytest.raises(SimulationError):
+            monte_carlo_offset_mv(ota, samples=1)
+
+
+class TestProcessCorners:
+    def test_corner_names(self):
+        assert CMOS_5UM.corner("typical") is CMOS_5UM
+        fast = CMOS_5UM.corner("fast")
+        slow = CMOS_5UM.corner("slow")
+        assert fast.nmos.kp > CMOS_5UM.nmos.kp > slow.nmos.kp
+        assert fast.nmos.vto < CMOS_5UM.nmos.vto < slow.nmos.vto
+        assert fast.pmos.vto > CMOS_5UM.pmos.vto > slow.pmos.vto
+
+    def test_unknown_corner(self):
+        with pytest.raises(TechnologyError):
+            CMOS_5UM.corner("typical-ish")
+
+    def test_corners_stay_consistent(self):
+        # mobility scaled alongside kp keeps the deck self-consistent.
+        CMOS_5UM.corner("fast").check_consistency(tolerance=0.1)
+        CMOS_5UM.corner("slow").check_consistency(tolerance=0.1)
+
+    def test_design_survives_corners(self):
+        """A first-cut design biased on corner silicon still amplifies:
+        gain within a few dB of nominal at both extremes (the margins in
+        the plans exist exactly for this)."""
+        amp = synthesize(spec(), CMOS_5UM).best
+        nominal = open_loop_response(amp).dc_gain_db
+        for corner in ("fast", "slow"):
+            shifted = amp.process.corner(corner)
+            # Rebind the same sized devices to corner silicon.
+            amp_corner = type(amp)(
+                style=amp.style,
+                spec=amp.spec,
+                process=shifted,
+                performance=amp.performance,
+                area=amp.area,
+                hierarchy=amp.hierarchy,
+                emit=amp.emit,
+                trace=amp.trace,
+            )
+            gain = open_loop_response(amp_corner).dc_gain_db
+            assert gain == pytest.approx(nominal, abs=6.0)
+            assert gain >= amp.spec.gain_db - 3.0

@@ -1,0 +1,110 @@
+"""Generative round-trip properties across the persistence layers.
+
+Hypothesis builds random (but structurally valid) netlists and process
+decks and checks that the serialise/parse cycles are lossless -- the
+guarantees downstream tools (external SPICE runs, archived technology
+files) depend on.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import GROUND, Circuit, from_spice, to_spice
+from repro.process import CMOS_5UM, dump_technology, loads_technology
+
+node_names = st.sampled_from(["a", "b", "c", "out", "n1", "n2", GROUND])
+
+
+@st.composite
+def random_circuits(draw):
+    """A structurally valid random circuit: every element name unique,
+    no element shorted to itself for sources."""
+    circuit = Circuit("generated")
+    count = draw(st.integers(min_value=1, max_value=8))
+    for k in range(count):
+        kind = draw(st.sampled_from(["r", "c", "v", "i", "m"]))
+        a = draw(node_names)
+        b = draw(node_names.filter(lambda n, a=a: n != a))
+        if kind == "r":
+            circuit.add_resistor(
+                f"r{k}", a, b, draw(st.floats(min_value=1.0, max_value=1e9))
+            )
+        elif kind == "c":
+            circuit.add_capacitor(
+                f"c{k}", a, b, draw(st.floats(min_value=1e-15, max_value=1e-6))
+            )
+        elif kind == "v":
+            circuit.add_vsource(
+                f"v{k}", a, b,
+                dc=draw(st.floats(min_value=-10, max_value=10)),
+                ac=draw(st.floats(min_value=0, max_value=2)),
+            )
+        elif kind == "i":
+            circuit.add_isource(
+                f"i{k}", a, b,
+                dc=draw(st.floats(min_value=-1e-3, max_value=1e-3)),
+            )
+        else:
+            gate = draw(node_names)
+            bulk = draw(node_names)
+            circuit.add_mosfet(
+                f"m{k}", a, gate, b, bulk,
+                draw(st.sampled_from(["nmos", "pmos"])),
+                width=draw(st.floats(min_value=1e-6, max_value=1e-3)),
+                length=draw(st.floats(min_value=1e-6, max_value=1e-4)),
+                multiplier=draw(st.integers(min_value=1, max_value=8)),
+            )
+    return circuit
+
+
+class TestSpiceRoundTrip:
+    @given(circuit=random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_structure_survives(self, circuit):
+        recovered = from_spice(to_spice(circuit))
+        assert len(recovered) == len(circuit)
+        assert recovered.transistor_count() == circuit.transistor_count()
+        assert set(recovered.nodes) == set(circuit.nodes)
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_mosfet_geometry_survives(self, circuit):
+        recovered = from_spice(to_spice(circuit))
+        for original in circuit.mosfets:
+            copy = recovered[original.name]
+            # format_quantity keeps 4 significant digits.
+            assert copy.width == pytest.approx(original.width, rel=1e-3)
+            assert copy.length == pytest.approx(original.length, rel=1e-3)
+            assert copy.multiplier == original.multiplier
+            assert copy.polarity == original.polarity
+            assert copy.nodes == original.nodes
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_source_values_survive(self, circuit):
+        from repro.circuit import CurrentSource, VoltageSource
+
+        recovered = from_spice(to_spice(circuit))
+        for original in circuit.elements:
+            if isinstance(original, (VoltageSource, CurrentSource)):
+                copy = recovered[original.name]
+                assert copy.dc == pytest.approx(original.dc, abs=1e-12)
+                assert copy.ac == pytest.approx(original.ac, abs=1e-12)
+
+
+class TestTechnologyRoundTrip:
+    @given(
+        vto=st.floats(min_value=0.3, max_value=1.5),
+        kp=st.floats(min_value=1e-6, max_value=1e-4),
+        lambda_a=st.floats(min_value=0.0, max_value=0.2),
+        avt=st.floats(min_value=0.0, max_value=1e-7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_perturbed_decks_roundtrip_exactly(self, vto, kp, lambda_a, avt):
+        nmos = dataclasses.replace(
+            CMOS_5UM.nmos, vto=vto, kp=kp, lambda_a=lambda_a, avt=avt
+        )
+        deck = dataclasses.replace(CMOS_5UM, nmos=nmos, name="hyp-deck")
+        assert loads_technology(dump_technology(deck)) == deck

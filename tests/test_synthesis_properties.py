@@ -1,0 +1,123 @@
+"""Property-based tests over the whole synthesis stack.
+
+The contract of :func:`repro.synthesize` is total: for *any* well-formed
+specification it either returns a design whose predicted performance
+meets every hard spec entry, or raises :class:`SynthesisError` with the
+per-style reasons.  Hypothesis sweeps the specification space to check
+that no input crashes the plans, the sizing algebra, or the selection
+machinery.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CMOS_3UM, CMOS_5UM, OpAmpSpec, synthesize
+from repro.errors import SynthesisError
+from repro.opamp import EXTENDED_STYLES
+from repro.opamp.verify import open_loop_response
+
+spec_strategy = st.builds(
+    OpAmpSpec,
+    gain_db=st.floats(min_value=20.0, max_value=120.0),
+    unity_gain_hz=st.floats(min_value=1e4, max_value=2e7),
+    phase_margin_deg=st.floats(min_value=30.0, max_value=75.0),
+    slew_rate=st.floats(min_value=1e4, max_value=5e7),
+    load_capacitance=st.floats(min_value=1e-12, max_value=100e-12),
+    output_swing=st.floats(min_value=0.5, max_value=4.5),
+    offset_max_mv=st.floats(min_value=0.5, max_value=50.0),
+)
+
+
+class TestSynthesisTotality:
+    @given(spec=spec_strategy)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_succeeds_meeting_spec_or_raises_synthesis_error(self, spec):
+        try:
+            result = synthesize(spec, CMOS_5UM)
+        except SynthesisError:
+            return  # infeasible is a valid, reported outcome
+        amp = result.best
+        # The winner's prediction satisfies every hard entry.
+        assert amp.meets_spec()
+        # Estimated area is physical.
+        assert 0 < amp.area < 1e-4  # below a square centimetre
+        # The emitted netlist is structurally valid.
+        amp.standalone_circuit().validate()
+
+    @given(spec=spec_strategy)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_extended_catalogue_equally_total(self, spec):
+        try:
+            result = synthesize(spec, CMOS_5UM, styles=EXTENDED_STYLES)
+        except SynthesisError:
+            return
+        assert result.best.meets_spec()
+
+    @given(spec=spec_strategy)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_other_process_generation(self, spec):
+        try:
+            result = synthesize(spec, CMOS_3UM)
+        except SynthesisError:
+            return
+        assert result.best.meets_spec()
+
+
+class TestMonotonicityProperties:
+    @given(gain=st.floats(min_value=40.0, max_value=90.0))
+    @settings(max_examples=15, deadline=None)
+    def test_harder_gain_never_shrinks_best_area(self, gain):
+        """Raising only the gain spec can only keep or grow the winning
+        area (the selector would otherwise have picked the smaller
+        design at the higher spec too)."""
+        base = OpAmpSpec(
+            gain_db=gain,
+            unity_gain_hz=1e6,
+            phase_margin_deg=60.0,
+            slew_rate=2e6,
+            load_capacitance=10e-12,
+            output_swing=3.0,
+        )
+        try:
+            easy = synthesize(base, CMOS_5UM)
+            hard = synthesize(base.scaled_gain(gain + 15.0), CMOS_5UM)
+        except SynthesisError:
+            return
+        assert hard.best.area >= easy.best.area * 0.999
+
+
+class TestVerifiedSample:
+    """A couple of full design->simulate loops on fixed mid-space specs,
+    to keep an end-to-end accuracy regression in the unit suite."""
+
+    @pytest.mark.parametrize(
+        "gain_db,swing", [(50.0, 3.0), (80.0, 3.8), (95.0, 3.0)]
+    )
+    def test_simulated_gain_tracks_prediction(self, gain_db, swing):
+        spec = OpAmpSpec(
+            gain_db=gain_db,
+            unity_gain_hz=1e6,
+            phase_margin_deg=60.0,
+            slew_rate=2e6,
+            load_capacitance=10e-12,
+            output_swing=swing,
+            offset_max_mv=20.0,
+        )
+        amp = synthesize(spec, CMOS_5UM).best
+        response = open_loop_response(amp)
+        assert response.dc_gain_db == pytest.approx(
+            amp.performance["gain_db"], abs=3.5
+        )
+        assert response.dc_gain_db >= gain_db - 0.5

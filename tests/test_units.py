@@ -1,0 +1,170 @@
+"""Tests for repro.units: SPICE-style quantity parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    db,
+    db20,
+    degrees,
+    format_quantity,
+    parallel,
+    parse_quantity,
+    radians,
+    undb,
+    undb20,
+)
+
+
+class TestParseQuantity:
+    def test_plain_integer(self):
+        assert parse_quantity("42") == 42.0
+
+    def test_plain_float(self):
+        assert parse_quantity("3.14") == pytest.approx(3.14)
+
+    def test_leading_dot(self):
+        assert parse_quantity(".5") == 0.5
+
+    def test_negative(self):
+        assert parse_quantity("-2.5") == -2.5
+
+    def test_scientific_notation(self):
+        assert parse_quantity("1e-6") == 1e-6
+        assert parse_quantity("2.5E3") == 2500.0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1T", 1e12),
+            ("1G", 1e9),
+            ("1MEG", 1e6),
+            ("1X", 1e6),
+            ("1K", 1e3),
+            ("1m", 1e-3),
+            ("1u", 1e-6),
+            ("1n", 1e-9),
+            ("1p", 1e-12),
+            ("1f", 1e-15),
+            ("1a", 1e-18),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    def test_meg_vs_milli(self):
+        assert parse_quantity("10MEG") == 10e6
+        assert parse_quantity("10M") == pytest.approx(10e-3)
+
+    def test_suffix_case_insensitive(self):
+        assert parse_quantity("5K") == parse_quantity("5k")
+
+    def test_trailing_unit_ignored(self):
+        assert parse_quantity("10pF") == pytest.approx(10e-12)
+        assert parse_quantity("4.7kOhm") == pytest.approx(4700.0)
+
+    def test_bare_unit(self):
+        assert parse_quantity("3V") == 3.0
+        assert parse_quantity("100Hz") == 100.0
+
+    def test_percent(self):
+        assert parse_quantity("5%") == pytest.approx(0.05)
+
+    def test_numeric_passthrough(self):
+        assert parse_quantity(7) == 7.0
+        assert parse_quantity(2.5e-3) == 2.5e-3
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", None, [1]])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_quantity("  1.5u  ") == pytest.approx(1.5e-6)
+
+
+class TestFormatQuantity:
+    def test_basic(self):
+        assert format_quantity(4700.0) == "4.7k"
+
+    def test_micro(self):
+        assert format_quantity(2.2e-5, "F") == "22uF"
+
+    def test_zero(self):
+        assert format_quantity(0.0) == "0"
+
+    def test_mega_uses_meg(self):
+        assert "MEG" in format_quantity(3.3e6)
+
+    def test_roundtrip(self):
+        for value in [1.0, 4.7e3, 2.2e-5, 3.3e6, 1e-12, -5.6e-9]:
+            assert parse_quantity(format_quantity(value)) == pytest.approx(
+                value, rel=1e-3
+            )
+
+    @given(st.floats(min_value=1e-17, max_value=1e11))
+    def test_roundtrip_property(self, value):
+        assert parse_quantity(format_quantity(value, digits=9)) == pytest.approx(
+            value, rel=1e-6
+        )
+
+    def test_nan_inf(self):
+        assert format_quantity(math.inf) == "inf"
+        assert "nan" in format_quantity(math.nan)
+
+
+class TestDecibels:
+    def test_db_power(self):
+        assert db(100.0) == pytest.approx(20.0)
+
+    def test_db20_amplitude(self):
+        assert db20(100.0) == pytest.approx(40.0)
+
+    def test_db_inverse(self):
+        assert undb(db(42.0)) == pytest.approx(42.0)
+
+    def test_db20_inverse(self):
+        assert undb20(db20(42.0)) == pytest.approx(42.0)
+
+    def test_db_nonpositive_raises(self):
+        with pytest.raises(UnitError):
+            db(0.0)
+        with pytest.raises(UnitError):
+            db20(-1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_roundtrip_property(self, ratio):
+        assert undb20(db20(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestAngleHelpers:
+    def test_degrees(self):
+        assert degrees(math.pi) == pytest.approx(180.0)
+
+    def test_radians(self):
+        assert radians(90.0) == pytest.approx(math.pi / 2)
+
+
+class TestParallel:
+    def test_two_equal(self):
+        assert parallel(10.0, 10.0) == pytest.approx(5.0)
+
+    def test_single(self):
+        assert parallel(7.0) == 7.0
+
+    def test_zero_short_circuits(self):
+        assert parallel(10.0, 0.0) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitError):
+            parallel()
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e9), min_size=1, max_size=5)
+    )
+    def test_result_below_minimum(self, values):
+        smallest = min(values)
+        assert parallel(*values) <= smallest * (1 + 1e-12)

@@ -1,0 +1,121 @@
+"""Direct tests for small utility APIs exercised only indirectly
+elsewhere: passive-device helpers, the SmallSignal bundle, sizing
+queries and the error hierarchy."""
+
+import math
+
+import pytest
+
+from repro.devices import SmallSignal, capacitor_admittance, resistor_conductance
+from repro.errors import (
+    ConvergenceError,
+    NetlistError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+    SynthesisError,
+    TechnologyError,
+    UnitError,
+)
+from repro.process import CMOS_5UM
+from repro.subblocks.sizing import gds_at, gm_at, vov_at
+
+
+class TestPassives:
+    def test_resistor_conductance(self):
+        assert resistor_conductance(1e3) == pytest.approx(1e-3)
+
+    def test_resistor_nonpositive_rejected(self):
+        with pytest.raises(NetlistError):
+            resistor_conductance(0.0)
+
+    def test_capacitor_admittance(self):
+        y = capacitor_admittance(1e-12, 2 * math.pi * 1e6)
+        assert y.real == 0.0
+        assert y.imag == pytest.approx(2 * math.pi * 1e6 * 1e-12)
+
+    def test_capacitor_negative_rejected(self):
+        with pytest.raises(NetlistError):
+            capacitor_admittance(-1e-12, 1.0)
+
+
+class TestSmallSignal:
+    def test_dc_gain(self):
+        ss = SmallSignal(gm=100e-6, rout=1e6)
+        assert ss.dc_gain == pytest.approx(100.0)
+        assert ss.dc_gain_db == pytest.approx(40.0)
+
+    def test_pole(self):
+        ss = SmallSignal(gm=100e-6, rout=1e6, cout=1e-12)
+        assert ss.pole_hz() == pytest.approx(1 / (2 * math.pi * 1e6 * 1e-12))
+
+    def test_pole_with_extra_load(self):
+        ss = SmallSignal(gm=100e-6, rout=1e6, cout=1e-12)
+        assert ss.pole_hz(extra_load=9e-12) == pytest.approx(ss.pole_hz() / 10)
+
+    def test_pole_without_cap_is_infinite(self):
+        assert SmallSignal(gm=1e-6, rout=1e6).pole_hz() == math.inf
+
+    def test_cascade_multiplies_gain(self):
+        first = SmallSignal(gm=100e-6, rout=1e6)   # gain 100
+        second = SmallSignal(gm=200e-6, rout=1e5)  # gain 20
+        cascade = first.cascade(second)
+        assert cascade.dc_gain == pytest.approx(2000.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SpecificationError):
+            SmallSignal(gm=-1e-6, rout=1e6)
+        with pytest.raises(SpecificationError):
+            SmallSignal(gm=1e-6, rout=1e6, cout=-1e-12)
+
+
+class TestSizingQueries:
+    def test_vov_gm_consistency(self):
+        dev = CMOS_5UM.nmos
+        ids, w, l = 10e-6, 50e-6, 5e-6
+        vov = vov_at(dev, ids, w, l)
+        gm = gm_at(dev, ids, w, l)
+        assert gm * vov / 2 == pytest.approx(ids, rel=1e-9)
+
+    def test_gds_at(self):
+        dev = CMOS_5UM.nmos
+        assert gds_at(dev, 10e-6, 5e-6) == pytest.approx(
+            dev.lambda_at(5e-6) * 10e-6
+        )
+
+    def test_zero_current(self):
+        dev = CMOS_5UM.nmos
+        assert vov_at(dev, 0.0, 10e-6, 5e-6) == 0.0
+        assert gm_at(dev, 0.0, 10e-6, 5e-6) == 0.0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            UnitError,
+            TechnologyError,
+            SpecificationError,
+            NetlistError,
+            SimulationError,
+            SynthesisError,
+            PlanError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_value_errors_also_value_errors(self):
+        for error_type in (UnitError, TechnologyError, SpecificationError, NetlistError):
+            assert issubclass(error_type, ValueError)
+
+    def test_convergence_is_simulation_error(self):
+        assert issubclass(ConvergenceError, SimulationError)
+        exc = ConvergenceError("failed", iterations=42)
+        assert exc.iterations == 42
+
+    def test_synthesis_error_carries_context(self):
+        exc = SynthesisError("bad", block="opamp", step="size")
+        assert exc.block == "opamp"
+        assert exc.step == "size"
