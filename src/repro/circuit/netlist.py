@@ -167,30 +167,29 @@ class Circuit:
     def validate(self) -> None:
         """Check structural soundness.
 
+        Implemented on top of the structural subset of the ERC lint pass
+        (:func:`repro.lint.erc.validation_diagnostics`), so there is a
+        single source of truth for what "structurally valid" means.
+        Unlike a plain lint run, this *collects every violation* and
+        raises once with all of them.
+
         Raises:
-            NetlistError: if the circuit is empty, has no ground reference,
-                has any node with a single connection (dangling), or has a
-                node without a DC path to ground.
+            NetlistError: if the circuit is empty, has no ground
+                reference, has any node with a single connection
+                (dangling), or has a node unreachable from ground.  The
+                message lists **all** violations found, not just the
+                first.
         """
-        if not self._elements:
-            raise NetlistError(f"{self.name}: circuit is empty")
-        degree = self.node_degree()
-        if GROUND not in degree:
-            raise NetlistError(f"{self.name}: no element connects to ground '0'")
-        dangling = [n for n, d in degree.items() if d < 2 and n != GROUND]
-        if dangling:
-            raise NetlistError(f"{self.name}: dangling nodes: {sorted(dangling)}")
-        # Every node needs a DC path to ground for the MNA matrix to be
-        # non-singular (gmin shunts aside).
-        graph = self.connectivity_graph(dc_only=False)
-        if GROUND in graph:
-            unreachable = set(graph.nodes) - set(
-                nx.node_connected_component(graph, GROUND)
+        # Imported lazily: repro.lint imports this module.
+        from ..lint.erc import validation_diagnostics
+
+        diagnostics = validation_diagnostics(self)
+        if diagnostics:
+            details = "; ".join(d.message for d in diagnostics)
+            raise NetlistError(
+                f"{self.name}: {len(diagnostics)} structural violation(s): "
+                f"{details}"
             )
-            if unreachable:
-                raise NetlistError(
-                    f"{self.name}: nodes unreachable from ground: {sorted(unreachable)}"
-                )
 
     # ------------------------------------------------------------------
     # Composition

@@ -16,14 +16,31 @@ the full ``lambda(L)`` fit.
 from __future__ import annotations
 
 import io
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import NetlistError
 from ..units import format_quantity, parse_quantity
 from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
 from .netlist import Circuit
 
-__all__ = ["to_spice", "from_spice", "model_cards"]
+__all__ = ["to_spice", "from_spice", "parse_deck", "SubcktDef", "model_cards"]
+
+
+@dataclass(frozen=True)
+class SubcktDef:
+    """One parsed ``.subckt`` definition.
+
+    Attributes:
+        name: lower-cased subcircuit name.
+        ports: declared port (interface node) names, in order.
+        circuit: the body as a standalone :class:`Circuit` over the port
+            and internal node names.
+    """
+
+    name: str
+    ports: Tuple[str, ...]
+    circuit: Circuit
 
 
 def model_cards(process: "ProcessParameters") -> str:
@@ -98,36 +115,163 @@ def to_spice(
 
 
 def from_spice(text: str, name: str = "imported") -> Circuit:
-    """Parse the deck subset written by :func:`to_spice`."""
+    """Parse the deck subset written by :func:`to_spice`.
+
+    ``.subckt`` definitions are supported: ``x`` instances are flattened
+    into the returned circuit (see :func:`parse_deck` to also get the
+    definitions themselves).
+    """
+    circuit, _subckts = parse_deck(text, name=name)
+    return circuit
+
+
+def parse_deck(
+    text: str, name: str = "imported"
+) -> Tuple[Circuit, Dict[str, SubcktDef]]:
+    """Parse a deck into a flat top-level circuit plus its subcircuits.
+
+    Handles the element subset written by :func:`to_spice` and, on top
+    of it, ``.subckt <name> <ports...>`` / ``.ends`` blocks and
+    ``x<name> <nodes...> <subcktname>`` instance lines.  Instances are
+    flattened via :meth:`Circuit.merge` with the instance name as the
+    hierarchy prefix, so a device ``m1`` inside an instance ``x1``
+    lands as ``mx1.m1`` (the leading device letter survives for SPICE
+    compatibility).  Subcircuits may instantiate each other in any
+    definition order; recursion is rejected.
+
+    Returns:
+        ``(circuit, subckts)`` where ``subckts`` maps lower-cased
+        subcircuit names to :class:`SubcktDef`.
+    """
+    top_lines, blocks = _split_subckts(text)
+    subckts: Dict[str, SubcktDef] = {}
+    building: Set[str] = set()
+
+    def build(sub_name: str) -> SubcktDef:
+        if sub_name in subckts:
+            return subckts[sub_name]
+        if sub_name in building:
+            raise NetlistError(
+                f".subckt {sub_name!r} instantiates itself (directly or "
+                f"through a cycle)"
+            )
+        building.add(sub_name)
+        ports, body_lines = blocks[sub_name]
+        body = Circuit(sub_name)
+        for lineno, line in body_lines:
+            _parse_line(body, lineno, line, blocks, build)
+        building.discard(sub_name)
+        definition = SubcktDef(name=sub_name, ports=ports, circuit=body)
+        subckts[sub_name] = definition
+        return definition
+
+    for sub_name in blocks:
+        build(sub_name)
     circuit = Circuit(name)
+    for lineno, line in top_lines:
+        _parse_line(circuit, lineno, line, blocks, build)
+    return circuit, subckts
+
+
+def _split_subckts(
+    text: str,
+) -> Tuple[
+    List[Tuple[int, str]],
+    Dict[str, Tuple[Tuple[str, ...], List[Tuple[int, str]]]],
+]:
+    """Separate a deck into top-level lines and ``.subckt`` blocks."""
+    top: List[Tuple[int, str]] = []
+    blocks: Dict[str, Tuple[Tuple[str, ...], List[Tuple[int, str]]]] = {}
+    current: Optional[str] = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
-        if not line or line.startswith("*") or line.startswith("."):
+        if not line or line.startswith("*"):
             continue
-        tokens = line.split()
-        letter = tokens[0][0].lower()
-        try:
-            if letter == "m":
-                _parse_mosfet(circuit, tokens)
-            elif letter == "r":
-                circuit.add_resistor(
-                    tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+        lowered = line.lower()
+        if lowered.startswith(".subckt"):
+            if current is not None:
+                raise NetlistError(
+                    f"line {lineno}: nested .subckt definitions are not "
+                    f"supported"
                 )
-            elif letter == "c":
-                circuit.add_capacitor(
-                    tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise NetlistError(f"line {lineno}: .subckt needs a name")
+            sub_name = tokens[1].lower()
+            if sub_name in blocks:
+                raise NetlistError(
+                    f"line {lineno}: duplicate .subckt {sub_name!r}"
                 )
-            elif letter in ("v", "i"):
-                dc, ac = _parse_source_values(tokens[3:])
-                if letter == "v":
-                    circuit.add_vsource(tokens[0], tokens[1], tokens[2], dc, ac)
-                else:
-                    circuit.add_isource(tokens[0], tokens[1], tokens[2], dc, ac)
+            ports = tuple(tokens[2:])
+            if len(set(ports)) != len(ports):
+                raise NetlistError(
+                    f"line {lineno}: .subckt {sub_name!r} repeats a port"
+                )
+            blocks[sub_name] = (ports, [])
+            current = sub_name
+            continue
+        if lowered.startswith(".ends"):
+            if current is None:
+                raise NetlistError(f"line {lineno}: .ends without .subckt")
+            current = None
+            continue
+        if line.startswith("."):
+            continue  # .model / .end / analysis cards
+        if current is not None:
+            blocks[current][1].append((lineno, line))
+        else:
+            top.append((lineno, line))
+    if current is not None:
+        raise NetlistError(f".subckt {current!r} is never closed by .ends")
+    return top, blocks
+
+
+def _parse_line(circuit: Circuit, lineno: int, line: str, blocks, build) -> None:
+    """Parse one element line into ``circuit`` (flattening instances)."""
+    tokens = line.split()
+    letter = tokens[0][0].lower()
+    try:
+        if letter == "m":
+            _parse_mosfet(circuit, tokens)
+        elif letter == "r":
+            circuit.add_resistor(
+                tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+            )
+        elif letter == "c":
+            circuit.add_capacitor(
+                tokens[0], tokens[1], tokens[2], parse_quantity(tokens[3])
+            )
+        elif letter in ("v", "i"):
+            dc, ac = _parse_source_values(tokens[3:])
+            if letter == "v":
+                circuit.add_vsource(tokens[0], tokens[1], tokens[2], dc, ac)
             else:
-                raise NetlistError(f"unsupported element letter {letter!r}")
-        except (IndexError, NetlistError) as exc:
-            raise NetlistError(f"line {lineno}: {exc}") from exc
-    return circuit
+                circuit.add_isource(tokens[0], tokens[1], tokens[2], dc, ac)
+        elif letter == "x":
+            _parse_instance(circuit, tokens, blocks, build)
+        else:
+            raise NetlistError(f"unsupported element letter {letter!r}")
+    except (IndexError, NetlistError) as exc:
+        raise NetlistError(f"line {lineno}: {exc}") from exc
+
+
+def _parse_instance(circuit: Circuit, tokens, blocks, build) -> None:
+    """Flatten one ``x`` instance line into ``circuit``."""
+    name = tokens[0]
+    if len(tokens) < 2:
+        raise NetlistError(f"{name}: instance line needs a subcircuit name")
+    sub_name = tokens[-1].lower()
+    if sub_name not in blocks:
+        raise NetlistError(f"{name}: unknown subcircuit {tokens[-1]!r}")
+    definition = build(sub_name)
+    connections = tokens[1:-1]
+    if len(connections) != len(definition.ports):
+        raise NetlistError(
+            f"{name}: {len(connections)} connection(s) for subcircuit "
+            f"{sub_name!r} with {len(definition.ports)} port(s)"
+        )
+    node_map = dict(zip(definition.ports, connections))
+    circuit.merge(definition.circuit, prefix=name, node_map=node_map)
 
 
 def _parse_mosfet(circuit: Circuit, tokens) -> None:

@@ -7,7 +7,10 @@ equivalent.  Commands:
   simulator verification, SPICE export, design trace);
 * ``testcases``  -- regenerate the paper's Table 2 for cases A/B/C;
 * ``adc``        -- design a successive-approximation converter;
-* ``processes``  -- list the built-in processes / print Table 1.
+* ``processes``  -- list the built-in processes / print Table 1;
+* ``lint``       -- static diagnostics: ERC over a SPICE deck or a
+  synthesized test case, and the knowledge-base self-check.  The exit
+  code follows the worst finding (0 clean/info, 1 warning, 2 error).
 
 All quantity arguments accept SPICE suffixes (``10p``, ``2MEG``...).
 """
@@ -93,6 +96,51 @@ def build_parser() -> argparse.ArgumentParser:
     # processes ----------------------------------------------------------
     procs = commands.add_parser("processes", help="list built-in processes")
     procs.add_argument("--table1", default=None, help="print Table 1 for this process")
+
+    # lint ---------------------------------------------------------------
+    lint = commands.add_parser(
+        "lint",
+        help="static diagnostics (ERC + knowledge-base lint)",
+        description="Run the ERC pass over a SPICE deck or a synthesized "
+        "built-in test case, and/or the knowledge-base self-check.  The "
+        "process exit code is the worst severity found: 0 clean or info, "
+        "1 warning, 2 error.",
+    )
+    lint.add_argument(
+        "netlist",
+        nargs="?",
+        default=None,
+        help="SPICE deck to lint (subcircuits are flattened)",
+    )
+    lint.add_argument(
+        "--testcase",
+        choices=["A", "B", "C"],
+        default=None,
+        help="synthesize the paper's Table 2 case and lint its netlist",
+    )
+    lint.add_argument(
+        "--self-check",
+        action="store_true",
+        help="lint every registered topology template (the CI gate)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="format",
+        help="report rendering (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated diagnostic codes to run exclusively",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated diagnostic codes to suppress",
+    )
+    _add_process_arguments(lint)
 
     return parser
 
@@ -186,11 +234,67 @@ def _cmd_processes(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint import (
+        LintReport,
+        lint_circuit,
+        lint_knowledge_base,
+        lint_spice_deck,
+    )
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    targets = [bool(args.netlist), bool(args.testcase), args.self_check]
+    if not any(targets):
+        raise ReproError(
+            "nothing to lint: give a netlist file, --testcase, or --self-check"
+        )
+    report = LintReport()
+    if args.netlist:
+        with open(args.netlist, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        process = _process_from_args(args)
+        deck_report = lint_spice_deck(text, process=process, name=args.netlist)
+        if select is not None or ignore is not None:
+            select_set = set(select) if select is not None else None
+            ignore_set = set(ignore or ())
+            deck_report = LintReport(
+                [
+                    d
+                    for d in deck_report
+                    if d.code not in ignore_set
+                    and (select_set is None or d.code in select_set)
+                ]
+            )
+        report.extend(deck_report)
+    if args.testcase:
+        from .opamp import synthesize
+        from .opamp.testcases import paper_test_cases
+
+        process = _process_from_args(args)
+        spec = paper_test_cases()[args.testcase]
+        print(f"synthesizing case {args.testcase}...", file=sys.stderr)
+        best = synthesize(spec, process).best
+        report.extend(
+            lint_circuit(
+                best.standalone_circuit(),
+                process=process,
+                select=select,
+                ignore=ignore,
+            )
+        )
+    if args.self_check:
+        report.extend(lint_knowledge_base())
+    print(report.render(args.format))
+    return report.exit_code()
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "testcases": _cmd_testcases,
     "adc": _cmd_adc,
     "processes": _cmd_processes,
+    "lint": _cmd_lint,
 }
 
 

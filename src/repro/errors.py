@@ -61,3 +61,17 @@ class SynthesisError(ReproError, RuntimeError):
 class PlanError(ReproError, RuntimeError):
     """A plan is internally inconsistent (bad restart target, duplicate step
     names, rule referencing an unknown step)."""
+
+
+class LintError(ReproError, RuntimeError):
+    """Static analysis refused an input (ERC errors in strict mode, a
+    malformed checker registration, or a failed knowledge-base self-check).
+
+    When raised by a strict gate the offending
+    :class:`~repro.lint.diagnostics.LintReport` rides along as
+    ``.report`` so callers can inspect the individual diagnostics.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

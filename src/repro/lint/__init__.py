@@ -1,0 +1,65 @@
+"""Static diagnostics for netlists and the knowledge base.
+
+Two passes ship with the package:
+
+* **ERC** -- electrical rule checks over a flat
+  :class:`~repro.circuit.netlist.Circuit` (floating nodes, missing DC
+  paths, undriven gates, bulk polarity, minimum geometry, supply
+  shorts, mirror ratio mismatches);
+* **KB lint** -- static analysis of design plans, rules and topology
+  templates *without executing them* (read-before-set variables,
+  restart targets, unknown style slots, unproduced sub-blocks).
+
+Entry points:
+
+* :func:`lint_circuit` / :func:`assert_erc_clean` /
+  :func:`validation_diagnostics` for circuits;
+* :func:`lint_spice_deck` for raw SPICE text (including ``.subckt``);
+* :func:`lint_template` / :func:`lint_plan` /
+  :func:`lint_knowledge_base` for the knowledge base;
+* the ``repro lint`` CLI subcommand wraps all of the above.
+
+Checkers are pluggable: see :mod:`repro.lint.registry` and
+``docs/EXTENDING.md`` for the recipe.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .erc import (
+    LintContext,
+    assert_erc_clean,
+    lint_circuit,
+    lint_spice_deck,
+    validation_diagnostics,
+)
+from .kblint import (
+    KbContext,
+    StateUsage,
+    analyze_callable,
+    lint_knowledge_base,
+    lint_plan,
+    lint_template,
+)
+from .registry import ERC_REGISTRY, KB_REGISTRY, Checker, CheckerRegistry
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintReport",
+    "Checker",
+    "CheckerRegistry",
+    "ERC_REGISTRY",
+    "KB_REGISTRY",
+    "LintContext",
+    "KbContext",
+    "StateUsage",
+    "analyze_callable",
+    "lint_circuit",
+    "lint_spice_deck",
+    "assert_erc_clean",
+    "validation_diagnostics",
+    "lint_template",
+    "lint_plan",
+    "lint_knowledge_base",
+]

@@ -1,0 +1,186 @@
+"""The pluggable checker registry.
+
+A *checker* is a function that inspects one subject (a circuit, a plan,
+a template...) and yields :class:`~repro.lint.diagnostics.Diagnostic`
+findings.  Checkers register themselves against a
+:class:`CheckerRegistry` with the :meth:`CheckerRegistry.register`
+decorator, declaring the codes they may emit; the registry runs them in
+registration order and collects everything into a
+:class:`~repro.lint.diagnostics.LintReport`.
+
+Two registries ship with the package:
+
+* :data:`ERC_REGISTRY` -- electrical rule checks over a ``Circuit``;
+  checker signature ``check(circuit, context) -> Iterable[Diagnostic]``;
+* :data:`KB_REGISTRY` -- static plan / template checks; signature
+  ``check(template, context) -> Iterable[Diagnostic]``.
+
+Third-party checkers follow the same recipe (see ``docs/EXTENDING.md``):
+pick an unused code in the right namespace, write a generator, decorate
+it.  A checker must never mutate its subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import LintError
+from .diagnostics import Diagnostic, LintReport
+
+__all__ = ["Checker", "CheckerRegistry", "ERC_REGISTRY", "KB_REGISTRY"]
+
+#: Checker signature: (subject, context) -> iterable of diagnostics.
+CheckFunction = Callable[..., Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """One registered static check.
+
+    Attributes:
+        name: unique checker name within its registry.
+        codes: diagnostic codes this checker may emit (stable contract).
+        func: the check function.
+        structural: structural checkers form the
+            :meth:`~repro.circuit.netlist.Circuit.validate` subset -- the
+            invariants the simulator genuinely requires, as opposed to
+            design-quality findings.
+        doc: one-line description (defaults to the function docstring).
+    """
+
+    name: str
+    codes: Tuple[str, ...]
+    func: CheckFunction
+    structural: bool = False
+    doc: str = ""
+
+
+class CheckerRegistry:
+    """An ordered, named collection of checkers for one subject kind."""
+
+    def __init__(self, target: str):
+        self.target = target
+        self._checkers: Dict[str, Checker] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        codes: Iterable[str],
+        structural: bool = False,
+    ) -> Callable[[CheckFunction], CheckFunction]:
+        """Decorator registering ``func`` as a checker::
+
+            @ERC_REGISTRY.register("dangling-node", ["ERC101"],
+                                   structural=True)
+            def check_dangling(circuit, context):
+                ...
+                yield Diagnostic("ERC101", Severity.ERROR, ...)
+        """
+        codes = tuple(codes)
+        if not name:
+            raise LintError("checker name must be non-empty")
+        if not codes:
+            raise LintError(f"checker {name!r} must declare at least one code")
+
+        def wrap(func: CheckFunction) -> CheckFunction:
+            if name in self._checkers:
+                raise LintError(
+                    f"{self.target}: duplicate checker name {name!r}"
+                )
+            claimed = self.code_owners()
+            for code in codes:
+                if code in claimed:
+                    raise LintError(
+                        f"{self.target}: code {code} already claimed by "
+                        f"checker {claimed[code]!r}"
+                    )
+            self._checkers[name] = Checker(
+                name=name,
+                codes=codes,
+                func=func,
+                structural=structural,
+                doc=(func.__doc__ or "").strip().splitlines()[0]
+                if func.__doc__
+                else "",
+            )
+            return func
+
+        return wrap
+
+    # ------------------------------------------------------------------
+    def checkers(self, structural_only: bool = False) -> List[Checker]:
+        found = list(self._checkers.values())
+        if structural_only:
+            found = [c for c in found if c.structural]
+        return found
+
+    def __len__(self) -> int:
+        return len(self._checkers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._checkers
+
+    def __getitem__(self, name: str) -> Checker:
+        try:
+            return self._checkers[name]
+        except KeyError:
+            raise LintError(
+                f"{self.target}: no checker named {name!r} "
+                f"(have {sorted(self._checkers)})"
+            ) from None
+
+    def code_owners(self) -> Dict[str, str]:
+        """Map of diagnostic code -> checker name, for the docs/CLI."""
+        owners: Dict[str, str] = {}
+        for checker in self._checkers.values():
+            for code in checker.codes:
+                owners[code] = checker.name
+        return owners
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        subject: object,
+        context: object,
+        structural_only: bool = False,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> LintReport:
+        """Run (a subset of) the registered checkers over ``subject``.
+
+        Args:
+            subject: the thing being checked (Circuit, template...).
+            context: pass-specific context object handed to every checker.
+            structural_only: restrict to structural checkers (the
+                ``Circuit.validate`` subset).
+            select: run only checkers emitting one of these codes.
+            ignore: drop diagnostics with these codes from the report.
+        """
+        select_set = set(select) if select is not None else None
+        ignore_set = set(ignore) if ignore is not None else set()
+        report = LintReport()
+        for checker in self.checkers(structural_only=structural_only):
+            if select_set is not None and not (set(checker.codes) & select_set):
+                continue
+            for diagnostic in checker.func(subject, context) or ():
+                if diagnostic.code not in checker.codes:
+                    raise LintError(
+                        f"checker {checker.name!r} emitted undeclared code "
+                        f"{diagnostic.code}"
+                    )
+                if diagnostic.code in ignore_set:
+                    continue
+                if select_set is not None and diagnostic.code not in select_set:
+                    continue
+                report.add(diagnostic)
+        return report
+
+
+#: Electrical rule checks over a :class:`~repro.circuit.netlist.Circuit`.
+ERC_REGISTRY = CheckerRegistry("circuit")
+
+#: Static plan / template checks over a
+#: :class:`~repro.kb.templates.TopologyTemplate`.
+KB_REGISTRY = CheckerRegistry("knowledge-base")

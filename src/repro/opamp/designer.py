@@ -63,12 +63,20 @@ def design_style(
     spec: OpAmpSpec,
     process: ProcessParameters,
     trace: Optional[DesignTrace] = None,
+    strict: bool = False,
 ) -> DesignedOpAmp:
     """Design one op amp style to completion (translation + sizing).
+
+    Args:
+        strict: run the full ERC lint pass over the packaged netlist and
+            refuse (raise :class:`~repro.errors.LintError`) when it has
+            any error-severity finding.  The shipped topologies are
+            ERC-clean; this is a fast-fail gate for modified templates.
 
     Raises:
         SynthesisError: when the style cannot meet the specification even
             after its rules have patched the plan.
+        LintError: in strict mode, when the packaged netlist fails ERC.
     """
     template = OPAMP_CATALOG[style]
     trace = trace if trace is not None else DesignTrace()
@@ -77,13 +85,24 @@ def design_style(
     state.set("trace", trace)
     executor = PlanExecutor(template.build_plan(), template.build_rules())
     executor.execute(state, trace=trace, block=f"opamp/{style}")
-    return _PACKAGERS[style](state, spec, trace)
+    designed = _PACKAGERS[style](state, spec, trace)
+    if strict:
+        # Imported lazily: repro.lint imports the circuit package.
+        from ..lint import assert_erc_clean
+
+        assert_erc_clean(
+            designed.standalone_circuit(),
+            process=process,
+            context=f"opamp/{style}",
+        )
+    return designed
 
 
 def synthesize(
     spec: OpAmpSpec,
     process: ProcessParameters,
     styles: Optional[Tuple[str, ...]] = None,
+    strict: bool = False,
 ) -> SynthesisResult:
     """Synthesize a sized op amp schematic from a performance spec.
 
@@ -95,19 +114,26 @@ def synthesize(
         spec: performance specification (Table 2 parameters).
         process: fabrication-process description (Table 1 parameters).
         styles: optional style subset (used by the ablation benches).
+        strict: ERC-gate every candidate netlist (see
+            :func:`design_style`); a candidate failing the gate raises
+            :class:`~repro.errors.LintError` immediately rather than
+            being silently dropped.
 
     Returns:
         A :class:`SynthesisResult`.
 
     Raises:
         SynthesisError: when no style can meet the specification.
+        LintError: in strict mode, when a candidate netlist fails ERC.
     """
     trace = DesignTrace()
     styles = tuple(styles) if styles is not None else OPAMP_STYLES
 
     def design_one(style: str):
         style_trace = DesignTrace()
-        designed = design_style(style, spec, process, trace=style_trace)
+        designed = design_style(
+            style, spec, process, trace=style_trace, strict=strict
+        )
         trace.extend(style_trace)
         return designed, designed.area, designed.soft_violation_count()
 

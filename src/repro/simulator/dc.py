@@ -91,6 +91,7 @@ def operating_point(
     initial_guess: Optional[Dict[str, float]] = None,
     max_iterations: int = 150,
     vth_shifts: Optional[Dict[str, float]] = None,
+    strict: bool = False,
 ) -> OperatingPointResult:
     """Solve the DC operating point of ``circuit``.
 
@@ -102,13 +103,22 @@ def operating_point(
         max_iterations: NR budget per homotopy step.
         vth_shifts: optional per-device threshold perturbations, volts
             (Monte Carlo mismatch hook; see :class:`MnaSystem`).
+        strict: additionally run the full ERC lint pass and raise
+            :class:`~repro.errors.LintError` on any error-severity
+            finding (rather than discovering the problem as a singular
+            matrix mid-solve).
 
     Returns:
         A converged :class:`OperatingPointResult`.
 
     Raises:
         ConvergenceError: if all homotopy strategies fail.
+        LintError: in strict mode, when the circuit fails ERC.
     """
+    if strict:
+        from ..lint import assert_erc_clean  # local: avoid import cycle
+
+        assert_erc_clean(circuit, process=process, context="operating_point")
     circuit.validate()
     system = MnaSystem(circuit, process, vth_shifts=vth_shifts)
     x0 = np.zeros(system.size)

@@ -82,24 +82,40 @@ def parse_quantity(text: Union[str, float, int]) -> float:
         3.3
 
     Raises:
-        UnitError: if the string is not a number with optional suffix.
+        UnitError: if the string is empty, not a number with optional
+            suffix, has an incomplete exponent (``"1e"``), or mixes a
+            suffix with non-alphabetic trailing junk (``"5m%"``).
     """
     if isinstance(text, (int, float)) and not isinstance(text, bool):
         return float(text)
     if not isinstance(text, str):
         raise UnitError(f"cannot parse quantity from {type(text).__name__}")
+    if not text.strip():
+        raise UnitError("empty quantity string")
     match = _NUMBER_RE.match(text)
     if match is None:
         raise UnitError(f"malformed quantity: {text!r}")
     value = float(match.group(1))
     tail = match.group(2).upper()
-    if not tail or tail == "%":
-        return value * (0.01 if tail == "%" else 1.0)
+    if not tail:
+        return value
+    if tail == "%":
+        return value * 0.01
+    if tail == "E":
+        # "1e" looks like the start of an exponent, not a unit; silently
+        # returning 1.0 here hides a typo like "1e6" -> "1e".
+        raise UnitError(
+            f"ambiguous quantity {text!r}: incomplete exponent "
+            f"(write e.g. '1e6', or use a suffix like 'MEG')"
+        )
     for suffix, scale in _SUFFIXES:
         if tail.startswith(suffix):
             # MEG must be matched in full, not as M + "EG"-unit, which the
             # ordering above already guarantees; remaining letters are the
             # unit and are ignored (e.g. the "F" of "pF").
+            rest = tail[len(suffix):]
+            if rest and not rest.isalpha():
+                raise UnitError(f"malformed quantity: {text!r}")
             return value * scale
     # No recognised suffix: the tail is a bare unit like "V" or "Hz".
     if tail.isalpha():

@@ -168,3 +168,96 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "one_stage" in out and "two_stage" in out
+
+
+GOOD_DECK = """* divider
+v1 vdd 0 DC 5
+r1 vdd mid 1k
+r2 mid 0 1k
+.end
+"""
+
+WARN_DECK = """* cap-coupled node
+v1 vdd 0 DC 5
+r1 vdd 0 1k
+c1 vdd mid 1p
+c2 mid 0 1p
+.end
+"""
+
+BAD_DECK = """* dangling subckt port
+.subckt blk a b ghost
+r1 a b 1k
+.ends
+v1 vdd 0 DC 5
+x1 vdd n1 n2 blk
+r2 n1 0 1k
+r3 n2 0 1k
+.end
+"""
+
+
+class TestLintCommand:
+    def test_requires_a_target(self, capsys):
+        assert main(["lint"]) == 1
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_clean_deck_exits_zero(self, capsys, tmp_path):
+        deck = tmp_path / "ok.cir"
+        deck.write_text(GOOD_DECK)
+        assert main(["lint", str(deck)]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_warning_deck_exits_one(self, capsys, tmp_path):
+        deck = tmp_path / "warn.cir"
+        deck.write_text(WARN_DECK)
+        assert main(["lint", str(deck)]) == 1
+        assert "ERC104" in capsys.readouterr().out
+
+    def test_error_deck_exits_two(self, capsys, tmp_path):
+        deck = tmp_path / "bad.cir"
+        deck.write_text(BAD_DECK)
+        assert main(["lint", str(deck)]) == 2
+        assert "ERC110" in capsys.readouterr().out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        deck = tmp_path / "bad.cir"
+        deck.write_text(BAD_DECK)
+        assert main(["lint", str(deck), "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 2
+        assert any(d["code"] == "ERC110" for d in payload["diagnostics"])
+
+    def test_ignore_filter_downgrades_exit(self, capsys, tmp_path):
+        deck = tmp_path / "warn.cir"
+        deck.write_text(WARN_DECK)
+        assert main(["lint", str(deck), "--ignore", "ERC104"]) == 0
+
+    def test_self_check_clean(self, capsys):
+        assert main(["lint", "--self-check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_testcase_lints_clean(self, capsys):
+        assert main(["lint", "--testcase", "A"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_synthesized_spice_export_lints_clean(self, capsys, tmp_path):
+        deck_path = tmp_path / "amp.cir"
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "--gain-db", "45",
+                    "--ugf", "1MEG",
+                    "--slew", "2MEG",
+                    "--load", "10p",
+                    "--swing", "3.5",
+                    "--spice", str(deck_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["lint", str(deck_path)]) == 0

@@ -85,6 +85,28 @@ class TestParseQuantity:
     def test_whitespace_tolerated(self):
         assert parse_quantity("  1.5u  ") == pytest.approx(1.5e-6)
 
+    @pytest.mark.parametrize("empty", ["", "   ", "\t"])
+    def test_empty_string_clear_message(self, empty):
+        with pytest.raises(UnitError, match="empty quantity"):
+            parse_quantity(empty)
+
+    @pytest.mark.parametrize("bad", ["1e", "1E", "  2e "])
+    def test_incomplete_exponent_rejected(self, bad):
+        """"1e" is an unfinished exponent, not a 1.0 with unit "e"."""
+        with pytest.raises(UnitError, match="incomplete exponent"):
+            parse_quantity(bad)
+
+    def test_suffix_with_junk_tail_rejected(self):
+        with pytest.raises(UnitError, match="malformed"):
+            parse_quantity("5m%")
+
+    def test_bool_rejected(self):
+        with pytest.raises(UnitError):
+            parse_quantity(True)
+
+    def test_exponent_and_suffix_combine(self):
+        assert parse_quantity("1e3k") == pytest.approx(1e6)
+
 
 class TestFormatQuantity:
     def test_basic(self):
@@ -114,6 +136,22 @@ class TestFormatQuantity:
     def test_nan_inf(self):
         assert format_quantity(math.inf) == "inf"
         assert "nan" in format_quantity(math.nan)
+
+    def test_roundtrip_negative_and_extremes(self):
+        for value in [-4.7e3, 1e-18, 9.99e11, 123.456, -2.5e-15]:
+            assert parse_quantity(format_quantity(value, digits=9)) == pytest.approx(
+                value, rel=1e-6
+            )
+
+    def test_roundtrip_with_unit_suffix(self):
+        text = format_quantity(2.2e-5, "F")
+        assert parse_quantity(text) == pytest.approx(2.2e-5)
+
+    @given(st.floats(min_value=-1e11, max_value=-1e-17))
+    def test_roundtrip_property_negative(self, value):
+        assert parse_quantity(format_quantity(value, digits=9)) == pytest.approx(
+            value, rel=1e-6
+        )
 
 
 class TestDecibels:
