@@ -1,0 +1,77 @@
+"""Catch an impossible specification before any plan executes.
+
+Run:
+    python examples/feasibility_gate.py
+
+Seeds an intentionally infeasible op amp specification -- 100 dB of
+open-loop gain at a 100 MHz unity-gain frequency into 50 pF on a 1 mW
+power budget, hopeless on a 5 um process -- and shows the two front
+doors to the interval feasibility pass:
+
+1. ``lint_feasibility`` (the ``repro lint --feasibility`` machinery):
+   abstractly executes every design style's plan over the spec inflated
+   to process-corner intervals and reports FEAS4xx diagnostics, all in
+   a few milliseconds, without ever running the concrete synthesizer;
+2. ``synthesize(..., precheck=True)``: the same analysis as a fast-fail
+   gate inside the synthesis entry point -- every style is statically
+   pruned, so synthesis refuses immediately instead of grinding through
+   doomed plans.
+
+For contrast, the same gate waves a *feasible* spec (the paper's test
+case B) straight through to the concrete designer.
+"""
+
+import time
+
+from repro import CMOS_5UM
+from repro.errors import SynthesisError
+from repro.kb.specs import OpAmpSpec
+from repro.lint import lint_feasibility
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import SPEC_B
+
+#: Provably out of reach on a 5 um process.
+IMPOSSIBLE = OpAmpSpec(
+    gain_db=100.0,
+    unity_gain_hz=100e6,
+    phase_margin_deg=60.0,
+    slew_rate=50e6,
+    load_capacitance=50e-12,
+    output_swing=1.0,
+    power_max=1e-3,
+)
+
+
+def main() -> None:
+    print("Static feasibility report for the impossible spec:")
+    print("==================================================")
+    start = time.perf_counter()
+    report = lint_feasibility(IMPOSSIBLE, process=CMOS_5UM)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    print(report.render_text())
+    print(f"(analysis took {elapsed_ms:.1f} ms; exit code {report.exit_code()})")
+    print()
+
+    print("synthesize(..., precheck=True) fails fast:")
+    print("==========================================")
+    try:
+        synthesize(IMPOSSIBLE, CMOS_5UM, precheck=True)
+    except SynthesisError as exc:
+        print(f"refused: {exc}")
+    print()
+
+    print("A feasible spec (test case B) passes the same gate:")
+    print("===================================================")
+    result = synthesize(SPEC_B, CMOS_5UM, precheck=True)
+    pruned_notes = [
+        event.detail
+        for event in result.trace.events
+        if event.kind == "note" and "precheck" in event.detail
+    ]
+    for note in pruned_notes:
+        print(f"  pruned: {note}")
+    print(f"  selected style: {result.best.style}")
+
+
+if __name__ == "__main__":
+    main()

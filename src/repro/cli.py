@@ -9,8 +9,12 @@ equivalent.  Commands:
 * ``adc``        -- design a successive-approximation converter;
 * ``processes``  -- list the built-in processes / print Table 1;
 * ``lint``       -- static diagnostics: ERC over a SPICE deck or a
-  synthesized test case, and the knowledge-base self-check.  The exit
-  code follows the worst finding (0 clean/info, 1 warning, 2 error).
+  synthesized test case, the knowledge-base self-check, and (with
+  ``--feasibility``) the interval feasibility pass.  The exit code
+  follows the worst finding (0 clean/info, 1 warning, 2 error);
+* ``analyze``    -- abstract interpretation range report: how each
+  design style's plan behaves over the spec inflated to process-corner
+  intervals, without running the concrete synthesizer.
 
 All quantity arguments accept SPICE suffixes (``10p``, ``2MEG``...).
 """
@@ -51,6 +55,61 @@ def _add_process_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_spec_arguments(
+    parser: argparse.ArgumentParser, required: bool = True
+) -> None:
+    """The OpAmpSpec flags shared by synthesize / analyze / lint."""
+    parser.add_argument(
+        "--gain-db", required=required, default=None, help="min DC gain, dB"
+    )
+    parser.add_argument(
+        "--ugf",
+        required=required,
+        default=None,
+        help="min unity-gain frequency, Hz",
+    )
+    parser.add_argument("--pm", default="60", help="min phase margin, deg (soft)")
+    parser.add_argument(
+        "--slew", required=required, default=None, help="min slew rate, V/s"
+    )
+    parser.add_argument(
+        "--load", required=required, default=None, help="load capacitance, F"
+    )
+    parser.add_argument(
+        "--swing",
+        required=required,
+        default=None,
+        help="min +- output swing, V",
+    )
+    parser.add_argument("--offset", default="50m", help="max offset, V (default 50m)")
+    parser.add_argument("--power-max", default="0", help="max static power, W (0 = off)")
+
+
+_SPEC_FLAGS = ("gain_db", "ugf", "slew", "load", "swing")
+
+
+def _spec_from_args(args) -> OpAmpSpec:
+    missing = [
+        "--" + name.replace("_", "-")
+        for name in _SPEC_FLAGS
+        if getattr(args, name) is None
+    ]
+    if missing:
+        raise ReproError(
+            f"incomplete specification: missing {', '.join(missing)}"
+        )
+    return OpAmpSpec(
+        gain_db=parse_quantity(args.gain_db),
+        unity_gain_hz=parse_quantity(args.ugf),
+        phase_margin_deg=parse_quantity(args.pm),
+        slew_rate=parse_quantity(args.slew),
+        load_capacitance=parse_quantity(args.load),
+        output_swing=parse_quantity(args.swing),
+        offset_max_mv=parse_quantity(args.offset) * 1e3,
+        power_max=parse_quantity(args.power_max),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,14 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     # synthesize ---------------------------------------------------------
     syn = commands.add_parser("synthesize", help="spec -> sized op amp schematic")
-    syn.add_argument("--gain-db", required=True, help="min DC gain, dB")
-    syn.add_argument("--ugf", required=True, help="min unity-gain frequency, Hz")
-    syn.add_argument("--pm", default="60", help="min phase margin, deg (soft)")
-    syn.add_argument("--slew", required=True, help="min slew rate, V/s")
-    syn.add_argument("--load", required=True, help="load capacitance, F")
-    syn.add_argument("--swing", required=True, help="min +- output swing, V")
-    syn.add_argument("--offset", default="50m", help="max offset, V (default 50m)")
-    syn.add_argument("--power-max", default="0", help="max static power, W (0 = off)")
+    _add_spec_arguments(syn, required=True)
     syn.add_argument(
         "--styles",
         choices=["paper", "extended"],
@@ -77,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--verify", action="store_true", help="measure with the simulator")
     syn.add_argument("--spice", default=None, help="write the SPICE deck to this file")
     syn.add_argument("--trace", action="store_true", help="print the design trace")
+    syn.add_argument(
+        "--precheck",
+        action="store_true",
+        help="run the static feasibility gate before the plan executor",
+    )
     _add_process_arguments(syn)
 
     # testcases ----------------------------------------------------------
@@ -124,11 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint every registered topology template (the CI gate)",
     )
     lint.add_argument(
+        "--feasibility",
+        action="store_true",
+        help="interval feasibility pass (FEAS4xx/RULE5xx): abstractly "
+        "execute the design plans over the spec given by --testcase or "
+        "the spec flags, or over every built-in test case with "
+        "--self-check, without running the concrete synthesizer",
+    )
+    lint.add_argument(
+        "--corner",
+        type=float,
+        default=0.05,
+        help="relative process-corner spread for --feasibility "
+        "(default: 0.05)",
+    )
+    lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
         dest="format",
-        help="report rendering (default: text)",
+        help="report rendering (default: text; github emits workflow "
+        "annotations)",
     )
     lint.add_argument(
         "--select",
@@ -140,7 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated diagnostic codes to suppress",
     )
+    _add_spec_arguments(lint, required=False)
     _add_process_arguments(lint)
+
+    # analyze ------------------------------------------------------------
+    analyze = commands.add_parser(
+        "analyze",
+        help="abstract-interpretation range report for a specification",
+        description="Abstractly execute every design style's plan over "
+        "the specification inflated to process-corner intervals and "
+        "report the resulting variable ranges and feasibility verdicts. "
+        "Never invokes the concrete synthesizer; exit code follows the "
+        "feasibility findings (0 clean/info, 1 warning, 2 error).",
+    )
+    _add_spec_arguments(analyze, required=True)
+    analyze.add_argument(
+        "--corner",
+        type=float,
+        default=0.05,
+        help="relative process-corner spread (default: 0.05)",
+    )
+    _add_process_arguments(analyze)
 
     return parser
 
@@ -150,18 +243,9 @@ def _cmd_synthesize(args) -> int:
     from .circuit import to_spice
 
     process = _process_from_args(args)
-    spec = OpAmpSpec(
-        gain_db=parse_quantity(args.gain_db),
-        unity_gain_hz=parse_quantity(args.ugf),
-        phase_margin_deg=parse_quantity(args.pm),
-        slew_rate=parse_quantity(args.slew),
-        load_capacitance=parse_quantity(args.load),
-        output_swing=parse_quantity(args.swing),
-        offset_max_mv=parse_quantity(args.offset) * 1e3,
-        power_max=parse_quantity(args.power_max),
-    )
+    spec = _spec_from_args(args)
     styles = EXTENDED_STYLES if args.styles == "extended" else OPAMP_STYLES
-    result = synthesize(spec, process, styles=styles)
+    result = synthesize(spec, process, styles=styles, precheck=args.precheck)
     print(result.summary())
     print(result.best.schematic())
     if args.trace:
@@ -244,12 +328,49 @@ def _cmd_lint(args) -> int:
 
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
-    targets = [bool(args.netlist), bool(args.testcase), args.self_check]
+    spec_flags_given = any(
+        getattr(args, name) is not None for name in _SPEC_FLAGS
+    )
+    targets = [
+        bool(args.netlist),
+        bool(args.testcase),
+        args.self_check,
+        args.feasibility and spec_flags_given,
+    ]
     if not any(targets):
         raise ReproError(
-            "nothing to lint: give a netlist file, --testcase, or --self-check"
+            "nothing to lint: give a netlist file, --testcase, --self-check, "
+            "or --feasibility with specification flags"
         )
     report = LintReport()
+    if args.feasibility:
+        from .lint import lint_feasibility
+
+        process = _process_from_args(args)
+        if spec_flags_given:
+            feas_pairs = (("user", _spec_from_args(args)),)
+        elif args.testcase:
+            from .opamp.testcases import paper_test_cases
+
+            feas_pairs = (
+                (args.testcase, paper_test_cases()[args.testcase]),
+            )
+        elif args.self_check:
+            feas_pairs = None  # the whole built-in suite
+        else:
+            raise ReproError(
+                "--feasibility needs a specification: give the spec flags, "
+                "--testcase, or --self-check"
+            )
+        report.extend(
+            lint_feasibility(
+                specs=feas_pairs,
+                process=process,
+                corner=args.corner,
+                select=select,
+                ignore=ignore,
+            )
+        )
     if args.netlist:
         with open(args.netlist, "r", encoding="utf-8") as handle:
             text = handle.read()
@@ -267,7 +388,7 @@ def _cmd_lint(args) -> int:
                 ]
             )
         report.extend(deck_report)
-    if args.testcase:
+    if args.testcase and not args.feasibility:
         from .opamp import synthesize
         from .opamp.testcases import paper_test_cases
 
@@ -289,12 +410,25 @@ def _cmd_lint(args) -> int:
     return report.exit_code()
 
 
+def _cmd_analyze(args) -> int:
+    from .lint import lint_feasibility, render_analysis
+
+    process = _process_from_args(args)
+    spec = _spec_from_args(args)
+    print(render_analysis(spec, process=process, corner=args.corner))
+    report = lint_feasibility(spec, process=process, corner=args.corner)
+    print()
+    print(report.render_text())
+    return report.exit_code()
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "testcases": _cmd_testcases,
     "adc": _cmd_adc,
     "processes": _cmd_processes,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
 }
 
 

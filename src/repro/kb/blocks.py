@@ -97,7 +97,9 @@ class Block:
         self._render_into(out, 0, show_attributes)
         return out.getvalue()
 
-    def _render_into(self, out, level: int, show_attributes: bool) -> None:
+    def _render_into(
+        self, out: io.StringIO, level: int, show_attributes: bool
+    ) -> None:
         indent = "  " * level
         style = f" [style: {self.style}]" if self.style else ""
         out.write(f"{indent}{self.name} ({self.block_type}){style}\n")

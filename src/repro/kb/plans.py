@@ -11,16 +11,17 @@ exactly the mechanism in the paper.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import PlanError, SynthesisError
 from ..process.parameters import ProcessParameters
-from .rules import Abort, Restart, Rule
+from .rules import Abort, Restart, Rule, RuleAction
 from .specs import Specification
 from .trace import DesignTrace
 
-__all__ = ["DesignState", "PlanStep", "Plan", "PlanExecutor"]
+__all__ = ["DesignState", "PlanStep", "StepAction", "Plan", "PlanExecutor"]
 
 
 class DesignState:
@@ -65,10 +66,30 @@ class DesignState:
         return self.choices.get(slot, default)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Copy of vars + choices (for trace / debugging)."""
-        merged: Dict[str, Any] = dict(self.vars)
+        """Deep copy of vars + choices (for trace / debugging).
+
+        The copy is deep so a snapshot stored early in a run stays
+        frozen at its capture-time values: plan steps and rules mutate
+        container variables (lists of devices, performance dicts...) in
+        place, and a shallow copy would let that later mutation
+        retroactively corrupt earlier trace entries.  Unpicklable
+        values (open handles, the trace itself) fall back to the
+        original reference rather than failing the snapshot.
+        """
+        merged: Dict[str, Any] = {}
+        for name, value in self.vars.items():
+            try:
+                merged[name] = copy.deepcopy(value)
+            except Exception:
+                merged[name] = value
         merged.update({f"choice:{k}": v for k, v in self.choices.items()})
         return merged
+
+
+#: A plan step's body: manipulates the blackboard, optionally returns a
+#: short detail string for the trace, raises
+#: :class:`~repro.errors.SynthesisError` when its goals cannot be met.
+StepAction = Callable[["DesignState"], Optional[str]]
 
 
 @dataclass(frozen=True)
@@ -84,7 +105,7 @@ class PlanStep:
     """
 
     name: str
-    action: Callable[[DesignState], Optional[str]]
+    action: StepAction
     goals: str = ""
 
 
@@ -112,7 +133,7 @@ class Plan:
     def __len__(self) -> int:
         return len(self.steps)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PlanStep]:
         return iter(self.steps)
 
 
@@ -239,7 +260,7 @@ class PlanExecutor:
         firings: Dict[str, int],
         failed_step: Optional[PlanStep] = None,
         error: Optional[SynthesisError] = None,
-    ):
+    ) -> RuleAction:
         """Let rules inspect the state (and optionally a step failure).
 
         Returns the first control action produced, or None.  On a step

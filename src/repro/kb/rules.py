@@ -22,11 +22,21 @@ and attaches a patch for each.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
 from ..errors import PlanError
 
-__all__ = ["Restart", "Abort", "RuleAction", "Rule"]
+if TYPE_CHECKING:  # import-cycle guard: plans imports rules at runtime
+    from .plans import DesignState
+
+__all__ = [
+    "Restart",
+    "Abort",
+    "RuleAction",
+    "RuleCondition",
+    "RuleActionFn",
+    "Rule",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,12 @@ class Abort:
 
 
 RuleAction = Union[Restart, Abort, None]
+
+#: A rule's applicability predicate over the design state.
+RuleCondition = Callable[["DesignState"], bool]
+
+#: A rule's patch: may mutate the state, returns a control directive.
+RuleActionFn = Callable[["DesignState"], RuleAction]
 
 
 class Rule:
@@ -74,8 +90,8 @@ class Rule:
     def __init__(
         self,
         name: str,
-        condition: Callable[["DesignState"], bool],
-        action: Callable[["DesignState"], RuleAction],
+        condition: RuleCondition,
+        action: RuleActionFn,
         max_firings: int = 1,
         on_failure: bool = False,
         on_failure_steps: Optional[Tuple[str, ...]] = None,
@@ -97,7 +113,7 @@ class Rule:
         )
         self.description = description
 
-    def describe(self, state) -> str:
+    def describe(self, state: "DesignState") -> str:
         return self.description or self.name
 
     def __repr__(self) -> str:

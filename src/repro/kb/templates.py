@@ -22,7 +22,7 @@ enumerate them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from ..errors import PlanError
 from .plans import Plan
@@ -106,5 +106,5 @@ class StyleCatalog:
     def __len__(self) -> int:
         return len(self._templates)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TopologyTemplate]:
         return iter(self._templates.values())

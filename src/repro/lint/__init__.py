@@ -8,7 +8,11 @@ Two passes ship with the package:
   shorts, mirror ratio mismatches);
 * **KB lint** -- static analysis of design plans, rules and topology
   templates *without executing them* (read-before-set variables,
-  restart targets, unknown style slots, unproduced sub-blocks).
+  restart targets, unknown style slots, unproduced sub-blocks);
+* **Feasibility** -- interval-arithmetic abstract interpretation of
+  the translation plans (:mod:`repro.lint.absint`): infeasible-spec
+  detection, division/domain hazards, dead rules and restart-cycle
+  termination (``FEAS4xx`` / ``RULE5xx``).
 
 Entry points:
 
@@ -17,7 +21,10 @@ Entry points:
 * :func:`lint_spice_deck` for raw SPICE text (including ``.subckt``);
 * :func:`lint_template` / :func:`lint_plan` /
   :func:`lint_knowledge_base` for the knowledge base;
-* the ``repro lint`` CLI subcommand wraps all of the above.
+* :func:`lint_feasibility` / :func:`precheck_styles` /
+  :func:`render_analysis` for interval feasibility;
+* the ``repro lint`` / ``repro analyze`` CLI subcommands wrap all of
+  the above.
 
 Checkers are pluggable: see :mod:`repro.lint.registry` and
 ``docs/EXTENDING.md`` for the recipe.
@@ -25,6 +32,14 @@ Checkers are pluggable: see :mod:`repro.lint.registry` and
 
 from __future__ import annotations
 
+from .absint import (
+    AbstractDesignState,
+    AbstractRun,
+    Interval,
+    abstract_numeric_context,
+    interpret_plan,
+    interpret_template,
+)
 from .diagnostics import Diagnostic, LintReport, Severity
 from .erc import (
     LintContext,
@@ -32,6 +47,15 @@ from .erc import (
     lint_circuit,
     lint_spice_deck,
     validation_diagnostics,
+)
+from .feasibility import (
+    FEAS_REGISTRY,
+    FeasibilityContext,
+    FeasibilityTarget,
+    PrecheckResult,
+    lint_feasibility,
+    precheck_styles,
+    render_analysis,
 )
 from .kblint import (
     KbContext,
@@ -51,8 +75,21 @@ __all__ = [
     "CheckerRegistry",
     "ERC_REGISTRY",
     "KB_REGISTRY",
+    "FEAS_REGISTRY",
     "LintContext",
     "KbContext",
+    "Interval",
+    "AbstractDesignState",
+    "AbstractRun",
+    "abstract_numeric_context",
+    "interpret_plan",
+    "interpret_template",
+    "FeasibilityTarget",
+    "FeasibilityContext",
+    "PrecheckResult",
+    "lint_feasibility",
+    "precheck_styles",
+    "render_analysis",
     "StateUsage",
     "analyze_callable",
     "lint_circuit",

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import enum
 import json
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import LintError
 
@@ -186,12 +187,55 @@ class LintReport:
         }
         return json.dumps(payload, indent=indent)
 
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command rendering.
+
+        Each diagnostic becomes one ``::error`` / ``::warning`` /
+        ``::notice`` annotation line.  When the diagnostic's location
+        starts with an existing file path (the SPICE-deck lint case) it
+        is attached as ``file=...,line=...`` so GitHub anchors the
+        annotation to the source; otherwise the location travels in the
+        message.  The trailing summary line is plain text (GitHub
+        ignores non-command lines).
+        """
+        levels = {
+            Severity.INFO: "notice",
+            Severity.WARNING: "warning",
+            Severity.ERROR: "error",
+        }
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.code, d.location),
+        )
+        lines = []
+        for diag in ordered:
+            props = [f"title={diag.code}"]
+            path, line = _location_file(diag.location)
+            if path is not None:
+                props.insert(0, f"file={path},line={line}")
+                message = diag.message
+            else:
+                where = f"[{diag.location}] " if diag.location else ""
+                message = f"{where}{diag.message}"
+            if diag.suggestion:
+                message = f"{message} (fix: {diag.suggestion})"
+            lines.append(
+                f"::{levels[diag.severity]} {','.join(props)}::"
+                f"{_escape_workflow(message)}"
+            )
+        lines.append(self.summary())
+        return "\n".join(lines)
+
     def render(self, fmt: str = "text") -> str:
         if fmt == "text":
             return self.render_text()
         if fmt == "json":
             return self.to_json()
-        raise LintError(f"unknown lint output format {fmt!r} (text/json)")
+        if fmt == "github":
+            return self.render_github()
+        raise LintError(
+            f"unknown lint output format {fmt!r} (text/json/github)"
+        )
 
     # ------------------------------------------------------------------
     def raise_if_errors(self, context: str = "") -> None:
@@ -202,3 +246,35 @@ class LintReport:
         head = f"{context}: " if context else ""
         body = "; ".join(d.render() for d in self.errors)
         raise LintError(f"{head}{len(self.errors)} lint error(s): {body}", self)
+
+
+# ----------------------------------------------------------------------
+# GitHub workflow-command helpers
+# ----------------------------------------------------------------------
+def _escape_workflow(text: str) -> str:
+    """Escape a message for a GitHub workflow-command data section."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _location_file(location: str) -> Tuple[Optional[str], int]:
+    """Split ``path[:line-or-detail]`` locations into (file, line).
+
+    Returns ``(None, 1)`` unless the location's leading component names
+    an existing file, so free-form locations (``opamp/two_stage/...``)
+    never masquerade as paths.
+    """
+    if not location:
+        return None, 1
+    candidate, line = location, 1
+    if ":" in location:
+        head, _, tail = location.rpartition(":")
+        if head and os.path.isfile(head):
+            candidate = head
+            if tail.isdigit():
+                line = int(tail)
+            return candidate, line
+    if os.path.isfile(candidate):
+        return candidate, line
+    return None, 1

@@ -103,6 +103,7 @@ def synthesize(
     process: ProcessParameters,
     styles: Optional[Tuple[str, ...]] = None,
     strict: bool = False,
+    precheck: bool = False,
 ) -> SynthesisResult:
     """Synthesize a sized op amp schematic from a performance spec.
 
@@ -118,16 +119,45 @@ def synthesize(
             :func:`design_style`); a candidate failing the gate raises
             :class:`~repro.errors.LintError` immediately rather than
             being silently dropped.
+        precheck: run the static feasibility gate (interval abstract
+            interpretation, see :mod:`repro.lint.feasibility`) before
+            the concrete plan executor.  Styles that provably cannot
+            design the spec are pruned -- recorded in the trace with
+            their failure reasons, never executed -- and when *every*
+            style is pruned the whole synthesis fails fast in a few
+            milliseconds instead of grinding through doomed plans.
 
     Returns:
         A :class:`SynthesisResult`.
 
     Raises:
-        SynthesisError: when no style can meet the specification.
+        SynthesisError: when no style can meet the specification (with
+            ``precheck``, possibly before any plan executes).
         LintError: in strict mode, when a candidate netlist fails ERC.
     """
     trace = DesignTrace()
     styles = tuple(styles) if styles is not None else OPAMP_STYLES
+    if precheck:
+        # Imported lazily: repro.lint imports the circuit package.
+        from ..lint import precheck_styles
+
+        gate = precheck_styles(spec, process, styles)
+        for style in styles:
+            if style in gate.pruned:
+                trace.note(
+                    f"opamp/{style}",
+                    f"precheck: {gate.reason(style)} "
+                    f"(abstract pass, {gate.elapsed_ms:.1f} ms)",
+                )
+        if not gate.viable:
+            reasons = "; ".join(
+                f"{style}: {gate.reason(style)}" for style in styles
+            )
+            raise SynthesisError(
+                "opamp: specification statically infeasible for every "
+                f"style ({reasons})"
+            )
+        styles = gate.viable
 
     def design_one(style: str):
         style_trace = DesignTrace()

@@ -1,0 +1,632 @@
+"""Tests for the interval domain and the abstract plan interpreter.
+
+Covers the tentpole acceptance criteria directly:
+
+* soundness of the :class:`Interval` arithmetic (sampled containment),
+* division through zero / empty intervals / domain hazards as recorded
+  :class:`AbstractEvent` records rather than exceptions,
+* the definite-else-midpoint comparison discipline and the
+  approximation flag,
+* the monkeypatched numeric context (re-entrant, restores on exit, even
+  on exceptions),
+* the abstract executor mirroring the concrete ``PlanExecutor`` loop,
+* guaranteed termination of restart cycles via widening, unit-tested on
+  crafted looping plans (the RULE502 raw material).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import PlanError
+from repro.errors import SynthesisError
+from repro.kb import (
+    Plan,
+    PlanStep,
+    Restart,
+    Rule,
+    Specification,
+)
+from repro.kb.specs import OpAmpSpec
+from repro.lint import (
+    AbstractDesignState,
+    Interval,
+    abstract_numeric_context,
+    interpret_plan,
+)
+from repro.lint.absint import (
+    WIDEN_AFTER,
+    abstract_opamp_spec,
+    as_interval,
+    is_physical_name,
+)
+from repro.process import CMOS_5UM
+
+
+def make_astate():
+    return AbstractDesignState(Specification(), CMOS_5UM)
+
+
+def iv(lo, hi=None):
+    return Interval(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Interval structure
+# ----------------------------------------------------------------------
+class TestIntervalConstruction:
+    def test_point(self):
+        p = Interval.point(3.0)
+        assert p.is_point
+        assert p.lo == p.hi == 3.0
+        assert p.mid == 3.0
+        assert p.width == 0.0
+
+    def test_top(self):
+        t = Interval.top()
+        assert t.is_top
+        assert t.mid == 0.0
+
+    def test_swapped_bounds_normalise(self):
+        swapped = Interval(3.0, 1.0)
+        assert (swapped.lo, swapped.hi) == (1.0, 3.0)
+
+    def test_empty_interval_records_event_in_context(self):
+        with abstract_numeric_context() as ctx:
+            Interval(3.0, 1.0)
+            assert any(e.kind == "empty" and e.definite for e in ctx.events)
+
+    def test_nan_endpoint_widens_to_top(self):
+        with abstract_numeric_context() as ctx:
+            widened = Interval(float("nan"))
+            assert widened.is_top
+            assert any(e.kind == "domain" for e in ctx.events)
+
+    def test_as_interval(self):
+        assert as_interval(True) is None
+        assert as_interval("x") is None
+        assert as_interval(2).is_point
+        point = as_interval(2.5)
+        assert point.lo == 2.5
+        existing = iv(1, 2)
+        assert as_interval(existing) is existing
+
+    def test_contains_join_widen(self):
+        a = iv(1.0, 3.0)
+        assert a.contains(2) and a.contains(1) and not a.contains(3.5)
+        hull = a.join(iv(2.0, 5.0))
+        assert (hull.lo, hull.hi) == (1.0, 5.0)
+        # widening: moving bounds jump to infinity, stable bounds stay
+        w = a.widen(iv(0.5, 3.0))
+        assert w.lo == -math.inf and w.hi == 3.0
+        w2 = a.widen(iv(1.0, 4.0))
+        assert w2.lo == 1.0 and w2.hi == math.inf
+        stable = a.widen(iv(1.5, 2.5))
+        assert (stable.lo, stable.hi) == (1.0, 3.0)
+
+    def test_rendering(self):
+        assert repr(iv(1, 2)) == "Interval(1, 2)"
+        assert f"{iv(1.25, 2.5):.2f}" == "[1.25, 2.50]"
+        assert f"{Interval.point(4.0):.1f}" == "4.0"  # point formats bare
+        assert str(iv(1, 2)) == "[1.0, 2.0]"
+
+    def test_hashable(self):
+        assert hash(iv(1, 2)) == hash(iv(1.0, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Arithmetic soundness
+# ----------------------------------------------------------------------
+def _sample(interval, n=5):
+    return [
+        interval.lo + (interval.hi - interval.lo) * k / (n - 1)
+        for k in range(n)
+    ]
+
+
+class TestIntervalArithmetic:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda a, b: a + b,
+            lambda a, b: a - b,
+            lambda a, b: a * b,
+            lambda a, b: a / b,
+        ],
+    )
+    def test_sampled_containment(self, op):
+        """For every sampled concrete pair, the concrete result lies in
+        the abstract result: the definition of soundness."""
+        a, b = iv(-2.0, 3.0), iv(0.5, 4.0)
+        result = op(a, b)
+        for x in _sample(a):
+            for y in _sample(b):
+                assert result.contains(op(x, y))
+
+    def test_reflected_operands(self):
+        assert (10 + iv(1, 2)).hi == 12
+        assert (10 - iv(1, 2)).lo == 8
+        assert (10 * iv(1, 2)).hi == 20
+        assert (10 / iv(1, 2)).lo == 5
+
+    def test_neg_abs(self):
+        assert (-iv(1, 3)).lo == -3
+        straddling = abs(iv(-4, 3))
+        assert (straddling.lo, straddling.hi) == (0.0, 4.0)
+        assert abs(iv(-3, -1)).lo == 1
+
+    def test_division_by_definite_zero_records_and_widens(self):
+        with abstract_numeric_context() as ctx:
+            result = iv(1, 2) / 0.0
+            assert result.is_top
+            events = [e for e in ctx.events if e.kind == "div_by_zero"]
+            assert events and events[0].definite
+
+    def test_division_through_zero_is_possible_hazard(self):
+        with abstract_numeric_context() as ctx:
+            result = iv(1, 2) / iv(-1.0, 1.0)
+            assert result.is_top
+            events = [e for e in ctx.events if e.kind == "div_by_zero"]
+            assert events and not events[0].definite
+
+    def test_division_away_from_zero_is_silent(self):
+        with abstract_numeric_context() as ctx:
+            result = iv(1, 2) / iv(2.0, 4.0)
+            assert (result.lo, result.hi) == (0.25, 1.0)
+            assert not ctx.events
+
+    def test_overflow_records_event(self):
+        with abstract_numeric_context() as ctx:
+            result = iv(1e308) * iv(10.0)
+            assert result.hi == math.inf
+            assert any(e.kind == "overflow" for e in ctx.events)
+
+    def test_pow_integer_even_through_zero(self):
+        squared = iv(-2.0, 3.0) ** 2
+        assert (squared.lo, squared.hi) == (0.0, 9.0)
+        assert (iv(2, 3) ** 2).lo == 4.0
+
+    def test_pow_negative_exponent(self):
+        inv = iv(2.0, 4.0) ** -1
+        assert (inv.lo, inv.hi) == (0.25, 0.5)
+
+    def test_pow_fractional_of_negative_is_domain_hazard(self):
+        with abstract_numeric_context() as ctx:
+            result = iv(-3.0, -1.0) ** 0.5
+            assert result.is_top
+            assert any(e.kind == "domain" and e.definite for e in ctx.events)
+
+    def test_rpow(self):
+        grown = 10 ** iv(1.0, 2.0)
+        assert (grown.lo, grown.hi) == (10.0, 100.0)
+        shrunk = 0.5 ** iv(1.0, 2.0)  # base < 1 flips endpoints
+        assert (shrunk.lo, shrunk.hi) == (0.25, 0.5)
+
+    def test_ceil_floor_round(self):
+        snapped = math.ceil(iv(1.2, 2.7))
+        assert (snapped.lo, snapped.hi) == (2.0, 3.0)
+        floored = math.floor(iv(1.2, 2.7))
+        assert (floored.lo, floored.hi) == (1.0, 2.0)
+        rounded = round(iv(1.26, 2.74), 1)
+        assert (rounded.lo, rounded.hi) == (1.3, 2.7)
+
+
+# ----------------------------------------------------------------------
+# Comparisons: definite-else-midpoint
+# ----------------------------------------------------------------------
+class TestIntervalComparisons:
+    def test_definite_comparisons_do_not_approximate(self):
+        with abstract_numeric_context() as ctx:
+            assert iv(1, 2) < iv(3, 4)
+            assert not (iv(3, 4) < iv(1, 2))
+            assert iv(3, 4) > 2.5
+            assert iv(1, 2) <= 2.0
+            assert not ctx.approximated
+
+    def test_overlap_falls_back_to_midpoint_and_flags(self):
+        with abstract_numeric_context() as ctx:
+            # [0.5, 2] vs 1: overlapping; midpoint 1.25 decides
+            assert iv(0.5, 2.0) > 1
+            assert ctx.approximated
+
+    def test_equality(self):
+        with abstract_numeric_context() as ctx:
+            assert Interval.point(2.0) == 2
+            assert iv(1, 2) != 5.0
+            assert not ctx.approximated
+            assert iv(1, 3) == 2  # midpoint 2 == 2, approximated
+            assert ctx.approximated
+
+    def test_bool(self):
+        with abstract_numeric_context() as ctx:
+            assert not Interval.point(0.0)
+            assert iv(1, 2)
+            assert iv(-2, -1)
+            assert not ctx.approximated
+            assert not iv(-1.0, 1.0)  # midpoint 0
+            assert ctx.approximated
+
+    def test_possible_mode_returns_true_without_flagging(self):
+        with abstract_numeric_context() as ctx:
+            with ctx.possible():
+                assert iv(0.5, 2.0) > 1  # overlap: possibly true
+                assert not (iv(0, 3) > 5)  # definitely false stays false
+            assert not ctx.approximated
+
+    def test_preserving_restores_events_and_flag(self):
+        with abstract_numeric_context() as ctx:
+            with ctx.preserving():
+                iv(1, 2) / 0.0
+                ctx.mark_approximated()
+                assert ctx.events and ctx.approximated
+            assert not ctx.events
+            assert not ctx.approximated
+
+    def test_non_numeric_comparison_raises_type_error(self):
+        with pytest.raises(TypeError):
+            iv(1, 2) < "spec"
+
+
+# ----------------------------------------------------------------------
+# The monkeypatched numeric context
+# ----------------------------------------------------------------------
+class TestNumericContext:
+    def test_sqrt_log_exp_over_intervals(self):
+        with abstract_numeric_context():
+            root = math.sqrt(iv(4.0, 9.0))
+            assert (root.lo, root.hi) == (2.0, 3.0)
+            logged = math.log10(iv(10.0, 1000.0))
+            assert (logged.lo, logged.hi) == (1.0, 3.0)
+            grown = math.exp(iv(0.0, 1.0))
+            assert grown.lo == 1.0 and abs(grown.hi - math.e) < 1e-12
+
+    def test_sqrt_of_definitely_negative_is_definite_domain_event(self):
+        with abstract_numeric_context() as ctx:
+            assert math.sqrt(iv(-4.0, -1.0)).is_top
+            events = [e for e in ctx.events if e.kind == "domain"]
+            assert events and events[0].definite
+
+    def test_sqrt_of_possibly_negative_clamps(self):
+        with abstract_numeric_context() as ctx:
+            clamped = math.sqrt(iv(-1.0, 4.0))
+            assert (clamped.lo, clamped.hi) == (0.0, 2.0)
+            events = [e for e in ctx.events if e.kind == "domain"]
+            assert events and not events[0].definite
+
+    def test_tan_pole_crossing_widens(self):
+        with abstract_numeric_context() as ctx:
+            safe = math.tan(iv(0.1, 0.2))
+            assert not safe.is_top
+            assert math.tan(iv(1.0, 2.5)).is_top  # crosses pi/2
+            assert any(e.kind == "domain" for e in ctx.events)
+
+    def test_atan_of_top_is_half_pi(self):
+        with abstract_numeric_context():
+            folded = math.atan(Interval.top())
+            assert abs(folded.hi - math.pi / 2) < 1e-12
+
+    def test_min_max_hull(self):
+        with abstract_numeric_context():
+            lower = min(iv(1.0, 5.0), 3.0)
+            assert (lower.lo, lower.hi) == (1.0, 3.0)
+            upper = max([iv(2.0, 4.0), iv(1.0, 3.0)])
+            assert (upper.lo, upper.hi) == (2.0, 4.0)
+            # non-interval calls pass straight through
+            assert min(3, 1, 2) == 1
+            assert max("ab") == "b"
+
+    def test_scalars_pass_through(self):
+        with abstract_numeric_context():
+            assert math.sqrt(4.0) == 2.0
+            assert math.isfinite(1.0)
+
+    def test_patches_removed_on_exit(self):
+        with abstract_numeric_context():
+            math.sqrt(iv(4.0))  # works while patched
+        with pytest.raises(TypeError):
+            math.sqrt(iv(4.0))  # plain math.sqrt again
+        assert math.sqrt(9.0) == 3.0
+
+    def test_patches_removed_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with abstract_numeric_context():
+                raise RuntimeError("boom")
+        with pytest.raises(TypeError):
+            math.sqrt(iv(4.0))
+
+    def test_reentrant_shares_context(self):
+        with abstract_numeric_context() as outer:
+            with abstract_numeric_context() as inner:
+                assert outer is inner
+                math.sqrt(iv(4.0))  # still patched in the nested scope
+            # outer scope still patched after the inner one exits
+            assert math.sqrt(iv(4.0, 4.0)).lo == 2.0
+
+    def test_fresh_entry_resets_events(self):
+        with abstract_numeric_context() as ctx:
+            iv(1, 2) / 0.0
+            ctx.mark_approximated()
+        with abstract_numeric_context() as ctx:
+            assert ctx.events == []
+            assert not ctx.approximated
+
+
+# ----------------------------------------------------------------------
+# Abstract design state
+# ----------------------------------------------------------------------
+class TestAbstractDesignState:
+    def test_strict_read_raises_like_concrete(self):
+        with pytest.raises(PlanError):
+            make_astate().get("unset")
+
+    def test_lenient_read_returns_top_and_logs(self):
+        state = make_astate()
+        state.lenient = True
+        assert state.get("unset").is_top
+        assert state.missing_reads == ["unset"]
+
+    def test_clone_is_independent(self):
+        state = make_astate()
+        state.set("x", iv(1, 2))
+        state.choose("slot", "style")
+        dup = state.clone()
+        dup.set("x", iv(5, 6))
+        dup.choose("slot", "other")
+        assert state.get("x").lo == 1
+        assert state.choice("slot") == "style"
+
+
+class TestPhysicalNames:
+    @pytest.mark.parametrize(
+        "name",
+        ["width_in", "l_out", "i_tail", "cc", "gm1", "c_load", "power",
+         "vov_in", "slew_internal", "area"],
+    )
+    def test_physical(self, name):
+        assert is_physical_name(name)
+
+    @pytest.mark.parametrize("name", ["gain_db", "phase", "skew", "ratio"])
+    def test_not_physical(self, name):
+        assert not is_physical_name(name)
+
+
+# ----------------------------------------------------------------------
+# Spec inflation
+# ----------------------------------------------------------------------
+class TestAbstractOpAmpSpec:
+    SPEC = OpAmpSpec(
+        gain_db=60.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=1e6,
+        load_capacitance=10e-12,
+        output_swing=3.0,
+    )
+
+    def test_corner_inflation(self):
+        with abstract_numeric_context():
+            inflated = abstract_opamp_spec(self.SPEC, 0.05)
+            gain = inflated.gain_db
+            assert isinstance(gain, Interval)
+            assert abs(gain.lo - 57.0) < 1e-9 and abs(gain.hi - 63.0) < 1e-9
+
+    def test_zero_corner_gives_points(self):
+        with abstract_numeric_context():
+            inflated = abstract_opamp_spec(self.SPEC, 0.0)
+            assert inflated.gain_db.is_point
+            assert inflated.gain_db.lo == 60.0
+
+    def test_zero_sentinels_stay_concrete(self):
+        with abstract_numeric_context():
+            inflated = abstract_opamp_spec(self.SPEC, 0.05)
+            assert inflated.power_max == 0.0
+            assert not isinstance(inflated.power_max, Interval)
+
+    def test_phase_margin_stays_below_ninety(self):
+        spec = OpAmpSpec(
+            gain_db=60.0,
+            unity_gain_hz=1e6,
+            phase_margin_deg=88.0,
+            slew_rate=1e6,
+            load_capacitance=10e-12,
+            output_swing=3.0,
+        )
+        with abstract_numeric_context():
+            inflated = abstract_opamp_spec(spec, 0.10)
+            assert inflated.phase_margin_deg.hi < 90.0
+
+    def test_negative_corner_rejected(self):
+        with abstract_numeric_context():
+            with pytest.raises(PlanError):
+                abstract_opamp_spec(self.SPEC, -0.1)
+
+
+# ----------------------------------------------------------------------
+# The abstract executor
+# ----------------------------------------------------------------------
+class TestInterpretPlan:
+    def test_completes_and_propagates_intervals(self):
+        plan = Plan(
+            "p",
+            [
+                PlanStep("produce", lambda s: s.set("x", iv(1.0, 2.0))),
+                PlanStep("consume", lambda s: s.set("y", s.get("x") * 2)),
+            ],
+        )
+        run = interpret_plan(plan, [], make_astate(), block="b")
+        assert run.completed and not run.failed
+        assert [o.status for o in run.outcomes] == ["ok", "ok"]
+        y = run.final_vars["y"]
+        assert (y.lo, y.hi) == (2.0, 4.0)
+        assert run.describe() == "plan completes over the abstract spec"
+
+    def test_unconditional_failure_is_definite(self):
+        def explode(state):
+            raise SynthesisError("cannot size input pair")
+
+        plan = Plan("p", [PlanStep("size", explode)])
+        run = interpret_plan(plan, [], make_astate())
+        assert run.failed
+        assert run.failure.step == "size"
+        assert run.failure.definite
+        assert run.describe().startswith("provably infeasible")
+
+    def test_midpoint_guarded_failure_is_not_definite(self):
+        def maybe_explode(state):
+            if state.get("g") > 1.0:  # overlapping: midpoint fallback
+                raise SynthesisError("too much gain")
+
+        plan = Plan(
+            "p",
+            [
+                PlanStep("seed", lambda s: s.set("g", iv(0.5, 2.0))),
+                PlanStep("check", maybe_explode),
+            ],
+        )
+        run = interpret_plan(plan, [], make_astate())
+        assert run.failed and not run.failure.definite
+        assert run.approximated
+        assert run.describe().startswith("likely infeasible")
+
+    def test_opaque_step_degrades_to_lenient(self):
+        def broken(state):
+            raise ValueError("not a synthesis failure")
+
+        plan = Plan(
+            "p",
+            [
+                PlanStep("broken", broken),
+                # reads a variable nobody set: TOP in lenient mode
+                PlanStep("after", lambda s: s.set("y", s.get("ghost") + 1)),
+            ],
+        )
+        run = interpret_plan(plan, [], make_astate())
+        assert run.completed
+        assert run.opaque_steps == ["broken"]
+        assert run.approximated
+        assert run.final_vars["y"].is_top
+
+    def test_recovery_rule_patches_failure(self):
+        def fragile(state):
+            if not state.get_or("cascode", False):
+                raise SynthesisError("gain unreachable")
+            state.set("gain_ok", True)
+
+        recovery = Rule(
+            name="cascode_stage",
+            condition=lambda s: not s.get_or("cascode", False),
+            action=lambda s: (s.set("cascode", True), Restart("size", "go"))[1],
+            on_failure=True,
+        )
+        plan = Plan("p", [PlanStep("size", fragile)])
+        run = interpret_plan(plan, [recovery], make_astate())
+        assert run.completed
+        assert run.restarts == 1
+        assert run.rule_stats["cascode_stage"].fired == 1
+
+    def test_restart_budget_reported_not_raised(self):
+        rule = Rule(
+            name="loop",
+            condition=lambda s: True,
+            action=lambda s: Restart("a", "again"),
+            max_firings=1000,
+        )
+        plan = Plan("p", [PlanStep("a", lambda s: None)])
+        run = interpret_plan(plan, [rule], make_astate(), max_restarts=3)
+        assert run.failed
+        assert "restart budget" in run.failure.message
+
+    def test_hazard_events_attached_to_steps(self):
+        plan = Plan(
+            "p",
+            [PlanStep("div", lambda s: s.set("q", iv(1, 2) / 0.0))],
+        )
+        run = interpret_plan(plan, [], make_astate())
+        pairs = run.events()
+        assert pairs
+        step, event = pairs[0]
+        assert step == "div"
+        assert event.kind == "div_by_zero" and event.definite
+
+    def test_negative_physical_variable_flagged(self):
+        plan = Plan(
+            "p",
+            [PlanStep("size", lambda s: s.set("width_in", iv(-5.0, -1.0)))],
+        )
+        run = interpret_plan(plan, [], make_astate())
+        kinds = [e.kind for _, e in run.events()]
+        assert "negative" in kinds
+
+    def test_negative_non_physical_variable_not_flagged(self):
+        plan = Plan(
+            "p",
+            [PlanStep("set", lambda s: s.set("skew", iv(-5.0, -1.0)))],
+        )
+        run = interpret_plan(plan, [], make_astate())
+        assert not run.events()
+
+
+class TestWideningTermination:
+    """The acceptance criterion: restart cycles provably terminate."""
+
+    def test_stationary_cycle_cut_with_evidence(self):
+        """A monitor rule that restarts forever without changing the
+        state is cut right after widening engages, and the cycle is
+        recorded as CycleEvidence."""
+        rule = Rule(
+            name="spin",
+            condition=lambda s: True,
+            action=lambda s: Restart("a", "again"),
+            max_firings=100_000,
+        )
+        plan = Plan("p", [PlanStep("a", lambda s: None)])
+        run = interpret_plan(plan, [rule], make_astate(), max_restarts=100_000)
+        assert run.cycles, "widening must cut the stationary cycle"
+        evidence = run.cycles[0]
+        assert evidence.rule == "spin"
+        assert evidence.target == "a"
+        assert evidence.visits == WIDEN_AFTER + 1
+        assert not run.completed and run.failure is None
+        assert run.describe().startswith("analysis inconclusive")
+
+    def test_growing_cycle_widens_to_fixpoint(self):
+        """A loop that keeps growing a variable reaches a widened
+        fixpoint (bound at infinity) and is cut shortly after."""
+
+        def grow(state):
+            state.set("x", state.get_or("x", Interval.point(1.0)) + 1)
+
+        rule = Rule(
+            name="grow_more",
+            condition=lambda s: True,
+            action=lambda s: Restart("grow", "again"),
+            max_firings=100_000,
+        )
+        plan = Plan("p", [PlanStep("grow", grow)])
+        run = interpret_plan(plan, [rule], make_astate(), max_restarts=100_000)
+        assert run.cycles
+        assert run.restarts <= WIDEN_AFTER + 3  # terminates promptly
+        x = run.final_vars["x"]
+        assert x.hi == math.inf  # the widened bound
+
+    def test_converging_loop_leaves_no_cycle_evidence(self):
+        """A loop that genuinely converges (countdown) completes without
+        widening or evidence -- RULE502 must not fire on healthy rules."""
+
+        def seed(state):
+            state.set("n", state.get_or("n", 3))
+
+        def decrement(state):
+            state.set("n", state.get("n") - 1)
+
+        rule = Rule(
+            name="countdown",
+            condition=lambda s: s.get_or("n", 0) > 0,
+            action=lambda s: (decrement(s), Restart("seed", "retry"))[1],
+            max_firings=1000,
+        )
+        plan = Plan("p", [PlanStep("seed", seed)])
+        run = interpret_plan(plan, [rule], make_astate(), max_restarts=1000)
+        assert run.completed
+        assert not run.cycles
+        assert run.restarts == 3

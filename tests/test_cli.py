@@ -243,6 +243,48 @@ class TestLintCommand:
         assert main(["lint", "--testcase", "A"]) == 0
         assert "clean" in capsys.readouterr().out
 
+    def test_github_format_emits_workflow_annotations(self, capsys, tmp_path):
+        deck = tmp_path / "warn.cir"
+        deck.write_text(WARN_DECK)
+        assert main(["lint", str(deck), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::warning " in out
+        assert "title=ERC104" in out
+
+    def test_github_format_anchors_existing_files(self, capsys, tmp_path):
+        deck = tmp_path / "bad.cir"
+        deck.write_text(BAD_DECK)
+        assert main(["lint", str(deck), "--format", "github"]) == 2
+        out = capsys.readouterr().out
+        assert "::error " in out
+        assert f"file={deck}" in out  # location resolves to the real file
+
+    def test_github_format_escapes_messages(self):
+        from repro.lint import Diagnostic, LintReport, Severity
+
+        report = LintReport(
+            [
+                Diagnostic(
+                    "ERC101",
+                    Severity.ERROR,
+                    "line one\nline two with 100%",
+                    location="opamp/two_stage/step",
+                )
+            ]
+        )
+        rendered = report.render("github")
+        line = rendered.splitlines()[0]
+        assert line.startswith("::error title=ERC101::")
+        assert "\n" not in line and "%0A" in line
+        assert "100%25" in line
+        assert "[opamp/two_stage/step]" in line  # free-form location in body
+
+    def test_unknown_format_rejected(self):
+        from repro.lint import LintReport
+
+        with pytest.raises(Exception, match="text/json/github"):
+            LintReport().render("yaml")
+
     def test_synthesized_spice_export_lints_clean(self, capsys, tmp_path):
         deck_path = tmp_path / "amp.cir"
         assert (
@@ -261,3 +303,95 @@ class TestLintCommand:
         )
         capsys.readouterr()
         assert main(["lint", str(deck_path)]) == 0
+
+
+#: The issue's seeded infeasible spec as CLI flags: 100 dB at 100 MHz
+#: into 50 pF on a 1 mW budget.
+INFEASIBLE_FLAGS = [
+    "--gain-db", "100",
+    "--ugf", "100MEG",
+    "--slew", "50MEG",
+    "--load", "50p",
+    "--swing", "1.0",
+    "--power-max", "1m",
+]
+
+CASE_A_FLAGS = [
+    "--gain-db", "45",
+    "--ugf", "1MEG",
+    "--slew", "2MEG",
+    "--load", "10p",
+    "--swing", "3.5",
+]
+
+
+class TestFeasibilityCLI:
+    def test_feasibility_alone_needs_a_spec(self, capsys):
+        assert main(["lint", "--feasibility"]) == 1
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_feasibility_self_check_is_clean(self, capsys):
+        assert main(["lint", "--self-check", "--feasibility"]) == 0
+        out = capsys.readouterr().out
+        # the pass runs (informational findings or a clean report)
+        assert "error(s)" in out or "clean" in out
+
+    def test_feasibility_testcase_labels_diagnostics(self, capsys):
+        assert main(["lint", "--feasibility", "--testcase", "B"]) == 0
+        out = capsys.readouterr().out
+        assert "spec user" not in out  # labelled with the test case name
+
+    def test_feasibility_infeasible_spec_exits_two(self, capsys):
+        code = main(["lint", "--feasibility", *INFEASIBLE_FLAGS])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "FEAS403" in out
+        assert "provably infeasible" in out
+
+    def test_feasibility_select_filters_codes(self, capsys):
+        code = main(
+            ["lint", "--feasibility", *INFEASIBLE_FLAGS, "--select", "FEAS403"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "FEAS403" in out and "FEAS405" not in out
+
+    def test_feasibility_github_format(self, capsys):
+        code = main(
+            [
+                "lint", "--feasibility", "--format", "github",
+                *INFEASIBLE_FLAGS,
+            ]
+        )
+        assert code == 2
+        assert "::error title=FEAS403::" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_feasible_spec(self, capsys):
+        assert main(["analyze", *CASE_A_FLAGS]) == 0
+        out = capsys.readouterr().out
+        assert "Feasibility analysis" in out
+        assert "style one_stage" in out and "style two_stage" in out
+        assert "plan completes over the abstract spec" in out
+
+    def test_analyze_infeasible_spec_exits_two(self, capsys):
+        assert main(["analyze", *INFEASIBLE_FLAGS]) == 2
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "FEAS403" in out
+
+    def test_analyze_requires_spec_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--gain-db", "60"])
+
+
+class TestSynthesizePrecheck:
+    def test_precheck_passes_feasible_spec_through(self, capsys):
+        assert main(["synthesize", "--precheck", *CASE_A_FLAGS]) == 0
+        assert "Selected style" in capsys.readouterr().out
+
+    def test_precheck_fails_fast_on_infeasible_spec(self, capsys):
+        code = main(["synthesize", "--precheck", *INFEASIBLE_FLAGS])
+        assert code == 1
+        assert "statically infeasible" in capsys.readouterr().err

@@ -62,3 +62,9 @@ class TestExamples:
         out = run_example("feedback_amplifier", capsys)
         assert "Selected op amp: two_stage" in out
         assert "bandwidth" in out
+
+    def test_feasibility_gate(self, capsys):
+        out = run_example("feasibility_gate", capsys)
+        assert "FEAS403" in out
+        assert "refused: " in out
+        assert "selected style: two_stage" in out

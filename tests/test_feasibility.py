@@ -1,0 +1,303 @@
+"""Tests for the FEAS4xx / RULE5xx feasibility pass.
+
+The two headline contracts from the issue:
+
+* **Zero false positives**: the pass emits no error-severity FEAS
+  finding for any built-in template over any built-in test case, and
+  the point-mode (corner 0) abstract run agrees with the concrete
+  executor on every (style, test case) pair.
+* **Fast fail**: a seeded infeasible specification is reported as
+  FEAS403 (exit code 2) in well under 50 ms, without ever invoking the
+  concrete ``PlanExecutor``.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.kb import Plan, PlanStep, Restart, Rule
+from repro.kb.specs import OpAmpSpec
+from repro.kb.templates import TopologyTemplate
+from repro.lint import lint_feasibility, precheck_styles, render_analysis
+from repro.lint.absint import interpret_template
+from repro.lint.diagnostics import Severity
+from repro.lint.feasibility import (
+    _cannot_raise,
+    builtin_spec_suite,
+    default_templates,
+)
+from repro.opamp.designer import OPAMP_STYLES, design_style, synthesize
+from repro.opamp.testcases import SPEC_A, SPEC_B
+from repro.process import builtin_processes
+
+PROCESS = builtin_processes()["generic-5um"]
+
+#: The issue's seeded infeasible spec: 100 dB of gain at 100 MHz into
+#: 50 pF on a 1 mW budget -- hopeless on a 5 um process.
+INFEASIBLE = OpAmpSpec(
+    gain_db=100.0,
+    unity_gain_hz=100e6,
+    phase_margin_deg=60.0,
+    slew_rate=50e6,
+    load_capacitance=50e-12,
+    output_swing=1.0,
+    power_max=1e-3,
+)
+
+
+# ----------------------------------------------------------------------
+# Zero-false-positive contracts
+# ----------------------------------------------------------------------
+class TestZeroFalsePositives:
+    def test_builtin_suite_has_no_errors_or_warnings(self):
+        """The shipped templates over the paper's test cases: the pass
+        must be clean (informational findings only, exit code 0)."""
+        report = lint_feasibility()
+        assert not report.errors, [d.render() for d in report.errors]
+        assert not report.warnings, [d.render() for d in report.warnings]
+        assert report.exit_code() == 0
+
+    @pytest.mark.parametrize("label", ["A", "B", "C"])
+    def test_point_mode_agrees_with_concrete_executor(self, label):
+        """corner=0 abstract runs mirror the concrete PlanExecutor on
+        every (style, test case) pair: same completed/failed verdict."""
+        spec = dict(builtin_spec_suite())[label]
+        for template in default_templates():
+            run = interpret_template(template, spec, PROCESS, corner=0.0)
+            try:
+                design_style(template.style, spec, PROCESS)
+                concrete_ok = True
+            except SynthesisError:
+                concrete_ok = False
+            assert run.completed == concrete_ok, (
+                f"style {template.style} case {label}: abstract "
+                f"{run.describe()!r} vs concrete ok={concrete_ok}"
+            )
+            # A definite abstract failure must imply a concrete failure.
+            if run.failed and run.failure.definite:
+                assert not concrete_ok
+
+    def test_dead_rule_check_runs_against_every_template(self):
+        """RULE501 must not fire on any shipped rule (they are all
+        reachable), and the checker genuinely consults every style."""
+        report = lint_feasibility(select=["RULE501"])
+        assert not report.by_code("RULE501"), [
+            d.render() for d in report.diagnostics
+        ]
+
+
+# ----------------------------------------------------------------------
+# The seeded infeasible specification
+# ----------------------------------------------------------------------
+class TestInfeasibleSpec:
+    def test_feas403_error_and_exit_code(self):
+        report = lint_feasibility(INFEASIBLE, process=PROCESS)
+        errors = [d for d in report.by_code("FEAS403")]
+        assert errors and errors[0].severity is Severity.ERROR
+        assert "provably infeasible for every design style" in errors[0].message
+        assert report.exit_code() == 2
+
+    def test_analysis_is_fast(self):
+        lint_feasibility(INFEASIBLE, process=PROCESS)  # warm imports/caches
+        start = time.perf_counter()
+        report = lint_feasibility(INFEASIBLE, process=PROCESS)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        assert report.exit_code() == 2
+        assert elapsed_ms < 50.0, f"feasibility pass took {elapsed_ms:.1f} ms"
+
+    def test_per_style_pruning_evidence(self):
+        report = lint_feasibility(INFEASIBLE, process=PROCESS)
+        pruned = report.by_code("FEAS405")
+        assert pruned, "each style's static pruning should be reported"
+        assert all(d.severity is Severity.INFO for d in pruned)
+
+
+# ----------------------------------------------------------------------
+# The precheck gate
+# ----------------------------------------------------------------------
+class TestPrecheck:
+    def test_prunes_everything_for_infeasible_spec(self):
+        gate = precheck_styles(INFEASIBLE, PROCESS, OPAMP_STYLES)
+        assert gate.viable == ()
+        assert set(gate.pruned) == set(OPAMP_STYLES)
+        for style in OPAMP_STYLES:
+            assert "statically infeasible" in gate.reason(style)
+
+    def test_never_prunes_a_designable_style(self):
+        gate = precheck_styles(SPEC_B, PROCESS, OPAMP_STYLES)
+        for style in gate.pruned:
+            with pytest.raises(SynthesisError):
+                design_style(style, SPEC_B, PROCESS)
+        # at least one style survives (case B is designable)
+        assert gate.viable
+
+    def test_synthesize_precheck_fails_fast(self):
+        with pytest.raises(SynthesisError, match="statically infeasible"):
+            synthesize(INFEASIBLE, PROCESS, precheck=True)
+
+    def test_synthesize_precheck_notes_pruned_styles_in_trace(self):
+        result = synthesize(SPEC_B, PROCESS, precheck=True)
+        gate = precheck_styles(SPEC_B, PROCESS, OPAMP_STYLES)
+        notes = [
+            e for e in result.trace.events
+            if e.kind == "note" and "precheck" in e.detail
+        ]
+        assert len(notes) == len(gate.pruned)
+        assert result.best.style in gate.viable
+
+    def test_precheck_matches_unprechecked_result(self):
+        plain = synthesize(SPEC_A, PROCESS)
+        gated = synthesize(SPEC_A, PROCESS, precheck=True)
+        assert gated.best.style == plain.best.style
+
+
+# ----------------------------------------------------------------------
+# RULE5xx on crafted templates
+# ----------------------------------------------------------------------
+def _template(style, build_plan, build_rules):
+    return TopologyTemplate(
+        block_type="opamp",
+        style=style,
+        build_plan=build_plan,
+        build_rules=build_rules,
+        description="crafted for tests",
+    )
+
+
+def _noop_step(state):
+    state.set("x", 1.0)
+
+
+def _raising_step(state):
+    raise SynthesisError("always fails")
+
+
+class TestRuleChecks:
+    def test_rule501_dead_rule_flagged(self):
+        template = _template(
+            "crafted_dead",
+            lambda: Plan("p", [PlanStep("a", _noop_step)]),
+            lambda: [
+                Rule(
+                    name="never_fires",
+                    condition=lambda s: False,
+                    action=lambda s: None,
+                )
+            ],
+        )
+        report = lint_feasibility(
+            SPEC_A, templates=[template], process=PROCESS, select=["RULE501"]
+        )
+        found = report.by_code("RULE501")
+        assert found and found[0].severity is Severity.WARNING
+        assert "never_fires" in found[0].message
+
+    def test_rule501_not_flagged_for_live_rule(self):
+        template = _template(
+            "crafted_live",
+            lambda: Plan("p", [PlanStep("a", _noop_step)]),
+            lambda: [
+                Rule(
+                    name="sometimes",
+                    condition=lambda s: s.get_or("x", 0.0) > 0.0,
+                    action=lambda s: None,
+                )
+            ],
+        )
+        report = lint_feasibility(
+            SPEC_A, templates=[template], process=PROCESS, select=["RULE501"]
+        )
+        assert not report.by_code("RULE501")
+
+    def test_rule502_restart_cycle_without_narrowing(self):
+        template = _template(
+            "crafted_cycle",
+            lambda: Plan("p", [PlanStep("a", _noop_step)]),
+            lambda: [
+                Rule(
+                    name="spin",
+                    condition=lambda s: True,
+                    action=lambda s: Restart("a", "again"),
+                    max_firings=1000,
+                )
+            ],
+        )
+        report = lint_feasibility(
+            SPEC_A, templates=[template], process=PROCESS, select=["RULE502"]
+        )
+        found = report.by_code("RULE502")
+        assert found and found[0].severity is Severity.WARNING
+        assert "without narrowing" in found[0].message
+
+    def test_rule503_unraisable_scoped_rule(self):
+        template = _template(
+            "crafted_unraisable",
+            lambda: Plan(
+                "p",
+                [PlanStep("safe", _noop_step), PlanStep("risky", _raising_step)],
+            ),
+            lambda: [
+                Rule(
+                    name="patch_safe",
+                    condition=lambda s: True,
+                    action=lambda s: Restart("safe", "retry"),
+                    on_failure=True,
+                    on_failure_steps=("safe",),
+                )
+            ],
+        )
+        report = lint_feasibility(
+            SPEC_A, templates=[template], process=PROCESS, select=["RULE503"]
+        )
+        found = report.by_code("RULE503")
+        assert found and found[0].severity is Severity.WARNING
+        assert "patch_safe" in found[0].message
+
+    def test_rule503_silent_when_scoped_step_can_raise(self):
+        template = _template(
+            "crafted_raisable",
+            lambda: Plan("p", [PlanStep("risky", _raising_step)]),
+            lambda: [
+                Rule(
+                    name="patch_risky",
+                    condition=lambda s: True,
+                    action=lambda s: Restart("risky", "retry"),
+                    on_failure=True,
+                    on_failure_steps=("risky",),
+                    max_firings=2,
+                )
+            ],
+        )
+        report = lint_feasibility(
+            SPEC_A, templates=[template], process=PROCESS, select=["RULE503"]
+        )
+        assert not report.by_code("RULE503")
+
+    def test_cannot_raise_analysis(self):
+        assert _cannot_raise(_noop_step)
+        assert not _cannot_raise(_raising_step)
+
+        def calls_unknown(state):
+            helper = state.get("fn")
+            helper()
+
+        assert not _cannot_raise(calls_unknown)
+        # unanalyzable callables are conservatively assumed to raise
+        assert not _cannot_raise(max)
+
+
+# ----------------------------------------------------------------------
+# The range report
+# ----------------------------------------------------------------------
+class TestRenderAnalysis:
+    def test_report_structure(self):
+        text = render_analysis(SPEC_A, process=PROCESS)
+        assert "Feasibility analysis" in text
+        for template in default_templates():
+            assert f"style {template.style}" in text
+        assert "corner:" in text and "nominal:" in text
+
+    def test_infeasible_report_says_so(self):
+        text = render_analysis(INFEASIBLE, process=PROCESS)
+        assert "infeasible" in text

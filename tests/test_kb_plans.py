@@ -1,5 +1,7 @@
 """Tests for the plan/rule execution machinery (the paper's Figure 3)."""
 
+import io
+
 import pytest
 
 from repro.errors import PlanError, SynthesisError
@@ -52,6 +54,31 @@ class TestDesignState:
         snap = state.snapshot()
         assert snap["a"] == 1
         assert snap["choice:slot"] == "style"
+
+    def test_snapshot_is_frozen_against_later_mutation(self):
+        """Regression: snapshots taken early in a run must keep their
+        capture-time values even when plan steps later mutate container
+        variables in place (the old shallow copy aliased them)."""
+        state = make_state()
+        state.set("devices", [{"name": "m1", "w": 10.0}])
+        state.set("performance", {"gain_db": 60.0})
+        snap = state.snapshot()
+        state.get("devices").append({"name": "m2", "w": 20.0})
+        state.get("devices")[0]["w"] = 99.0
+        state.get("performance")["gain_db"] = 10.0
+        assert snap["devices"] == [{"name": "m1", "w": 10.0}]
+        assert snap["performance"] == {"gain_db": 60.0}
+
+    def test_snapshot_survives_uncopyable_values(self):
+        """Unpicklable values fall back to the original reference
+        instead of failing the snapshot."""
+        state = make_state()
+        handle = io.StringIO("not deep-copyable? generators are not")
+        generator = (x for x in range(3))  # deepcopy raises TypeError
+        state.set("gen", generator)
+        state.set("handle", handle)
+        snap = state.snapshot()
+        assert snap["gen"] is generator
 
 
 class TestPlanConstruction:

@@ -1,0 +1,169 @@
+"""Tests for DesignTrace event ordering and merging.
+
+The trace is the paper's Figure 3 record: plan steps, rule firings,
+restarts and aborts in execution order.  These tests pin the ordering
+contract that the reporting layer and the feasibility pass's
+``trace.note`` integration rely on.
+"""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.kb import (
+    DesignState,
+    DesignTrace,
+    Plan,
+    PlanExecutor,
+    PlanStep,
+    Restart,
+    Rule,
+    Specification,
+)
+from repro.process import CMOS_5UM
+
+
+def make_state():
+    return DesignState(Specification(), CMOS_5UM)
+
+
+def kinds(trace):
+    return [e.kind for e in trace.events]
+
+
+class TestEventOrdering:
+    def test_linear_plan_order(self):
+        plan = Plan(
+            "p",
+            [PlanStep("a", lambda s: None), PlanStep("b", lambda s: None)],
+        )
+        trace = PlanExecutor(plan).execute(make_state(), block="blk")
+        assert kinds(trace) == ["plan_start", "step", "step", "plan_done"]
+        assert [e.step for e in trace.events if e.kind == "step"] == ["a", "b"]
+
+    def test_restart_ordering(self):
+        """rule_fired must precede its restart, and the re-entered step
+        appears again after the restart marker."""
+        rule = Rule(
+            name="redo",
+            condition=lambda s: not s.get_or("done", False),
+            action=lambda s: (s.set("done", True), Restart("a", "retry"))[1],
+        )
+        plan = Plan("p", [PlanStep("a", lambda s: None)])
+        trace = PlanExecutor(plan, [rule]).execute(make_state(), block="blk")
+        assert kinds(trace) == [
+            "plan_start",
+            "step",        # first attempt at a
+            "rule_fired",  # redo fires
+            "restart",     # ...and restarts
+            "step",        # second attempt at a
+            "plan_done",
+        ]
+        restart = trace.restarts[0]
+        assert restart.step == "a" and restart.detail == "retry"
+        assert trace.rule_firings[0].step == "redo"
+
+    def test_abort_is_last_event_and_no_plan_done(self):
+        def explode(state):
+            raise SynthesisError("hopeless")
+
+        plan = Plan("p", [PlanStep("bad", explode)])
+        trace = DesignTrace()
+        with pytest.raises(SynthesisError):
+            PlanExecutor(plan).execute(make_state(), trace=trace, block="blk")
+        # A failed step is not recorded as a "step" event (only successes
+        # are); the abort closes the block and no plan_done follows.
+        assert kinds(trace) == ["plan_start", "abort"]
+        assert trace.count("plan_done") == 0
+        assert "hopeless" in trace.events[-1].detail
+
+    def test_recovery_failure_pattern_then_abort(self):
+        """Each patched failure appears as rule_fired/restart (the failed
+        attempt itself is not a "step" event); when the firing budget
+        runs out the abort closes the block."""
+
+        def always_fails(state):
+            raise SynthesisError("no luck")
+
+        recovery = Rule(
+            name="retry",
+            condition=lambda s: True,
+            action=lambda s: Restart("bad", "again"),
+            on_failure=True,
+            max_firings=2,
+        )
+        plan = Plan("p", [PlanStep("bad", always_fails)])
+        trace = DesignTrace()
+        with pytest.raises(SynthesisError):
+            PlanExecutor(plan, [recovery]).execute(
+                make_state(), trace=trace, block="blk"
+            )
+        assert kinds(trace) == [
+            "plan_start",
+            "rule_fired",
+            "restart",
+            "rule_fired",
+            "restart",
+            "abort",
+        ]
+
+
+class TestExtend:
+    def test_extend_preserves_both_orders(self):
+        main, sub = DesignTrace(), DesignTrace()
+        main.plan_start("amp", "two_stage")
+        sub.plan_start("amp/first_stage", "diff_pair")
+        sub.step("amp/first_stage", "size")
+        sub.plan_done("amp/first_stage")
+        main.extend(sub)
+        main.plan_done("amp")
+        assert kinds(main) == [
+            "plan_start",
+            "plan_start",
+            "step",
+            "plan_done",
+            "plan_done",
+        ]
+        assert main.events[1].block == "amp/first_stage"
+
+    def test_extend_is_by_reference_append(self):
+        """extend copies the event list contents, not the container:
+        later events on the source do not leak into the target."""
+        a, b = DesignTrace(), DesignTrace()
+        b.note("x", "one")
+        a.extend(b)
+        b.note("x", "two")
+        assert len(a) == 1 and len(b) == 2
+
+    def test_extend_empty_is_noop(self):
+        a = DesignTrace()
+        a.note("x", "one")
+        a.extend(DesignTrace())
+        assert len(a) == 1
+
+    def test_hierarchical_merge_keeps_note_ordering(self):
+        """The precheck gate notes pruned styles before any sub-trace is
+        merged; ordering must survive the merge."""
+        trace = DesignTrace()
+        trace.note("opamp/one_stage", "precheck: statically infeasible")
+        style_trace = DesignTrace()
+        style_trace.plan_start("opamp/two_stage", "two_stage_plan")
+        style_trace.plan_done("opamp/two_stage")
+        trace.extend(style_trace)
+        trace.selection("opamp", "two_stage wins")
+        assert kinds(trace) == ["note", "plan_start", "plan_done", "selection"]
+        rendered = trace.render()
+        assert rendered.index("precheck") < rendered.index("two_stage_plan")
+
+
+class TestQueries:
+    def test_counts_and_filters(self):
+        trace = DesignTrace()
+        trace.step("a", "s1")
+        trace.restart("a", "s1", "retry")
+        trace.restart("a", "s1", "retry again")
+        trace.abort("a", "dead end")
+        assert trace.count("restart") == 2
+        assert len(trace.restarts) == 2
+        assert trace.count("abort") == 1
+        assert trace.steps_for("a") == [trace.events[0]]
+        assert trace.steps_for("other") == []
