@@ -1,0 +1,76 @@
+"""Chaos-test the synthesizer with deterministic fault injection.
+
+Run:
+    python examples/fault_injection.py
+
+The resilience layer (PR 3) instruments the synthesis stack with named
+*fault points* -- ``dc.newton``, ``plan.step``, ``budget.clock``, ...
+-- that are inert in production but can be armed deterministically
+(by hit count, never by random chance) from tests, the
+``REPRO_FAULTS`` environment variable, or the ``inject`` context
+manager used here.  Three demonstrations:
+
+1. **Absorbed fault**: a one-shot Newton failure on the DC solve path
+   is swallowed by the retry ladder (plain -> damped -> gmin ->
+   source); the measurement is unchanged.
+2. **Degraded synthesis**: a persistent plan-step fault kills every
+   candidate style, yet ``synthesize(best_effort=True)`` *returns* a
+   partial result whose ``failures`` explain exactly what died, where,
+   and why -- it never raises.
+3. **Deadlines**: a 0 ms budget trips in well under 100 ms with a
+   structured ``BudgetExceeded`` naming the block and step.
+"""
+
+import time
+
+from repro import CMOS_5UM
+from repro.errors import BudgetExceeded
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import SPEC_A
+from repro.opamp.verify import measure_rejection
+from repro.resilience import inject, registered_sites
+
+
+def main() -> None:
+    print("Registered fault sites:")
+    for site, description in sorted(registered_sites().items()):
+        print(f"  {site:22s} {description.split('(')[0].strip()}")
+
+    # ------------------------------------------------------------------
+    # 1. A one-shot solver fault is absorbed by the retry ladder.
+    # ------------------------------------------------------------------
+    amp = synthesize(SPEC_A, CMOS_5UM).best
+    clean = measure_rejection(amp)["cmrr_db"]
+    with inject("dc.newton") as injector:
+        faulted = measure_rejection(amp)["cmrr_db"]
+    print("\n[1] dc.newton fault absorbed by the retry ladder")
+    print(f"    fired: {injector.fired}")
+    print(f"    CMRR clean   = {clean:.2f} dB")
+    print(f"    CMRR faulted = {faulted:.2f} dB  (identical -> absorbed)")
+
+    # ------------------------------------------------------------------
+    # 2. A persistent plan fault degrades gracefully under best_effort.
+    # ------------------------------------------------------------------
+    with inject("plan.step", times=-1):
+        result = synthesize(SPEC_A, CMOS_5UM, best_effort=True)
+    print("\n[2] persistent plan.step fault: best-effort partial result")
+    print(f"    best = {result.best}  ok = {result.ok}")
+    print(f"    {len(result.failures)} failure report(s):")
+    print(result.failure_summary())
+
+    # ------------------------------------------------------------------
+    # 3. A zero-millisecond budget fails fast and structured.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    try:
+        synthesize(SPEC_A, CMOS_5UM, budget_ms=0.0)
+    except BudgetExceeded as exc:
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        print("\n[3] 0 ms budget trips immediately")
+        print(f"    raised after {elapsed_ms:.2f} ms (well under 100 ms)")
+        print(f"    block={exc.block!r} step={exc.step!r} "
+              f"limit={exc.limit_ms:g} ms")
+
+
+if __name__ == "__main__":
+    main()

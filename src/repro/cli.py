@@ -3,8 +3,12 @@
 The 1987 tool was driven by specification files; this CLI is its modern
 equivalent.  Commands:
 
-* ``synthesize`` -- performance spec -> sized schematic (+ optional
-  simulator verification, SPICE export, design trace);
+* ``synthesize`` (alias ``design``) -- performance spec -> sized
+  schematic (+ optional simulator verification, SPICE export, design
+  trace).  ``--budget-ms`` bounds the run's wall clock;
+  ``--best-effort`` turns failures of any kind into structured
+  failure reports (exit 3 when no style survives) instead of a
+  crashed process -- the batch-workload mode;
 * ``testcases``  -- regenerate the paper's Table 2 for cases A/B/C;
 * ``adc``        -- design a successive-approximation converter;
 * ``processes``  -- list the built-in processes / print Table 1;
@@ -118,7 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     # synthesize ---------------------------------------------------------
-    syn = commands.add_parser("synthesize", help="spec -> sized op amp schematic")
+    syn = commands.add_parser(
+        "synthesize",
+        aliases=["design"],
+        help="spec -> sized op amp schematic",
+    )
     _add_spec_arguments(syn, required=True)
     syn.add_argument(
         "--styles",
@@ -133,6 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--precheck",
         action="store_true",
         help="run the static feasibility gate before the plan executor",
+    )
+    syn.add_argument(
+        "--budget-ms",
+        default=None,
+        type=float,
+        help="wall-clock budget for the whole synthesis, milliseconds; "
+        "exceeding it raises BudgetExceeded (or, with --best-effort, "
+        "yields a partial result)",
+    )
+    syn.add_argument(
+        "--best-effort",
+        action="store_true",
+        help="never fail the process on an unsynthesizable spec: report "
+        "per-style failures (convergence/budget/plan/internal) and exit "
+        "3 when no style succeeded",
     )
     _add_process_arguments(syn)
 
@@ -245,8 +268,24 @@ def _cmd_synthesize(args) -> int:
     process = _process_from_args(args)
     spec = _spec_from_args(args)
     styles = EXTENDED_STYLES if args.styles == "extended" else OPAMP_STYLES
-    result = synthesize(spec, process, styles=styles, precheck=args.precheck)
+    result = synthesize(
+        spec,
+        process,
+        styles=styles,
+        precheck=args.precheck,
+        best_effort=args.best_effort,
+        budget_ms=args.budget_ms,
+    )
     print(result.summary())
+    if not result.ok:
+        # best-effort run with no surviving style: the failure reports
+        # (already rendered by summary()) are the product; exit 3 so
+        # batch drivers can count them without parsing.
+        if args.trace:
+            print("Design trace")
+            print("============")
+            print(result.trace.render())
+        return 3
     print(result.best.schematic())
     if args.trace:
         print("Design trace")
@@ -424,6 +463,7 @@ def _cmd_analyze(args) -> int:
 
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
+    "design": _cmd_synthesize,  # alias
     "testcases": _cmd_testcases,
     "adc": _cmd_adc,
     "processes": _cmd_processes,

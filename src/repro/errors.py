@@ -37,11 +37,70 @@ class SimulationError(ReproError, RuntimeError):
 
 
 class ConvergenceError(SimulationError):
-    """Newton-Raphson iteration failed to converge even with homotopy."""
+    """Newton-Raphson iteration failed to converge even with homotopy.
 
-    def __init__(self, message: str, iterations: int = 0):
+    Attributes:
+        iterations: NR iterations consumed.  When raised by the solver
+            retry ladder this is the *cumulative* count across every
+            rung attempted, not just the final one.
+        rung: name of the ladder rung that raised (``""`` outside the
+            ladder).  The per-rung history is chained via
+            ``__cause__`` -- every escalation uses ``raise ... from``.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, rung: str = ""):
         super().__init__(message)
         self.iterations = iterations
+        self.rung = rung
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A wall-clock or iteration budget ran out mid-synthesis.
+
+    Raised by :class:`repro.resilience.Budget` checks: the plan
+    executor checks between steps, the Newton solver between
+    iterations, and design-style selection between candidates.  Always
+    carries the block/step context of the check that tripped so batch
+    drivers can tell *where* a pathological spec burned its budget.
+
+    Attributes:
+        block: block being designed when the budget tripped.
+        step: plan step (or ``"newton"`` / ``"select:<style>"``).
+        scope: budget scope that tripped (``"synthesis"``,
+            ``"style:two_stage"``, ``"step:size_input_pair"``...).
+        elapsed_ms: wall-clock spent in that scope, milliseconds.
+        limit_ms: the scope's limit, milliseconds (None for
+            iteration budgets).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        block: str = "",
+        step: str = "",
+        scope: str = "synthesis",
+        elapsed_ms: float = 0.0,
+        limit_ms=None,
+    ):
+        super().__init__(message)
+        self.block = block
+        self.step = step
+        self.scope = scope
+        self.elapsed_ms = elapsed_ms
+        self.limit_ms = limit_ms
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """An error deliberately injected by :mod:`repro.resilience.faults`.
+
+    Never raised in production operation: it exists so chaos tests can
+    exercise the *internal error* isolation paths (as opposed to
+    :class:`ConvergenceError` / :class:`SynthesisError`, which exercise
+    the expected-failure paths)."""
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
 
 
 class SynthesisError(ReproError, RuntimeError):

@@ -17,6 +17,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import PlanError, SynthesisError
 from ..process.parameters import ProcessParameters
+from ..resilience import Budget
+from ..resilience.faults import fault_point
 from .rules import Abort, Restart, Rule, RuleAction
 from .specs import Specification
 from .trace import DesignTrace
@@ -35,11 +37,22 @@ class DesignState:
       step cannot silently read garbage;
     * ``choices`` -- design-style selections made for sub-blocks
       (e.g. ``{"load_mirror": "cascode"}``).
+
+    A :class:`~repro.resilience.Budget` may ride along on ``budget``;
+    the :class:`PlanExecutor` checks it between steps (and scopes each
+    step under its per-step limit), so a pathological spec is cut off
+    at the next step boundary instead of hanging the run.
     """
 
-    def __init__(self, spec: Specification, process: ProcessParameters):
+    def __init__(
+        self,
+        spec: Specification,
+        process: ProcessParameters,
+        budget: Optional[Budget] = None,
+    ):
         self.spec = spec
         self.process = process
+        self.budget = budget
         self.vars: Dict[str, Any] = {}
         self.choices: Dict[str, str] = {}
 
@@ -187,8 +200,15 @@ class PlanExecutor:
         index = 0
         while index < len(self.plan.steps):
             step = self.plan.steps[index]
+            if state.budget is not None:
+                state.budget.check(block=block, step=step.name)
+            fault_point("plan.step")
             try:
-                detail = step.action(state) or ""
+                if state.budget is not None:
+                    with state.budget.step_scope(step.name, block=block):
+                        detail = step.action(state) or ""
+                else:
+                    detail = step.action(state) or ""
             except SynthesisError as exc:
                 # Offer the failure to the rules before giving up: a rule
                 # may know how to patch exactly this situation.
@@ -268,6 +288,7 @@ class PlanExecutor:
         ``on_failure=True`` -- are consulted, and a Restart is mandatory
         for the failure to be considered patched; Abort propagates.
         """
+        fault_point("plan.rule")
         for rule in self.rules:
             if firings[rule.name] >= rule.max_firings:
                 continue

@@ -21,7 +21,8 @@ class TraceEvent:
     """One event during synthesis.
 
     ``kind`` is one of: ``plan_start``, ``step``, ``rule_fired``,
-    ``restart``, ``abort``, ``plan_done``, ``note``, ``selection``.
+    ``restart``, ``abort``, ``plan_done``, ``note``, ``selection``,
+    ``ladder``, ``failure``.
     """
 
     kind: str
@@ -63,6 +64,14 @@ class DesignTrace:
     def selection(self, block: str, detail: str) -> None:
         self.events.append(TraceEvent("selection", block, detail))
 
+    def ladder(self, block: str, rung: str, detail: str) -> None:
+        """One solver retry-ladder attempt (rung escalation history)."""
+        self.events.append(TraceEvent("ladder", block, detail, step=rung))
+
+    def failure(self, block: str, detail: str) -> None:
+        """An isolated failure (recorded, not raised) during selection."""
+        self.events.append(TraceEvent("failure", block, detail))
+
     def extend(self, other: "DesignTrace") -> None:
         self.events.extend(other.events)
 
@@ -97,6 +106,8 @@ class DesignTrace:
             "plan_done": "<<",
             "note": "  #",
             "selection": "==",
+            "ladder": " ^^",
+            "failure": " !!",
         }
         out = io.StringIO()
         for event in self.events:

@@ -23,6 +23,8 @@ from ..kb.specs import OpAmpSpec
 from ..kb.templates import StyleCatalog
 from ..kb.trace import DesignTrace
 from ..process.parameters import ProcessParameters
+from ..resilience import Budget, FailureReport
+from ..resilience.faults import fault_point
 from .folded_cascode import FOLDED_CASCODE_TEMPLATE, package_folded_cascode
 from .ota_onestage import ONE_STAGE_TEMPLATE, package_one_stage
 from .result import DesignedOpAmp, SynthesisResult
@@ -64,6 +66,7 @@ def design_style(
     process: ProcessParameters,
     trace: Optional[DesignTrace] = None,
     strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> DesignedOpAmp:
     """Design one op amp style to completion (translation + sizing).
 
@@ -72,19 +75,23 @@ def design_style(
             refuse (raise :class:`~repro.errors.LintError`) when it has
             any error-severity finding.  The shipped topologies are
             ERC-clean; this is a fast-fail gate for modified templates.
+        budget: optional resilience budget carried on the design state;
+            the plan executor checks it between steps.
 
     Raises:
         SynthesisError: when the style cannot meet the specification even
             after its rules have patched the plan.
         LintError: in strict mode, when the packaged netlist fails ERC.
+        BudgetExceeded: when the budget trips mid-plan.
     """
     template = OPAMP_CATALOG[style]
     trace = trace if trace is not None else DesignTrace()
-    state = DesignState(spec.to_specification(), process)
+    state = DesignState(spec.to_specification(), process, budget=budget)
     state.set("opamp_spec", spec)
     state.set("trace", trace)
     executor = PlanExecutor(template.build_plan(), template.build_rules())
     executor.execute(state, trace=trace, block=f"opamp/{style}")
+    fault_point("opamp.package")
     designed = _PACKAGERS[style](state, spec, trace)
     if strict:
         # Imported lazily: repro.lint imports the circuit package.
@@ -104,6 +111,9 @@ def synthesize(
     styles: Optional[Tuple[str, ...]] = None,
     strict: bool = False,
     precheck: bool = False,
+    best_effort: bool = False,
+    budget: Optional[Budget] = None,
+    budget_ms: Optional[float] = None,
 ) -> SynthesisResult:
     """Synthesize a sized op amp schematic from a performance spec.
 
@@ -116,9 +126,9 @@ def synthesize(
         process: fabrication-process description (Table 1 parameters).
         styles: optional style subset (used by the ablation benches).
         strict: ERC-gate every candidate netlist (see
-            :func:`design_style`); a candidate failing the gate raises
-            :class:`~repro.errors.LintError` immediately rather than
-            being silently dropped.
+            :func:`design_style`).  A candidate failing the gate is
+            isolated like any other candidate failure and recorded in
+            its :class:`~repro.resilience.FailureReport`.
         precheck: run the static feasibility gate (interval abstract
             interpretation, see :mod:`repro.lint.feasibility`) before
             the concrete plan executor.  Styles that provably cannot
@@ -126,22 +136,80 @@ def synthesize(
             their failure reasons, never executed -- and when *every*
             style is pruned the whole synthesis fails fast in a few
             milliseconds instead of grinding through doomed plans.
+        best_effort: never raise for a failed synthesis.  Candidate
+            failures of every kind (convergence / budget / plan /
+            internal, including injected faults) are converted to
+            :class:`~repro.resilience.FailureReport` entries on the
+            returned result; when no style succeeds the result has
+            ``best is None`` and ``ok`` False.  This is the batch-
+            workload mode: one pathological spec can never take down a
+            dataset-generation run.
+        budget: resilience budget for the whole call (wall-clock,
+            per-style/step scopes, Newton iterations).  Installed as
+            the ambient budget for the duration, so nested solver
+            loops honour it too.
+        budget_ms: convenience: shorthand for
+            ``budget=Budget(wall_ms=budget_ms)``.
 
     Returns:
-        A :class:`SynthesisResult`.
+        A :class:`SynthesisResult`; with ``best_effort`` it may be
+        partial (check ``result.ok``).
 
     Raises:
         SynthesisError: when no style can meet the specification (with
-            ``precheck``, possibly before any plan executes).
-        LintError: in strict mode, when a candidate netlist fails ERC.
+            ``precheck``, possibly before any plan executes) -- unless
+            ``best_effort``.
+        BudgetExceeded: when the budget trips before any style
+            succeeds -- unless ``best_effort``.
+        LintError: in strict mode, when a candidate netlist fails ERC
+            and no other style succeeds -- unless ``best_effort``.
     """
     trace = DesignTrace()
+    if best_effort:
+        try:
+            return _synthesize(
+                spec, process, styles, strict, precheck, True, budget,
+                budget_ms, trace,
+            )
+        except Exception as exc:  # noqa: BLE001 - the best-effort contract
+            # Last-ditch containment: anything the isolation layers
+            # below did not convert (a bug in selection itself, a fault
+            # injected outside any candidate) still becomes a report.
+            trace.failure("opamp", f"synthesis failed: {exc}")
+            return SynthesisResult(
+                best=None,
+                candidates=[],
+                trace=trace,
+                failures=[FailureReport.from_exception(exc, recoverable=False)],
+            )
+    return _synthesize(
+        spec, process, styles, strict, precheck, False, budget, budget_ms, trace
+    )
+
+
+def _synthesize(
+    spec: OpAmpSpec,
+    process: ProcessParameters,
+    styles: Optional[Tuple[str, ...]],
+    strict: bool,
+    precheck: bool,
+    best_effort: bool,
+    budget: Optional[Budget],
+    budget_ms: Optional[float],
+    trace: DesignTrace,
+) -> SynthesisResult:
     styles = tuple(styles) if styles is not None else OPAMP_STYLES
+    if budget is None and budget_ms is not None:
+        budget = Budget(wall_ms=budget_ms)
+    if budget is not None:
+        budget.start()
+        budget.check(block="opamp", step="start")
     if precheck:
         # Imported lazily: repro.lint imports the circuit package.
         from ..lint import precheck_styles
 
         gate = precheck_styles(spec, process, styles)
+        pruned_reports = []
         for style in styles:
             if style in gate.pruned:
                 trace.note(
@@ -149,25 +217,72 @@ def synthesize(
                     f"precheck: {gate.reason(style)} "
                     f"(abstract pass, {gate.elapsed_ms:.1f} ms)",
                 )
+                pruned_reports.append(
+                    FailureReport.from_exception(
+                        SynthesisError(
+                            f"precheck: {gate.reason(style)}",
+                            block=f"opamp/{style}",
+                        ),
+                        style=style,
+                    )
+                )
         if not gate.viable:
             reasons = "; ".join(
                 f"{style}: {gate.reason(style)}" for style in styles
             )
-            raise SynthesisError(
+            exc = SynthesisError(
                 "opamp: specification statically infeasible for every "
                 f"style ({reasons})"
             )
+            if best_effort:
+                return SynthesisResult(
+                    best=None,
+                    candidates=[],
+                    trace=trace,
+                    failures=pruned_reports or [FailureReport.from_exception(exc)],
+                )
+            raise exc
         styles = gate.viable
 
     def design_one(style: str):
         style_trace = DesignTrace()
-        designed = design_style(
-            style, spec, process, trace=style_trace, strict=strict
-        )
-        trace.extend(style_trace)
+        try:
+            if budget is not None:
+                with budget.style_scope(style, block=f"opamp/{style}"):
+                    designed = design_style(
+                        style, spec, process, trace=style_trace,
+                        strict=strict, budget=budget,
+                    )
+            else:
+                designed = design_style(
+                    style, spec, process, trace=style_trace, strict=strict
+                )
+        finally:
+            # Keep whatever the plan recorded, even for failed styles:
+            # failure forensics need the trace more than successes do.
+            trace.extend(style_trace)
         return designed, designed.area, designed.soft_violation_count()
 
-    winner, candidates = breadth_first_select(
-        list(styles), design_one, trace=trace, block="opamp"
+    def run_selection():
+        return breadth_first_select(
+            list(styles),
+            design_one,
+            trace=trace,
+            block="opamp",
+            budget=budget,
+            require_feasible=not best_effort,
+        )
+
+    if budget is not None:
+        with budget.active():
+            winner, candidates = run_selection()
+    else:
+        winner, candidates = run_selection()
+
+    failures = [c.failure for c in candidates if c.failure is not None]
+    return SynthesisResult(
+        best=winner.result if winner is not None else None,
+        candidates=candidates,
+        trace=trace,
+        failures=failures,
     )
-    return SynthesisResult(best=winner.result, candidates=candidates, trace=trace)

@@ -15,6 +15,7 @@ from ..kb.selection import CandidateResult
 from ..kb.specs import OpAmpSpec, Violation
 from ..kb.trace import DesignTrace
 from ..process.parameters import ProcessParameters
+from ..resilience import FailureReport
 from ..units import format_quantity
 
 __all__ = ["DesignedOpAmp", "SynthesisResult"]
@@ -107,17 +108,29 @@ class SynthesisResult:
     """Outcome of top-level synthesis (style selection included).
 
     Attributes:
-        best: the winning design.
+        best: the winning design, or None when a best-effort synthesis
+            found no feasible style (check :attr:`ok`).
         candidates: every style that was attempted, feasible or not.
         trace: combined design trace across styles and selection.
+        failures: structured reports for every isolated failure
+            (per-candidate and global); empty on a clean run.  See
+            :class:`~repro.resilience.FailureReport`.
     """
 
-    best: DesignedOpAmp
+    best: Optional[DesignedOpAmp]
     candidates: List[CandidateResult]
     trace: DesignTrace
+    failures: List[FailureReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when synthesis produced a design."""
+        return self.best is not None
 
     @property
     def style(self) -> str:
+        if self.best is None:
+            raise SynthesisError("best-effort synthesis produced no design")
         return self.best.style
 
     def candidate(self, style: str) -> CandidateResult:
@@ -129,11 +142,32 @@ class SynthesisResult:
     def feasible_styles(self) -> List[str]:
         return [c.style for c in self.candidates if c.feasible]
 
+    def failures_of_kind(self, kind) -> List[FailureReport]:
+        """Failure reports in one taxonomy bucket (str or FailureKind)."""
+        wanted = str(kind)
+        return [f for f in self.failures if str(f.kind) == wanted]
+
+    def failure_summary(self, verbose: bool = False) -> str:
+        """All failure reports as indented text ("" on a clean run)."""
+        if not self.failures:
+            return ""
+        lines = [f"Failure reports ({len(self.failures)}):"]
+        lines.extend("  " + f.render(verbose=verbose).replace("\n", "\n  ")
+                     for f in self.failures)
+        return "\n".join(lines)
+
     def summary(self) -> str:
-        lines = [
-            f"Selected style: {self.best.style} "
-            f"({len(self.feasible_styles())}/{len(self.candidates)} styles feasible)"
-        ]
+        if self.best is None:
+            lines = [
+                f"No feasible style "
+                f"(0/{len(self.candidates)} candidates succeeded)"
+            ]
+        else:
+            lines = [
+                f"Selected style: {self.best.style} "
+                f"({len(self.feasible_styles())}/{len(self.candidates)} "
+                f"styles feasible)"
+            ]
         for cand in self.candidates:
             if cand.feasible:
                 lines.append(
@@ -141,8 +175,14 @@ class SynthesisResult:
                     f"{cand.cost * 1e12:.0f} um^2, soft violations "
                     f"{cand.soft_violations}"
                 )
+            elif cand.skipped:
+                lines.append(f"  {cand.style}: skipped ({cand.error})")
             else:
                 lines.append(f"  {cand.style}: infeasible ({cand.error})")
-        lines.append("")
-        lines.append(self.best.summary())
+        if self.failures:
+            lines.append("")
+            lines.append(self.failure_summary())
+        if self.best is not None:
+            lines.append("")
+            lines.append(self.best.summary())
         return "\n".join(lines)

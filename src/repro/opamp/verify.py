@@ -123,7 +123,9 @@ def open_loop_response(
     """
     offset, _ = _find_offset(amp)
     circuit = _open_loop_testbench(amp, offset)
-    op = operating_point(circuit, amp.process)
+    # Thread the amp's design trace through, so a solve that needed the
+    # retry ladder leaves its escalation history next to the plan events.
+    op = operating_point(circuit, amp.process, trace=amp.trace)
     if f_stop is None:
         f_stop = max(10.0 * amp.spec.unity_gain_hz, 1e7)
     freqs = log_frequencies(f_start, f_stop, points_per_decade)
@@ -212,7 +214,9 @@ def measure_rejection(
     """
     offset, _ = _find_offset(amp)
     circuit = _open_loop_testbench(amp, offset)
-    op = operating_point(circuit, amp.process)
+    # Thread the amp's design trace through, so a solve that needed the
+    # retry ladder leaves its escalation history next to the plan events.
+    op = operating_point(circuit, amp.process, trace=amp.trace)
 
     def out_amplitude(overrides: Dict[str, complex]) -> float:
         base = {"vin": 0.0, "vinn": 0.0, "vdd": 0.0, "vss": 0.0}
@@ -248,7 +252,9 @@ def input_noise_spectrum(amp: DesignedOpAmp, frequencies):
     freqs = list(frequencies)
     offset, _ = _find_offset(amp)
     circuit = _open_loop_testbench(amp, offset)
-    op = operating_point(circuit, amp.process)
+    # Thread the amp's design trace through, so a solve that needed the
+    # retry ladder leaves its escalation history next to the plan events.
+    op = operating_point(circuit, amp.process, trace=amp.trace)
     ac = ac_analysis(circuit, amp.process, op, freqs)
     gain = np.abs(ac.voltage("out"))
     noise = noise_analysis(circuit, amp.process, op, freqs, "out")

@@ -1,0 +1,268 @@
+"""Wall-clock and iteration budgets for synthesis runs.
+
+Batch workloads (dataset generation, topology enumeration) synthesize
+thousands of specs unattended; a single pathological spec must not hang
+the run.  A :class:`Budget` bounds one ``synthesize()`` call at three
+granularities:
+
+* **synthesis** -- total wall-clock (``wall_ms``) and cumulative Newton
+  iterations (``newton_iterations``) across every candidate style;
+* **style** -- wall-clock per candidate (``style_ms``), so one doomed
+  style cannot starve the others;
+* **step** -- wall-clock per plan step (``step_ms``), the finest
+  containment unit.
+
+Checks are *cooperative*: the plan executor checks between steps, the
+Newton solver between iterations, and style selection between
+candidates.  A tripped check raises
+:class:`~repro.errors.BudgetExceeded` carrying the block/step context
+of the check site, so callers learn *where* the time went.
+
+Budgets travel two ways:
+
+1. explicitly, on the :class:`~repro.kb.plans.DesignState` blackboard
+   (``state.budget``) -- how the plan executor sees them;
+2. ambiently, via :meth:`Budget.active` -- a context-local stack that
+   lets deeply nested code (the Newton inner loop, sub-block designers)
+   honour the deadline without threading a parameter through every
+   signature in between.
+
+The clock is injectable for tests, and the ``budget.clock`` fault point
+can skew it forward deterministically (see
+:mod:`repro.resilience.faults`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, ContextManager, Iterator, List, Optional
+
+from ..errors import BudgetExceeded
+from .faults import fault_point
+
+__all__ = ["Budget", "current_budget"]
+
+
+_ACTIVE: ContextVar[Optional["Budget"]] = ContextVar("repro_budget", default=None)
+
+
+def current_budget() -> Optional["Budget"]:
+    """The ambient budget installed by :meth:`Budget.active`, if any."""
+    return _ACTIVE.get()
+
+
+@dataclass
+class _Scope:
+    """One nested wall-clock scope (a style or a step)."""
+
+    label: str
+    started: float
+    limit_ms: Optional[float]
+
+
+class Budget:
+    """A cooperative resource budget for one synthesis run.
+
+    Args:
+        wall_ms: total wall-clock budget, milliseconds (None = unbounded).
+        style_ms: wall-clock budget per candidate style.
+        step_ms: wall-clock budget per plan step.
+        newton_iterations: cumulative Newton-iteration budget across
+            every solve in the run.
+        label: name used in error messages (default ``"synthesis"``).
+        clock: monotonic-seconds source (injectable for tests).
+
+    The budget is inert until :meth:`start` is called (``synthesize``
+    does this); :meth:`check` before ``start`` is a no-op, so partially
+    constructed budgets can never trip spuriously.
+    """
+
+    def __init__(
+        self,
+        wall_ms: Optional[float] = None,
+        style_ms: Optional[float] = None,
+        step_ms: Optional[float] = None,
+        newton_iterations: Optional[int] = None,
+        label: str = "synthesis",
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.wall_ms = wall_ms
+        self.style_ms = style_ms
+        self.step_ms = step_ms
+        self.newton_iterations = newton_iterations
+        self.label = label
+        self._clock = clock or time.monotonic
+        self._started: Optional[float] = None
+        self._skew_ms = 0.0
+        self._iterations_used = 0
+        self._scopes: List[_Scope] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> float:
+        action = fault_point("budget.clock")
+        if action is not None and action.kind == "skew":
+            self._skew_ms += action.value
+        return self._clock() * 1e3 + self._skew_ms
+
+    def start(self) -> "Budget":
+        """Arm the budget (idempotent).  Returns self for chaining.
+
+        Reads the raw clock (no fault point): a skew injected by the
+        ``budget.clock`` site must shift *subsequent* readings, not the
+        baseline."""
+        if self._started is None:
+            self._started = self._clock() * 1e3 + self._skew_ms
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started is not None
+
+    def elapsed_ms(self) -> float:
+        """Wall-clock since :meth:`start` (0 before)."""
+        if self._started is None:
+            return 0.0
+        return self._now_ms() - self._started
+
+    def remaining_ms(self) -> Optional[float]:
+        """Time left in the total budget (None = unbounded)."""
+        if self.wall_ms is None:
+            return None
+        return self.wall_ms - self.elapsed_ms()
+
+    @property
+    def iterations_used(self) -> int:
+        return self._iterations_used
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        """True when the *total* budget (wall or iterations) is gone."""
+        if self._started is None:
+            return False
+        if self.wall_ms is not None and self.elapsed_ms() > self.wall_ms:
+            return True
+        if (
+            self.newton_iterations is not None
+            and self._iterations_used >= self.newton_iterations
+        ):
+            return True
+        return False
+
+    def check(self, block: str = "", step: str = "") -> None:
+        """Raise :class:`BudgetExceeded` if any live limit has tripped."""
+        if self._started is None:
+            return
+        now = self._now_ms()
+        elapsed = now - self._started
+        if self.wall_ms is not None and elapsed > self.wall_ms:
+            raise BudgetExceeded(
+                f"{self.label}: wall-clock budget exhausted "
+                f"({elapsed:.1f} ms > {self.wall_ms:g} ms limit) "
+                f"at {block or '?'}/{step or '?'}",
+                block=block,
+                step=step,
+                scope=self.label,
+                elapsed_ms=elapsed,
+                limit_ms=self.wall_ms,
+            )
+        for scope in self._scopes:
+            if scope.limit_ms is None:
+                continue
+            scoped = now - scope.started
+            if scoped > scope.limit_ms:
+                raise BudgetExceeded(
+                    f"{self.label}: {scope.label} budget exhausted "
+                    f"({scoped:.1f} ms > {scope.limit_ms:g} ms limit) "
+                    f"at {block or '?'}/{step or '?'}",
+                    block=block,
+                    step=step,
+                    scope=scope.label,
+                    elapsed_ms=scoped,
+                    limit_ms=scope.limit_ms,
+                )
+        if (
+            self.newton_iterations is not None
+            and self._iterations_used >= self.newton_iterations
+        ):
+            raise BudgetExceeded(
+                f"{self.label}: Newton iteration budget exhausted "
+                f"({self._iterations_used} >= {self.newton_iterations}) "
+                f"at {block or '?'}/{step or '?'}",
+                block=block,
+                step=step,
+                scope=f"{self.label}:newton",
+                elapsed_ms=elapsed,
+                limit_ms=None,
+            )
+
+    def charge_newton(self, n: int = 1, block: str = "", step: str = "newton") -> None:
+        """Account ``n`` Newton iterations, then :meth:`check`.
+
+        Called by the solver inner loop; cheap enough per-iteration
+        (one clock read when started, nothing otherwise)."""
+        self._iterations_used += n
+        self.check(block=block, step=step)
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(
+        self,
+        label: str,
+        limit_ms: Optional[float],
+        block: str = "",
+        step: str = "",
+    ) -> Iterator[None]:
+        """Nested wall-clock scope.  Checks on entry and exit; inner
+        :meth:`check` calls see the scope's limit too, so a slow step
+        is interrupted by the next cooperative check point rather than
+        only being detected post-hoc."""
+        self.start()
+        self.check(block=block, step=step)
+        frame = _Scope(label, self._now_ms(), limit_ms)
+        self._scopes.append(frame)
+        try:
+            yield
+            self.check(block=block, step=step)
+        finally:
+            self._scopes.remove(frame)
+
+    def style_scope(self, style: str, block: str = "") -> ContextManager[None]:
+        return self.scope(f"style:{style}", self.style_ms, block=block)
+
+    def step_scope(self, step: str, block: str = "") -> ContextManager[None]:
+        return self.scope(f"step:{step}", self.step_ms, block=block, step=step)
+
+    # ------------------------------------------------------------------
+    # Ambient installation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def active(self) -> Iterator["Budget"]:
+        """Install as the ambient budget (see :func:`current_budget`)."""
+        self.start()
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        if self.wall_ms is not None:
+            parts.append(f"wall={self.wall_ms:g}ms")
+        if self.style_ms is not None:
+            parts.append(f"style={self.style_ms:g}ms")
+        if self.step_ms is not None:
+            parts.append(f"step={self.step_ms:g}ms")
+        if self.newton_iterations is not None:
+            parts.append(f"newton<={self.newton_iterations}")
+        return f"Budget({self.label}: {', '.join(parts) or 'unbounded'})"

@@ -1,0 +1,221 @@
+"""A declarative retry/escalation ladder.
+
+SPICE-class solvers recover from non-convergence by *escalating*
+through progressively heavier strategies (plain Newton, damping, gmin
+stepping, source stepping).  The seed code hard-wired that cascade as
+nested ``try/except`` blocks; this module formalizes it so the cascade
+is
+
+* **declarative** -- a ladder is a list of :class:`Rung` objects, each
+  a named strategy with its own attempt limit;
+* **extensible** -- callers build variant ladders
+  (:meth:`RetryLadder.extended`, :meth:`RetryLadder.without`) instead
+  of editing solver internals;
+* **accountable** -- every attempt is recorded in a
+  :class:`LadderTrace` (and optionally in the synthesis
+  :class:`~repro.kb.trace.DesignTrace`), and the exception chain is
+  preserved end to end: rung *n*'s error has rung *n-1*'s as its
+  ``__cause__``, and the terminal exception aggregates cumulative
+  iteration counts.
+
+The ladder is deliberately generic (it knows nothing about circuits):
+the DC solver instantiates it with Newton strategies, and tests
+instantiate it with toy callables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+__all__ = ["Rung", "RungAttempt", "LadderTrace", "LadderExhausted", "RetryLadder"]
+
+
+#: A rung strategy: receives the error that caused escalation to this
+#: rung (None on the first rung) and returns the result or raises a
+#: retryable exception.
+RungFn = Callable[[Optional[BaseException]], Any]
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One escalation strategy.
+
+    Attributes:
+        name: rung name (appears in traces and error chains).
+        run: the strategy callable (see :data:`RungFn`).
+        attempts: how many times this rung may be tried before the
+            ladder escalates past it.
+        description: one-line human description.
+    """
+
+    name: str
+    run: RungFn
+    attempts: int = 1
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class RungAttempt:
+    """Accounting record for one attempt of one rung."""
+
+    rung: str
+    attempt: int
+    ok: bool
+    error: str = ""
+    iterations: int = 0
+    elapsed_ms: float = 0.0
+
+
+@dataclass
+class LadderTrace:
+    """The full escalation history of one :meth:`RetryLadder.climb`."""
+
+    attempts: List[RungAttempt] = field(default_factory=list)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    @property
+    def rungs_tried(self) -> List[str]:
+        seen: List[str] = []
+        for attempt in self.attempts:
+            if attempt.rung not in seen:
+                seen.append(attempt.rung)
+        return seen
+
+    def succeeded_on(self) -> Optional[str]:
+        for attempt in self.attempts:
+            if attempt.ok:
+                return attempt.rung
+        return None
+
+    def render(self) -> str:
+        lines = []
+        for a in self.attempts:
+            status = "ok" if a.ok else f"failed: {a.error}"
+            lines.append(
+                f"{a.rung}#{a.attempt}: {status} "
+                f"({a.iterations} it, {a.elapsed_ms:.1f} ms)"
+            )
+        return "\n".join(lines)
+
+
+class LadderExhausted(RuntimeError):
+    """Raised when every rung failed and no ``exhausted`` factory was
+    given.  The last rung's exception is chained as ``__cause__``."""
+
+    def __init__(self, message: str, trace: LadderTrace):
+        super().__init__(message)
+        self.trace = trace
+
+
+class RetryLadder:
+    """An ordered escalation of strategies with per-rung attempt limits.
+
+    Args:
+        rungs: the strategies, cheapest first.
+        retry_on: exception types that trigger escalation; anything
+            else propagates immediately (a bug should not be retried).
+        exhausted: optional factory called as
+            ``exhausted(trace, last_error)`` to build the terminal
+            exception when every rung fails; it is raised ``from`` the
+            last rung's error.  Defaults to :class:`LadderExhausted`.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rungs: Sequence[Rung],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        exhausted: Optional[
+            Callable[[LadderTrace, BaseException], BaseException]
+        ] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if not rungs:
+            raise ValueError("a retry ladder needs at least one rung")
+        names = [r.name for r in rungs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rung names: {names}")
+        self.rungs: Tuple[Rung, ...] = tuple(rungs)
+        self.retry_on = retry_on
+        self._exhausted = exhausted
+        self._clock = clock or time.monotonic
+
+    # ------------------------------------------------------------------
+    # Declarative surgery (extension points)
+    # ------------------------------------------------------------------
+    def extended(self, rung: Rung, after: Optional[str] = None) -> "RetryLadder":
+        """A new ladder with ``rung`` inserted (appended by default, or
+        after the named rung)."""
+        rungs = list(self.rungs)
+        if after is None:
+            rungs.append(rung)
+        else:
+            pos = [r.name for r in rungs].index(after)
+            rungs.insert(pos + 1, rung)
+        return RetryLadder(rungs, self.retry_on, self._exhausted, self._clock)
+
+    def without(self, name: str) -> "RetryLadder":
+        """A new ladder with the named rung removed."""
+        rungs = [r for r in self.rungs if r.name != name]
+        return RetryLadder(rungs, self.retry_on, self._exhausted, self._clock)
+
+    def rung_names(self) -> List[str]:
+        return [r.name for r in self.rungs]
+
+    # ------------------------------------------------------------------
+    def climb(self) -> Tuple[Any, LadderTrace]:
+        """Run rungs in order until one succeeds.
+
+        Returns ``(result, trace)``.  On total failure raises the
+        ``exhausted`` exception (chained ``from`` the last rung error);
+        non-retryable exceptions propagate immediately with the ladder
+        history up to that point chained as ``__cause__`` context.
+        """
+        trace = LadderTrace()
+        last_error: Optional[BaseException] = None
+        for rung in self.rungs:
+            for attempt in range(1, rung.attempts + 1):
+                began = self._clock()
+                try:
+                    result = rung.run(last_error)
+                except self.retry_on as exc:
+                    # Chain escalations: this rung's failure is *caused*
+                    # by the previous rung's (unless the strategy already
+                    # chained something itself).
+                    if last_error is not None and exc.__cause__ is None:
+                        exc.__cause__ = last_error
+                    last_error = exc
+                    trace.attempts.append(
+                        RungAttempt(
+                            rung=rung.name,
+                            attempt=attempt,
+                            ok=False,
+                            error=str(exc),
+                            iterations=int(getattr(exc, "iterations", 0) or 0),
+                            elapsed_ms=(self._clock() - began) * 1e3,
+                        )
+                    )
+                    continue
+                trace.attempts.append(
+                    RungAttempt(
+                        rung=rung.name,
+                        attempt=attempt,
+                        ok=True,
+                        iterations=int(getattr(result, "iterations", 0) or 0),
+                        elapsed_ms=(self._clock() - began) * 1e3,
+                    )
+                )
+                return result, trace
+        assert last_error is not None  # rungs is non-empty
+        if self._exhausted is not None:
+            raise self._exhausted(trace, last_error) from last_error
+        raise LadderExhausted(
+            f"all {len(self.rungs)} rungs failed "
+            f"({', '.join(self.rung_names())}); last: {last_error}",
+            trace,
+        ) from last_error

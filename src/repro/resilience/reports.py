@@ -1,0 +1,155 @@
+"""Structured failure reports: the taxonomy of things that go wrong.
+
+Batch drivers need to *aggregate* failures, not parse exception
+strings.  Every failure the resilience layer isolates is converted to a
+:class:`FailureReport` with a four-way :class:`FailureKind` taxonomy:
+
+``convergence``
+    the circuit simulator's Newton ladder gave up
+    (:class:`~repro.errors.ConvergenceError` and other
+    :class:`~repro.errors.SimulationError`\\ s) -- retryable with a
+    different seed or a relaxed spec;
+``budget``
+    a wall-clock or iteration budget tripped
+    (:class:`~repro.errors.BudgetExceeded`) -- retryable with a larger
+    budget;
+``plan``
+    the knowledge base declared the spec unreachable
+    (:class:`~repro.errors.SynthesisError`,
+    :class:`~repro.errors.PlanError`,
+    :class:`~repro.errors.LintError`...) -- the paper's *expected*
+    failure mode; retrying without changing the spec is pointless;
+``internal``
+    anything else: a genuine bug (or an injected chaos fault).  The
+    full traceback is preserved so the defect is diagnosable from the
+    report alone.
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Type
+
+from ..errors import (
+    BudgetExceeded,
+    FaultInjected,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = ["FailureKind", "FailureReport", "classify_exception"]
+
+
+class FailureKind(Enum):
+    """Coarse failure taxonomy for aggregation and retry policy."""
+
+    CONVERGENCE = "convergence"
+    BUDGET = "budget"
+    PLAN = "plan"
+    INTERNAL = "internal"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify_exception(exc: BaseException) -> FailureKind:
+    """Map an exception to its :class:`FailureKind`."""
+    if isinstance(exc, FaultInjected):
+        # An injected chaos fault simulates an arbitrary internal bug.
+        return FailureKind.INTERNAL
+    if isinstance(exc, BudgetExceeded):
+        return FailureKind.BUDGET
+    if isinstance(exc, SimulationError):
+        return FailureKind.CONVERGENCE
+    if isinstance(exc, ReproError):
+        # SynthesisError, PlanError, LintError, SpecificationError...:
+        # the knowledge base (or its static gates) refused the input.
+        return FailureKind.PLAN
+    return FailureKind.INTERNAL
+
+
+@dataclass
+class FailureReport:
+    """One isolated failure, with enough context to act on it.
+
+    Attributes:
+        kind: taxonomy bucket (see :class:`FailureKind`).
+        message: the exception message.
+        style: candidate design style involved (``""`` for global
+            failures such as a tripped synthesis budget).
+        block: block being designed (``"opamp/two_stage"``...).
+        step: plan step / ladder rung / check site.
+        exception_type: qualified exception class name.
+        traceback: full formatted traceback (``""`` unless preserved).
+        recoverable: False when the failure poisoned the whole run
+            (e.g. the global budget) rather than one candidate.
+        chain: messages of the ``__cause__`` chain, outermost first
+            (the solver ladder records its escalation here).
+    """
+
+    kind: FailureKind
+    message: str
+    style: str = ""
+    block: str = ""
+    step: str = ""
+    exception_type: str = ""
+    traceback: str = ""
+    recoverable: bool = True
+    chain: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        style: str = "",
+        block: str = "",
+        step: str = "",
+        recoverable: bool = True,
+        with_traceback: bool = True,
+    ) -> "FailureReport":
+        """Build a report, harvesting context the exception carries."""
+        kind = classify_exception(exc)
+        block = block or str(getattr(exc, "block", "") or "")
+        step = step or str(getattr(exc, "step", "") or "")
+        if not step and kind is FailureKind.CONVERGENCE:
+            step = str(getattr(exc, "rung", "") or "")
+        tb = ""
+        if with_traceback and kind is FailureKind.INTERNAL:
+            tb = "".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            )
+        chain: List[str] = []
+        cause: Optional[BaseException] = exc.__cause__
+        seen = 0
+        while cause is not None and seen < 8:
+            chain.append(f"{type(cause).__name__}: {cause}")
+            cause = cause.__cause__
+            seen += 1
+        exc_type: Type[BaseException] = type(exc)
+        return cls(
+            kind=kind,
+            message=str(exc),
+            style=style,
+            block=block,
+            step=step,
+            exception_type=f"{exc_type.__module__}.{exc_type.__qualname__}",
+            traceback=tb,
+            recoverable=recoverable,
+            chain=chain,
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, verbose: bool = False) -> str:
+        """One failure as indented text (CLI / log rendering)."""
+        where = "/".join(p for p in (self.block, self.step) if p)
+        head = f"[{self.kind}] {self.style or where or 'synthesis'}: {self.message}"
+        lines = [head]
+        if where and self.style:
+            lines.append(f"    at {where}")
+        for link in self.chain:
+            lines.append(f"    caused by {link}")
+        if verbose and self.traceback:
+            lines.extend("    " + ln for ln in self.traceback.rstrip().splitlines())
+        return "\n".join(lines)

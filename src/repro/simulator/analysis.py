@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..resilience.faults import fault_point
 
 __all__ = [
     "FrequencyResponse",
@@ -49,6 +50,17 @@ class FrequencyResponse:
             raise SimulationError("frequency/response length mismatch")
         if np.any(np.diff(self.frequencies) <= 0):
             raise SimulationError("frequencies must be strictly ascending")
+        # Reject corrupted sweeps up front: a NaN that slips into the
+        # crossover search would silently poison every derived measure
+        # (phase margin, bandwidth...) instead of failing one solve.
+        if not np.all(np.isfinite(self.frequencies)):
+            raise SimulationError("non-finite frequency grid")
+        if not np.all(np.isfinite(self.response)):
+            bad = int(np.count_nonzero(~np.isfinite(self.response)))
+            raise SimulationError(
+                f"non-finite response samples ({bad} of {self.response.size}); "
+                f"the underlying solve likely diverged"
+            )
 
     @property
     def magnitude(self) -> np.ndarray:
@@ -88,6 +100,7 @@ def crossover_frequency(resp: FrequencyResponse) -> Optional[float]:
     Returns None if the magnitude never crosses unity within the sweep
     (e.g. gain < 1 everywhere, or the sweep stops too early).
     """
+    fault_point("analysis.measure")
     mag_db = resp.magnitude_db
     freqs = resp.frequencies
     for k in range(len(freqs) - 1):

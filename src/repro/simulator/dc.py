@@ -1,30 +1,52 @@
 """DC operating-point solver: damped Newton-Raphson with homotopy.
 
-The solve strategy mirrors SPICE2 practice:
+The solve strategy mirrors SPICE2 practice, formalized as a declarative
+:class:`~repro.resilience.RetryLadder` (see
+:func:`build_dc_ladder`):
 
-1. plain Newton-Raphson from a flat initial guess, with per-iteration
-   voltage-step limiting (damping);
-2. on failure, *gmin stepping*: converge with a large gmin shunt on every
-   node, then relax gmin decade by decade, re-converging each time;
-3. on failure, *source stepping*: ramp all independent sources from 0 to
-   100 % in increments, converging at each level.
+1. *plain* Newton-Raphson from the initial guess, undamped, with a
+   short iteration cap and early divergence bail -- the cheap
+   quadratic-convergence path for *warm* starts (sweep continuation,
+   transient restarts).  From a cold flat start undamped NR mostly
+   oscillates, so :func:`operating_point` drops this rung unless an
+   initial guess was supplied;
+2. *damped* Newton-Raphson: per-iteration voltage-step limiting;
+3. on failure, *gmin stepping*: converge with a large gmin shunt on
+   every node, then relax gmin decade by decade, re-converging each
+   time;
+4. on failure, *source stepping*: ramp all independent sources from 0
+   to 100 % in increments, converging at each level.
 
-All MOSFET evaluations flow through :meth:`MnaSystem.assemble_dc`, so the
-solver is model-agnostic.
+Each rung's failure is chained (``raise ... from``) into the next, the
+terminal :class:`~repro.errors.ConvergenceError` carries the
+*cumulative* iteration count across every rung, and the full
+escalation history can be recorded into a
+:class:`~repro.kb.trace.DesignTrace`.
+
+All MOSFET evaluations flow through :meth:`MnaSystem.assemble_dc`, so
+the solver is model-agnostic.  The solver cooperates with the
+resilience layer: an ambient :class:`~repro.resilience.Budget` is
+charged per Newton iteration, and the ``dc.newton`` /
+``dc.newton.nan`` fault points make every escalation path exercisable
+in tests (see :mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..errors import ConvergenceError
+from ..kb.trace import DesignTrace
 from ..process.parameters import ProcessParameters
-from .mna import MnaSystem, OperatingPointResult
+from ..resilience import Budget, LadderTrace, RetryLadder, Rung, current_budget
+from ..resilience.faults import fault_point
+from .mna import MnaSystem, MosfetOperatingPoint, OperatingPointResult
 
-__all__ = ["operating_point", "newton_solve"]
+__all__ = ["operating_point", "newton_solve", "build_dc_ladder"]
 
 #: Absolute voltage tolerance, volts.
 VTOL = 1e-9
@@ -34,6 +56,19 @@ RELTOL = 1e-6
 ITOL = 1e-12
 #: Largest allowed Newton voltage update per iteration, volts.
 MAX_STEP = 1.0
+#: Iteration cap for the cheap undamped first rung.
+PLAIN_ITERATION_CAP = 25
+#: Consecutive residual-norm increases before the plain rung bails.
+DIVERGE_AFTER = 5
+
+
+@dataclass
+class _Solved:
+    """A converged rung outcome (pre-packaging)."""
+
+    x: np.ndarray
+    device_ops: Dict[str, MosfetOperatingPoint]
+    iterations: int
 
 
 def newton_solve(
@@ -42,46 +77,193 @@ def newton_solve(
     gmin: float,
     source_scale: float,
     max_iterations: int = 150,
+    max_step: Optional[float] = MAX_STEP,
+    diverge_after: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    block: str = "dc",
 ):
-    """Damped NR iteration at fixed gmin / source level.
+    """(Optionally damped) NR iteration at fixed gmin / source level.
+
+    Args:
+        max_step: largest voltage move per iteration (None = undamped).
+        diverge_after: bail out early after this many *consecutive*
+            iterations of growing residual norm (None = never; used by
+            the cheap plain rung so divergence fails fast).
+        budget: explicit iteration/wall budget; when None the ambient
+            budget installed by :meth:`repro.resilience.Budget.active`
+            is charged instead, so a synthesis-level deadline reaches
+            this inner loop without parameter threading.
+        block: context for budget errors.
 
     Returns:
         (x, device_ops, iterations)
 
     Raises:
-        ConvergenceError: if the iteration limit is reached or the
-            Jacobian is numerically singular.
+        ConvergenceError: if the iteration limit is reached, the
+            Jacobian is numerically singular, or the update goes
+            non-finite.
+        BudgetExceeded: when the governing budget trips mid-iteration.
     """
+    fault_point("dc.newton")
+    if budget is None:
+        budget = current_budget()
     x = x0.copy()
     n_nodes = system.n_nodes
+    growth_streak = 0
+    last_norm = np.inf
     for iteration in range(1, max_iterations + 1):
-        residual, jacobian, device_ops = system.assemble_dc(x, gmin, source_scale)
-        try:
-            delta = np.linalg.solve(jacobian, -residual)
-        except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(f"singular Jacobian: {exc}", iteration) from exc
-        if not np.all(np.isfinite(delta)):
-            raise ConvergenceError("non-finite Newton update", iteration)
+        if budget is not None:
+            budget.charge_newton(1, block=block, step="newton")
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            residual, jacobian, device_ops = system.assemble_dc(x, gmin, source_scale)
+            try:
+                delta = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular Jacobian: {exc}", iteration
+                ) from exc
+            if fault_point("dc.newton.nan") is not None:
+                delta = delta * np.nan
+            if not np.all(np.isfinite(delta)):
+                raise ConvergenceError("non-finite Newton update", iteration)
 
-        # Damp: limit the largest voltage move per iteration.
-        v_delta = delta[:n_nodes]
-        worst = np.max(np.abs(v_delta)) if n_nodes else 0.0
-        if worst > MAX_STEP:
-            delta = delta * (MAX_STEP / worst)
-        x = x + delta
+            # Damp: limit the largest voltage move per iteration.
+            v_delta = delta[:n_nodes]
+            worst = np.max(np.abs(v_delta)) if n_nodes else 0.0
+            if max_step is not None and worst > max_step:
+                delta = delta * (max_step / worst)
+            x = x + delta
 
-        v_converged = np.all(
-            np.abs(delta[:n_nodes]) <= VTOL + RELTOL * np.abs(x[:n_nodes])
-        )
-        # Residual check on the freshly updated point.
-        residual_new, _, device_ops = system.assemble_dc(x, gmin, source_scale)
-        kcl_converged = np.all(np.abs(residual_new[:n_nodes]) <= ITOL * 10 + 1e-9)
-        if v_converged and kcl_converged:
-            return x, device_ops, iteration
+            v_converged = np.all(
+                np.abs(delta[:n_nodes]) <= VTOL + RELTOL * np.abs(x[:n_nodes])
+            )
+            # Residual check on the freshly updated point.
+            residual_new, _, device_ops = system.assemble_dc(x, gmin, source_scale)
+            kcl_converged = np.all(
+                np.abs(residual_new[:n_nodes]) <= ITOL * 10 + 1e-9
+            )
+            if v_converged and kcl_converged:
+                return x, device_ops, iteration
+
+            if diverge_after is not None:
+                norm = float(np.max(np.abs(residual_new[:n_nodes]))) if n_nodes else 0.0
+                if not np.isfinite(norm) or norm > last_norm:
+                    growth_streak += 1
+                    if growth_streak >= diverge_after:
+                        raise ConvergenceError(
+                            f"diverging: residual grew {growth_streak} "
+                            f"iterations in a row",
+                            iteration,
+                        )
+                else:
+                    growth_streak = 0
+                last_norm = norm if np.isfinite(norm) else last_norm
     raise ConvergenceError(
         f"no convergence in {max_iterations} NR iterations "
         f"(gmin={gmin:g}, scale={source_scale:g})",
         max_iterations,
+    )
+
+
+def build_dc_ladder(
+    system: MnaSystem,
+    x0: np.ndarray,
+    max_iterations: int = 150,
+    budget: Optional[Budget] = None,
+    block: str = "dc",
+) -> RetryLadder:
+    """The default DC escalation ladder over ``system``.
+
+    Declarative and extensible: callers may take the returned ladder
+    and :meth:`~repro.resilience.RetryLadder.extended` /
+    :meth:`~repro.resilience.RetryLadder.without` it, or supply their
+    own via ``operating_point(..., ladder_factory=...)``.
+    """
+
+    def plain(last: Optional[BaseException]) -> _Solved:
+        x, ops, used = newton_solve(
+            system,
+            x0,
+            1e-12,
+            1.0,
+            min(max_iterations, PLAIN_ITERATION_CAP),
+            max_step=None,
+            diverge_after=DIVERGE_AFTER,
+            budget=budget,
+            block=block,
+        )
+        return _Solved(x, ops, used)
+
+    def damped(last: Optional[BaseException]) -> _Solved:
+        x, ops, used = newton_solve(
+            system, x0, 1e-12, 1.0, max_iterations, budget=budget, block=block
+        )
+        return _Solved(x, ops, used)
+
+    def gmin_stepping(last: Optional[BaseException]) -> _Solved:
+        x = x0.copy()
+        total = 0
+        try:
+            for exponent in range(3, 13):
+                gmin = 10.0 ** (-exponent)
+                x, ops, used = newton_solve(
+                    system, x, gmin, 1.0, max_iterations, budget=budget, block=block
+                )
+                total += used
+            x, ops, used = newton_solve(
+                system, x, 1e-12, 1.0, max_iterations, budget=budget, block=block
+            )
+            total += used
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"gmin stepping stalled at gmin={gmin:g}: {exc}",
+                total + exc.iterations,
+                rung="gmin",
+            ) from exc
+        return _Solved(x, ops, total)
+
+    def source_stepping(last: Optional[BaseException]) -> _Solved:
+        x = x0.copy()
+        total = 0
+        try:
+            for scale in np.linspace(0.1, 1.0, 19):
+                x, ops, used = newton_solve(
+                    system,
+                    x,
+                    1e-12,
+                    float(scale),
+                    max_iterations,
+                    budget=budget,
+                    block=block,
+                )
+                total += used
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"source stepping stalled at {float(scale) * 100:.0f} % "
+                f"drive: {exc}",
+                total + exc.iterations,
+                rung="source",
+            ) from exc
+        return _Solved(x, ops, total)
+
+    def exhausted(trace: LadderTrace, last: BaseException) -> BaseException:
+        return ConvergenceError(
+            f"{block}: DC operating point failed after "
+            f"{' -> '.join(trace.rungs_tried)} "
+            f"({trace.total_iterations} total iterations): {last}",
+            trace.total_iterations,
+            rung=trace.attempts[-1].rung if trace.attempts else "",
+        )
+
+    return RetryLadder(
+        rungs=(
+            Rung("plain", plain, description="undamped NR, short cap"),
+            Rung("damped", damped, description="step-limited NR"),
+            Rung("gmin", gmin_stepping, description="gmin homotopy"),
+            Rung("source", source_stepping, description="source ramp homotopy"),
+        ),
+        retry_on=(ConvergenceError,),
+        exhausted=exhausted,
     )
 
 
@@ -92,6 +274,11 @@ def operating_point(
     max_iterations: int = 150,
     vth_shifts: Optional[Dict[str, float]] = None,
     strict: bool = False,
+    budget: Optional[Budget] = None,
+    trace: Optional[DesignTrace] = None,
+    ladder_factory: Optional[
+        Callable[[MnaSystem, np.ndarray, int, Optional[Budget], str], RetryLadder]
+    ] = None,
 ) -> OperatingPointResult:
     """Solve the DC operating point of ``circuit``.
 
@@ -107,13 +294,24 @@ def operating_point(
             :class:`~repro.errors.LintError` on any error-severity
             finding (rather than discovering the problem as a singular
             matrix mid-solve).
+        budget: explicit resilience budget charged per Newton
+            iteration; defaults to the ambient budget, if any.
+        trace: optional design trace; the ladder escalation history is
+            recorded into it as ``ladder`` events.
+        ladder_factory: override the escalation ladder (defaults to
+            :func:`build_dc_ladder`); called as
+            ``factory(system, x0, max_iterations, budget, block)``.
 
     Returns:
-        A converged :class:`OperatingPointResult`.
+        A converged :class:`OperatingPointResult` whose ``iterations``
+        is the cumulative count across every ladder rung attempted.
 
     Raises:
-        ConvergenceError: if all homotopy strategies fail.
+        ConvergenceError: if all ladder rungs fail; ``iterations`` is
+            cumulative across rungs and the per-rung history is
+            available via the ``__cause__`` chain.
         LintError: in strict mode, when the circuit fails ERC.
+        BudgetExceeded: when the governing budget trips mid-solve.
     """
     if strict:
         from ..lint import assert_erc_clean  # local: avoid import cycle
@@ -127,43 +325,29 @@ def operating_point(
             if node in system.node_index:
                 x0[system.node_index[node]] = voltage
 
-    total_iterations = 0
-
-    # Strategy 1: plain NR.
+    block = f"dc/{circuit.name}"
+    factory = ladder_factory or build_dc_ladder
+    ladder = factory(system, x0, max_iterations, budget, block)
+    if ladder_factory is None and not (initial_guess and np.any(x0)):
+        # Cold start: undamped NR from a flat guess mostly oscillates
+        # its full cap away before the damped rung redoes the work, so
+        # the cheap rung only pays for itself on warm starts.
+        ladder = ladder.without("plain")
     try:
-        x, ops, used = newton_solve(system, x0, 1e-12, 1.0, max_iterations)
-        return system.package_result(x, ops, used)
+        solved, ladder_trace = ladder.climb()
     except ConvergenceError as exc:
-        total_iterations += exc.iterations
-
-    # Strategy 2: gmin stepping.
-    try:
-        x = x0.copy()
-        for exponent in range(3, 13):
-            gmin = 10.0 ** (-exponent)
-            x, ops, used = newton_solve(system, x, gmin, 1.0, max_iterations)
-            total_iterations += used
-        x, ops, used = newton_solve(system, x, 1e-12, 1.0, max_iterations)
-        total_iterations += used
-        result = system.package_result(x, ops, total_iterations)
-        return result
-    except ConvergenceError as exc:
-        total_iterations += exc.iterations
-
-    # Strategy 3: source stepping.
-    x = x0.copy()
-    last_error: Optional[ConvergenceError] = None
-    try:
-        for scale in np.linspace(0.1, 1.0, 19):
-            x, ops, used = newton_solve(system, x, 1e-12, float(scale), max_iterations)
-            total_iterations += used
-        return system.package_result(x, ops, total_iterations)
-    except ConvergenceError as exc:
-        last_error = exc
-        total_iterations += exc.iterations
-
-    raise ConvergenceError(
-        f"{circuit.name}: DC operating point failed after NR, gmin stepping "
-        f"and source stepping ({total_iterations} total iterations): {last_error}",
-        total_iterations,
+        if trace is not None:
+            trace.ladder(block, exc.rung or "?", f"exhausted: {exc}")
+        raise
+    if trace is not None and len(ladder_trace.attempts) > 1:
+        for attempt in ladder_trace.attempts:
+            outcome = "converged" if attempt.ok else f"failed ({attempt.error})"
+            trace.ladder(
+                block,
+                attempt.rung,
+                f"attempt {attempt.attempt}: {outcome} "
+                f"after {attempt.iterations} iterations",
+            )
+    return system.package_result(
+        solved.x, solved.device_ops, ladder_trace.total_iterations
     )

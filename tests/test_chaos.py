@@ -1,0 +1,205 @@
+"""Chaos suite: synthesis survives every registered fault site.
+
+The acceptance bar for the resilience layer is simple and absolute:
+``synthesize(best_effort=True)`` never raises, for any injected fault,
+at any registered fault point -- single-shot faults, persistent
+faults, and the everything-at-once ``REPRO_FAULTS=all`` environment
+used by the chaos CI job.  When degradation does cost the result, the
+returned :class:`~repro.opamp.result.SynthesisResult` must say *why*
+via structured :class:`~repro.resilience.FailureReport`s instead of
+silently shrugging.
+"""
+
+import pytest
+
+from repro import CMOS_5UM, OpAmpSpec, synthesize
+from repro.errors import FaultInjected
+from repro.resilience import (
+    FailureKind,
+    inject,
+    iter_chaos_sites,
+    registered_sites,
+)
+from repro.resilience import faults as faults_mod
+
+ALL_SITES = sorted(registered_sites())
+
+#: Sites actually visited during a plain ``synthesize`` run.  The
+#: ``dc.*`` and ``analysis.*`` sites live on the verification path and
+#: are exercised directly below (and in test_newton_edge_cases.py);
+#: ``budget.clock`` is only consulted once a budget is armed.
+SYNTHESIS_SITES = ("plan.rule", "plan.step", "selection.candidate", "opamp.package")
+
+
+def easy_spec(**overrides):
+    base = dict(
+        gain_db=45.0,
+        unity_gain_hz=1e6,
+        phase_margin_deg=60.0,
+        slew_rate=2e6,
+        load_capacitance=10e-12,
+        output_swing=3.5,
+    )
+    base.update(overrides)
+    return OpAmpSpec(**base)
+
+
+class TestRegistry:
+    def test_expected_sites_registered(self):
+        # The chaos matrix below must cover every site; if this fails a
+        # new fault point was added without chaos coverage.
+        assert set(ALL_SITES) == {
+            "analysis.measure",
+            "budget.clock",
+            "dc.newton",
+            "dc.newton.nan",
+            "opamp.package",
+            "plan.rule",
+            "plan.step",
+            "selection.candidate",
+        }
+        assert list(iter_chaos_sites()) == ALL_SITES
+
+
+class TestBestEffortNeverRaises:
+    """The headline guarantee, one fault site at a time."""
+
+    @pytest.mark.parametrize("site", ALL_SITES)
+    def test_single_fault_survived(self, site):
+        with inject(site) as injector:
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        if site in SYNTHESIS_SITES:
+            assert injector.fired, f"fault at {site} never fired"
+        # Never raises; and if the fault cost us the answer, it is
+        # accounted for in structured failure reports.
+        if result.best is None:
+            assert result.failures, f"{site}: no answer and no explanation"
+
+    @pytest.mark.parametrize("site", ALL_SITES)
+    def test_persistent_fault_survived(self, site):
+        """times=-1: the site fails on *every* visit, forever."""
+        with inject(site, times=-1) as injector:
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        if site in SYNTHESIS_SITES:
+            assert injector.fired
+        if result.best is None:
+            assert result.failures
+
+    @pytest.mark.parametrize("site", ALL_SITES)
+    def test_late_fault_survived(self, site):
+        """Fire deep into the run (10th visit) to hit mid-flight paths."""
+        with inject(site, at_hit=10, times=-1):
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        if result.best is None:
+            assert result.failures
+
+    def test_all_sites_at_once(self):
+        with inject(*ALL_SITES, times=-1) as injector:
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        assert injector.fired
+        assert result.best is None or result.ok
+        if result.best is None:
+            assert result.failures
+
+    def test_summary_renders_under_faults(self):
+        """The degraded result must still render a human summary."""
+        with inject("plan.step", times=-1):
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        text = result.summary()
+        assert isinstance(text, str) and text
+
+
+class TestFailureTaxonomy:
+    def test_injected_plan_fault_is_internal(self):
+        with inject("plan.step", times=-1):
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        assert result.best is None
+        internals = result.failures_of_kind(FailureKind.INTERNAL)
+        assert internals
+        # Tracebacks are preserved for internal faults only.
+        assert any("Traceback" in (f.traceback or "") for f in internals)
+
+    def test_dc_fault_absorbed_by_retry_ladder(self):
+        """A one-shot Newton fault on the verification path is absorbed
+        by rung escalation: the measured offset is unchanged."""
+        from repro.opamp.verify import measure_rejection
+
+        amp = synthesize(easy_spec(), CMOS_5UM).best
+        clean = measure_rejection(amp)
+        with inject("dc.newton") as injector:
+            faulted = measure_rejection(amp)
+        assert injector.fired
+        assert faulted == pytest.approx(clean, rel=1e-6)
+
+    def test_analysis_fault_is_loud_outside_best_effort(self):
+        """Measurement faults on the verify path propagate as-is; the
+        chaos containment contract is scoped to synthesize()."""
+        from repro.opamp.verify import verify_opamp
+
+        amp = synthesize(easy_spec(), CMOS_5UM).best
+        with inject("analysis.measure"):
+            with pytest.raises(FaultInjected):
+                verify_opamp(amp)
+
+    def test_budget_skew_reports_budget_kind(self):
+        with inject("budget.clock", times=-1):
+            result = synthesize(
+                easy_spec(), CMOS_5UM, best_effort=True, budget_ms=1000.0
+            )
+        assert result.best is None
+        assert result.failures_of_kind(FailureKind.BUDGET)
+
+
+class TestStrictModeStillRaises:
+    """Without best_effort the same faults propagate loudly -- chaos
+    containment is opt-in, not silent swallowing."""
+
+    def test_plan_fault_raises(self):
+        # Candidate isolation still applies per-style, so the terminal
+        # error is the aggregate SynthesisError naming every failure.
+        from repro.errors import SynthesisError
+
+        with inject("plan.step", times=-1):
+            with pytest.raises(SynthesisError, match="injected fault"):
+                synthesize(easy_spec(), CMOS_5UM)
+
+
+class TestEnvActivation:
+    """REPRO_FAULTS drives the chaos CI job without code changes."""
+
+    def _reset_env_cache(self):
+        faults_mod._ENV_CACHE = (None, None)
+
+    def test_env_all_best_effort_never_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "all")
+        self._reset_env_cache()
+        try:
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        finally:
+            self._reset_env_cache()
+        if result.best is None:
+            assert result.failures
+
+    def test_env_single_site(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "selection.candidate=1")
+        self._reset_env_cache()
+        try:
+            result = synthesize(easy_spec(), CMOS_5UM, best_effort=True)
+        finally:
+            self._reset_env_cache()
+        # First candidate dies; remaining styles may still provide one.
+        assert result.failures or result.ok
+
+    def test_explicit_injector_shadows_env(self, monkeypatch):
+        # Env arms a persistent, fatal fault; pushing an explicit (and
+        # never-firing) injector shadows it completely, so plain
+        # strict-mode synthesis succeeds.
+        monkeypatch.setenv("REPRO_FAULTS", "plan.step")
+        self._reset_env_cache()
+        try:
+            with inject("plan.step", at_hit=10**6) as injector:
+                result = synthesize(easy_spec(), CMOS_5UM)
+            assert injector.fired == []
+            assert result.ok
+        finally:
+            self._reset_env_cache()

@@ -68,3 +68,12 @@ class TestExamples:
         assert "FEAS403" in out
         assert "refused: " in out
         assert "selected style: two_stage" in out
+
+    def test_fault_injection(self, capsys):
+        out = run_example("fault_injection", capsys)
+        assert "absorbed by the retry ladder" in out
+        assert "(identical -> absorbed)" in out
+        assert "best = None  ok = False" in out
+        assert "[internal]" in out
+        assert "well under 100 ms" in out
+        assert "block='opamp'" in out

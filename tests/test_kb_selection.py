@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.errors import PlanError, SynthesisError
+from repro.errors import BudgetExceeded, PlanError, SynthesisError
+from repro.resilience import Budget, FailureKind
 from repro.kb import (
     Block,
     DesignTrace,
@@ -166,3 +167,106 @@ class TestTemplatesCatalog:
         assert "current_mirror/simple" in text
         assert "size it" in text
         assert "ref_device" in text
+
+
+class TestFailureIsolation:
+    """Non-SynthesisError exceptions are isolated per candidate and
+    converted into the structured failure taxonomy (PR 3)."""
+
+    def test_internal_error_isolated(self):
+        def design(style):
+            if style == "one_stage":
+                raise ZeroDivisionError("sizing rule divided by zero")
+            return style, 250.0, 0
+
+        winner, candidates = breadth_first_select(
+            ["one_stage", "two_stage"], design
+        )
+        assert winner.style == "two_stage"
+        failed = next(c for c in candidates if not c.feasible)
+        assert failed.failure is not None
+        assert failed.failure.kind is FailureKind.INTERNAL
+        assert failed.failure.exception_type.endswith("ZeroDivisionError")
+
+    def test_internal_error_preserves_traceback(self):
+        def design(style):
+            raise RuntimeError("boom from deep inside")
+
+        winner, candidates = breadth_first_select(
+            ["only"], design, require_feasible=False
+        )
+        assert winner is None
+        report = candidates[0].failure
+        assert report is not None
+        assert "Traceback" in (report.traceback or "")
+        assert "boom from deep inside" in report.traceback
+
+    def test_synthesis_error_has_no_traceback(self):
+        def design(style):
+            raise SynthesisError("infeasible, politely")
+
+        _, candidates = breadth_first_select(
+            ["only"], design, require_feasible=False
+        )
+        report = candidates[0].failure
+        assert report is not None
+        assert report.kind is FailureKind.PLAN
+        assert not report.traceback
+
+    def test_all_internal_still_aggregates(self):
+        def design(style):
+            raise KeyError(style)
+
+        with pytest.raises(SynthesisError) as excinfo:
+            breadth_first_select(["a", "b"], design)
+        assert "a" in str(excinfo.value) and "b" in str(excinfo.value)
+
+    def test_require_feasible_false_returns_none(self):
+        def design(style):
+            raise SynthesisError("nope")
+
+        winner, candidates = breadth_first_select(
+            ["a", "b"], design, require_feasible=False
+        )
+        assert winner is None
+        assert len(candidates) == 2
+
+    def test_budget_stop_marks_remaining_skipped(self):
+        budget = Budget(wall_ms=0.0, label="selection")
+        budget.start()
+
+        def design(style):
+            return style, 1.0, 0
+
+        with pytest.raises(BudgetExceeded):
+            breadth_first_select(["a", "b", "c"], design, budget=budget)
+
+    def test_budget_stop_best_effort_keeps_partial(self):
+        budget = Budget(wall_ms=0.0, label="selection")
+        budget.start()
+
+        def design(style):
+            return style, 1.0, 0
+
+        winner, candidates = breadth_first_select(
+            ["a", "b", "c"], design, budget=budget, require_feasible=False
+        )
+        assert winner is None
+        assert len(candidates) == 3
+        skipped = [c for c in candidates if c.skipped]
+        assert skipped
+        assert all(
+            c.failure is not None and c.failure.kind is FailureKind.BUDGET
+            for c in skipped
+        )
+
+    def test_trace_records_failures(self):
+        trace = DesignTrace()
+
+        def design(style):
+            raise ValueError("exploded")
+
+        breadth_first_select(
+            ["only"], design, trace=trace, block="sel", require_feasible=False
+        )
+        assert any("exploded" in event.detail for event in trace.events)

@@ -1,0 +1,366 @@
+"""Unit tests for the resilience layer: budgets, retry ladder, failure
+taxonomy, and the fault-injection harness itself."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    ConvergenceError,
+    FaultInjected,
+    PlanError,
+    SynthesisError,
+)
+from repro.resilience import (
+    Budget,
+    FailureKind,
+    FailureReport,
+    FaultSpec,
+    LadderExhausted,
+    RetryLadder,
+    Rung,
+    classify_exception,
+    current_budget,
+    inject,
+    registered_sites,
+)
+from repro.resilience.faults import FaultInjector, active_injector, fault_point
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance_ms(self, ms):
+        self.t += ms / 1e3
+
+
+# ----------------------------------------------------------------------
+# Budget
+# ----------------------------------------------------------------------
+class TestBudget:
+    def test_inert_until_started(self):
+        budget = Budget(wall_ms=0)
+        budget.check(block="b", step="s")  # no raise: not started
+        assert not budget.started
+        assert budget.elapsed_ms() == 0.0
+
+    def test_zero_wall_budget_trips_immediately(self):
+        budget = Budget(wall_ms=0, clock=FakeClock()).start()
+        # Any elapsed time > 0 trips; force 1 ms.
+        budget._clock.advance_ms(1)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check(block="opamp/one_stage", step="partition_gain")
+        err = excinfo.value
+        assert err.block == "opamp/one_stage"
+        assert err.step == "partition_gain"
+        assert err.limit_ms == 0
+        assert err.elapsed_ms > 0
+
+    def test_unbounded_budget_never_trips(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock).start()
+        clock.advance_ms(1e9)
+        budget.check()
+        budget.charge_newton(10**6)
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(wall_ms=100, clock=clock).start()
+        clock.advance_ms(30)
+        assert budget.elapsed_ms() == pytest.approx(30, abs=1)
+        assert budget.remaining_ms() == pytest.approx(70, abs=1)
+
+    def test_newton_iteration_budget(self):
+        budget = Budget(newton_iterations=3).start()
+        budget.charge_newton(1)
+        budget.charge_newton(1)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.charge_newton(1, block="dc/tb", step="newton")
+        assert "iteration budget" in str(excinfo.value)
+        assert excinfo.value.block == "dc/tb"
+        assert budget.exhausted()
+
+    def test_style_scope_trips_without_touching_global(self):
+        clock = FakeClock()
+        budget = Budget(wall_ms=1000, style_ms=10, clock=clock).start()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            with budget.style_scope("two_stage", block="opamp/two_stage"):
+                clock.advance_ms(50)
+        assert excinfo.value.scope == "style:two_stage"
+        assert not budget.exhausted()  # global still has headroom
+
+    def test_step_scope_checked_by_inner_checks(self):
+        clock = FakeClock()
+        budget = Budget(step_ms=5, clock=clock).start()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            with budget.step_scope("size_devices", block="opamp"):
+                clock.advance_ms(20)
+                budget.check(block="opamp", step="size_devices")  # inner
+        assert excinfo.value.scope == "step:size_devices"
+
+    def test_scope_removed_after_exit(self):
+        clock = FakeClock()
+        budget = Budget(style_ms=10, clock=clock).start()
+        with budget.style_scope("a"):
+            pass
+        clock.advance_ms(50)
+        budget.check()  # old scope must not linger
+
+    def test_ambient_installation(self):
+        budget = Budget(wall_ms=1000)
+        assert current_budget() is None
+        with budget.active() as installed:
+            assert installed is budget
+            assert current_budget() is budget
+        assert current_budget() is None
+
+    def test_clock_skew_fault(self):
+        budget = Budget(wall_ms=10).start()
+        with inject("budget.clock", skew_ms=1e6):
+            with pytest.raises(BudgetExceeded):
+                budget.check(block="opamp", step="x")
+
+    def test_start_idempotent(self):
+        clock = FakeClock()
+        budget = Budget(wall_ms=100, clock=clock).start()
+        clock.advance_ms(60)
+        budget.start()  # must not reset the baseline
+        assert budget.elapsed_ms() == pytest.approx(60, abs=1)
+
+
+# ----------------------------------------------------------------------
+# Retry ladder
+# ----------------------------------------------------------------------
+class TestRetryLadder:
+    def make_ladder(self, fail_first_n_rungs, attempts_per_rung=1):
+        calls = []
+
+        def make_rung(i):
+            def run(last):
+                calls.append((i, last))
+                if i < fail_first_n_rungs:
+                    raise ConvergenceError(f"rung {i} failed", iterations=10)
+                return f"result-{i}"
+
+            return Rung(f"r{i}", run, attempts=attempts_per_rung)
+
+        ladder = RetryLadder(
+            [make_rung(i) for i in range(3)], retry_on=(ConvergenceError,)
+        )
+        return ladder, calls
+
+    def test_first_rung_success_skips_rest(self):
+        ladder, calls = self.make_ladder(0)
+        result, trace = ladder.climb()
+        assert result == "result-0"
+        assert len(calls) == 1
+        assert trace.succeeded_on() == "r0"
+
+    def test_escalation_chains_causes(self):
+        ladder, calls = self.make_ladder(2)
+        result, trace = ladder.climb()
+        assert result == "result-2"
+        assert trace.rungs_tried == ["r0", "r1", "r2"]
+        # Rung 2 received rung 1's error, whose cause is rung 0's.
+        _, last = calls[2]
+        assert "rung 1" in str(last)
+        assert "rung 0" in str(last.__cause__)
+
+    def test_exhaustion_raises_with_chain_and_iterations(self):
+        def always_fail(last):
+            raise ConvergenceError("nope", iterations=7)
+
+        ladder = RetryLadder(
+            [Rung("a", always_fail), Rung("b", always_fail, attempts=2)],
+            retry_on=(ConvergenceError,),
+        )
+        with pytest.raises(LadderExhausted) as excinfo:
+            ladder.climb()
+        err = excinfo.value
+        assert isinstance(err.__cause__, ConvergenceError)
+        assert err.trace.total_iterations == 21  # 1 + 2 attempts x 7
+        assert [a.rung for a in err.trace.attempts] == ["a", "b", "b"]
+
+    def test_custom_exhausted_factory(self):
+        def fail(last):
+            raise ConvergenceError("x", iterations=3)
+
+        def exhausted(trace, last):
+            return ConvergenceError(
+                "total collapse", iterations=trace.total_iterations
+            )
+
+        ladder = RetryLadder(
+            [Rung("only", fail)], retry_on=(ConvergenceError,), exhausted=exhausted
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            ladder.climb()
+        assert excinfo.value.iterations == 3
+        assert isinstance(excinfo.value.__cause__, ConvergenceError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def boom(last):
+            calls.append(1)
+            raise ValueError("bug, not convergence")
+
+        ladder = RetryLadder(
+            [Rung("a", boom), Rung("b", boom)], retry_on=(ConvergenceError,)
+        )
+        with pytest.raises(ValueError):
+            ladder.climb()
+        assert len(calls) == 1
+
+    def test_declarative_surgery(self):
+        ladder, _ = self.make_ladder(0)
+        extended = ladder.extended(Rung("extra", lambda last: "x"), after="r0")
+        assert extended.rung_names() == ["r0", "extra", "r1", "r2"]
+        trimmed = extended.without("r1")
+        assert trimmed.rung_names() == ["r0", "extra", "r2"]
+        # The original is untouched (ladders are value-like).
+        assert ladder.rung_names() == ["r0", "r1", "r2"]
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            RetryLadder([])
+
+    def test_duplicate_rung_names_rejected(self):
+        with pytest.raises(ValueError):
+            RetryLadder([Rung("a", lambda last: 1), Rung("a", lambda last: 2)])
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+class TestFailureReports:
+    def test_classification(self):
+        assert classify_exception(ConvergenceError("x")) is FailureKind.CONVERGENCE
+        assert classify_exception(BudgetExceeded("x")) is FailureKind.BUDGET
+        assert classify_exception(SynthesisError("x")) is FailureKind.PLAN
+        assert classify_exception(PlanError("x")) is FailureKind.PLAN
+        assert classify_exception(ValueError("x")) is FailureKind.INTERNAL
+        assert classify_exception(FaultInjected("x")) is FailureKind.INTERNAL
+
+    def test_harvests_context_from_synthesis_error(self):
+        exc = SynthesisError("too slow", block="opamp/two_stage", step="comp")
+        report = FailureReport.from_exception(exc, style="two_stage")
+        assert report.kind is FailureKind.PLAN
+        assert report.block == "opamp/two_stage"
+        assert report.step == "comp"
+        assert report.style == "two_stage"
+        assert report.traceback == ""  # only internal errors keep one
+
+    def test_internal_errors_keep_traceback_and_chain(self):
+        try:
+            try:
+                raise ConvergenceError("inner")
+            except ConvergenceError as inner:
+                raise RuntimeError("outer bug") from inner
+        except RuntimeError as exc:
+            report = FailureReport.from_exception(exc)
+        assert report.kind is FailureKind.INTERNAL
+        assert "outer bug" in report.traceback
+        assert any("inner" in link for link in report.chain)
+
+    def test_render(self):
+        report = FailureReport.from_exception(
+            ConvergenceError("diverged", iterations=42, rung="gmin"),
+            style="one_stage",
+        )
+        text = report.render()
+        assert "[convergence]" in text
+        assert "one_stage" in text
+        assert "diverged" in text
+
+
+# ----------------------------------------------------------------------
+# Fault harness
+# ----------------------------------------------------------------------
+class TestFaultHarness:
+    def test_disarmed_is_none(self):
+        assert fault_point("plan.step") is None
+
+    def test_registry_is_populated(self):
+        sites = registered_sites()
+        for expected in (
+            "dc.newton",
+            "dc.newton.nan",
+            "plan.step",
+            "plan.rule",
+            "selection.candidate",
+            "opamp.package",
+            "analysis.measure",
+            "budget.clock",
+        ):
+            assert expected in sites, expected
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultInjected):
+            FaultInjector([FaultSpec(site="no.such.site")])
+
+    def test_raise_fault_fires_once_by_default(self):
+        with inject("plan.step") as injector:
+            with pytest.raises(FaultInjected) as excinfo:
+                fault_point("plan.step")
+            assert excinfo.value.site == "plan.step"
+            assert fault_point("plan.step") is None  # second visit clean
+        assert injector.fired == [("plan.step", "raise")]
+
+    def test_at_hit_and_times(self):
+        with inject("plan.step", at_hit=2, times=2) as injector:
+            assert fault_point("plan.step") is None
+            with pytest.raises(FaultInjected):
+                fault_point("plan.step")
+            with pytest.raises(FaultInjected):
+                fault_point("plan.step")
+            assert fault_point("plan.step") is None
+        assert len(injector.fired) == 2
+
+    def test_unlimited_times(self):
+        with inject("plan.step", times=-1):
+            for _ in range(5):
+                with pytest.raises(FaultInjected):
+                    fault_point("plan.step")
+
+    def test_default_error_for_dc_newton_is_convergence(self):
+        with inject("dc.newton"):
+            with pytest.raises(ConvergenceError):
+                fault_point("dc.newton")
+
+    def test_nan_fault_returns_action(self):
+        with inject("dc.newton.nan"):
+            action = fault_point("dc.newton.nan")
+        assert action is not None and action.kind == "nan"
+
+    def test_nested_injectors_shadow(self):
+        with inject("plan.step"):
+            with inject("plan.rule") as inner:
+                # Outer spec is shadowed while the inner one is active.
+                assert fault_point("plan.step") is None
+                with pytest.raises(FaultInjected):
+                    fault_point("plan.rule")
+            assert inner.fired_sites() == ["plan.rule"]
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "plan.step=2")
+        injector = active_injector()
+        assert injector is not None
+        assert fault_point("plan.step") is None  # hit 1 (below at_hit)
+        with pytest.raises(FaultInjected):
+            fault_point("plan.step")
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert active_injector() is None
+
+    def test_env_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "all")
+        with pytest.raises(FaultInjected):
+            fault_point("plan.step")
+        # Per-site accounting: another site still fires its own first hit.
+        with pytest.raises(FaultInjected):
+            fault_point("plan.rule")
