@@ -5,30 +5,70 @@ Times the complete synthesis (breadth-first selection over both styles,
 plans, rules, netlist emission) of each test case.  The reproduction
 must come in orders of magnitude under the paper's budget on modern
 hardware -- we assert an aggressive 5 s per amp.
+
+Each case runs under an observability tracer, and the bench writes
+``BENCH_synth.json`` at the repo root: per-testcase wall time plus the
+run's span count and deterministic metrics snapshot.  CI uploads the
+file as an artifact, seeding the performance trajectory across commits.
 """
 
+import json
+import platform
 import time
+from pathlib import Path
 
 from repro import CMOS_5UM, synthesize
+from repro.cli import package_version
 from repro.opamp.testcases import paper_test_cases
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
 
 
 def _synthesize_all():
     timings = {}
     for label, spec in paper_test_cases().items():
         start = time.perf_counter()
-        result = synthesize(spec, CMOS_5UM)
+        result = synthesize(spec, CMOS_5UM, observe=True)
         timings[label] = (time.perf_counter() - start, result)
     return timings
 
 
+def _write_bench_json(timings):
+    cases = {}
+    for label, (seconds, result) in timings.items():
+        report = result.report
+        cases[label] = {
+            "wall_ms": round(seconds * 1e3, 3),
+            "style": result.style,
+            "trace_events": len(result.trace),
+            "spans": len(report.spans),
+            "span_coverage": round(report.span_coverage(), 4),
+            "dc_solves": report.counter("dc.solves"),
+            "newton_iterations": report.counter("dc.newton.iterations"),
+            "metrics": report.metrics,
+        }
+    payload = {
+        "bench": "synth_runtime",
+        "version": package_version(),
+        "python": platform.python_version(),
+        "cases": cases,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
 def test_runtime_per_opamp(once, benchmark):
     timings = once(benchmark, _synthesize_all)
+    _write_bench_json(timings)
     print()
     for label, (seconds, result) in timings.items():
         print(
             f"  case {label}: {seconds * 1e3:7.1f} ms "
-            f"({result.style}, {len(result.trace)} trace events)"
+            f"({result.style}, {len(result.trace)} trace events, "
+            f"{len(result.report.spans)} spans)"
         )
         # The paper's budget was 120 s of VAX CPU; demand < 5 s here.
         assert seconds < 5.0
+    print(f"  wrote {BENCH_JSON.name}")

@@ -3,12 +3,18 @@
 The 1987 tool was driven by specification files; this CLI is its modern
 equivalent.  Commands:
 
-* ``synthesize`` (alias ``design``) -- performance spec -> sized
-  schematic (+ optional simulator verification, SPICE export, design
-  trace).  ``--budget-ms`` bounds the run's wall clock;
-  ``--best-effort`` turns failures of any kind into structured
-  failure reports (exit 3 when no style survives) instead of a
-  crashed process -- the batch-workload mode;
+* ``synthesize`` (aliases ``design``, ``synth``) -- performance spec
+  -> sized schematic (+ optional simulator verification, SPICE export,
+  design trace).  The spec comes from the flags or from
+  ``--testcase A|B|C`` (``1|2|3`` accepted).  ``--budget-ms`` bounds
+  the run's wall clock; ``--best-effort`` turns failures of any kind
+  into structured failure reports (exit 3 when no style survives)
+  instead of a crashed process -- the batch-workload mode;
+  ``--trace-out FILE`` records the run (timed spans + metrics + design
+  events) and writes it in ``--trace-format jsonl|chrome|text``;
+* ``stats``      -- observability report: run an observed synthesis
+  (``--testcase`` or spec flags) and print the span flame summary and
+  metrics, or summarize a previously written JSONL trace file;
 * ``testcases``  -- regenerate the paper's Table 2 for cases A/B/C;
 * ``adc``        -- design a successive-approximation converter;
 * ``processes``  -- list the built-in processes / print Table 1;
@@ -31,10 +37,32 @@ from typing import List, Optional
 
 from .errors import ReproError
 from .kb.specs import OpAmpSpec
+from .obs.report import TRACE_FORMATS
 from .process import builtin_processes, load_technology
 from .units import parse_quantity
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed package version (``repro --version``).
+
+    Resolved from package metadata when the distribution is installed;
+    falls back to the source-tree version for ``PYTHONPATH=src`` runs.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py3.8+: always importable
+        return "1.0.0"
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        # Source-tree run (PYTHONPATH=src): mirror pyproject.toml.
+        return "1.0.0"
+
+
+#: Test-case aliases: the paper labels plus 1/2/3 shorthands.
+_TESTCASE_ALIASES = {"1": "A", "2": "B", "3": "C"}
 
 
 def _process_from_args(args) -> "ProcessParameters":
@@ -114,20 +142,42 @@ def _spec_from_args(args) -> OpAmpSpec:
     )
 
 
+def _spec_or_testcase(args) -> OpAmpSpec:
+    """The specification from ``--testcase`` (if given) or the flags."""
+    label = getattr(args, "testcase", None)
+    if label:
+        from .opamp.testcases import paper_test_cases
+
+        return paper_test_cases()[_TESTCASE_ALIASES.get(label, label)]
+    return _spec_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OASYS reproduction: knowledge-based analog circuit synthesis",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
     # synthesize ---------------------------------------------------------
     syn = commands.add_parser(
         "synthesize",
-        aliases=["design"],
+        aliases=["design", "synth"],
         help="spec -> sized op amp schematic",
     )
-    _add_spec_arguments(syn, required=True)
+    _add_spec_arguments(syn, required=False)
+    syn.add_argument(
+        "--testcase",
+        choices=sorted("ABC") + sorted(_TESTCASE_ALIASES),
+        default=None,
+        help="use the paper's Table 2 case A/B/C (or 1/2/3) as the "
+        "specification instead of the spec flags",
+    )
     syn.add_argument(
         "--styles",
         choices=["paper", "extended"],
@@ -137,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--verify", action="store_true", help="measure with the simulator")
     syn.add_argument("--spice", default=None, help="write the SPICE deck to this file")
     syn.add_argument("--trace", action="store_true", help="print the design trace")
+    syn.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record the run (timed spans + metrics + design events) "
+        "and write the trace to FILE",
+    )
+    syn.add_argument(
+        "--trace-format",
+        choices=list(TRACE_FORMATS),
+        default="jsonl",
+        help="trace file format: jsonl (structured records), chrome "
+        "(load in Perfetto / chrome://tracing), text (flame summary) "
+        "(default: jsonl)",
+    )
     syn.add_argument(
         "--precheck",
         action="store_true",
@@ -258,6 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_process_arguments(analyze)
 
+    # stats --------------------------------------------------------------
+    stats = commands.add_parser(
+        "stats",
+        help="observability report: span flame summary + run metrics",
+        description="Run an observed synthesis for --testcase (or the "
+        "spec flags) and print the timed-span flame summary and metrics "
+        "snapshot, or -- when given a trace file -- summarize a "
+        "previously recorded JSONL trace without running anything.",
+    )
+    stats.add_argument(
+        "tracefile",
+        nargs="?",
+        default=None,
+        help="JSONL trace written by synthesize --trace-out (summarized "
+        "instead of running a synthesis)",
+    )
+    stats.add_argument(
+        "--testcase",
+        choices=sorted("ABC") + sorted(_TESTCASE_ALIASES),
+        default=None,
+        help="synthesize the paper's Table 2 case under observation",
+    )
+    _add_spec_arguments(stats, required=False)
+    _add_process_arguments(stats)
+
     return parser
 
 
@@ -266,7 +356,7 @@ def _cmd_synthesize(args) -> int:
     from .circuit import to_spice
 
     process = _process_from_args(args)
-    spec = _spec_from_args(args)
+    spec = _spec_or_testcase(args)
     styles = EXTENDED_STYLES if args.styles == "extended" else OPAMP_STYLES
     result = synthesize(
         spec,
@@ -275,8 +365,15 @@ def _cmd_synthesize(args) -> int:
         precheck=args.precheck,
         best_effort=args.best_effort,
         budget_ms=args.budget_ms,
+        observe=bool(args.trace_out),
     )
     print(result.summary())
+    if args.trace_out and result.report is not None:
+        result.report.write(args.trace_out, args.trace_format)
+        print(
+            f"Trace ({args.trace_format}, {len(result.report.spans)} spans) "
+            f"written to {args.trace_out}"
+        )
     if not result.ok:
         # best-effort run with no surviving style: the failure reports
         # (already rendered by summary()) are the product; exit 3 so
@@ -461,14 +558,42 @@ def _cmd_analyze(args) -> int:
     return report.exit_code()
 
 
+def _cmd_stats(args) -> int:
+    from .obs.export import summarize_jsonl
+
+    if args.tracefile:
+        with open(args.tracefile, "r", encoding="utf-8") as handle:
+            print(summarize_jsonl(handle.read()))
+        return 0
+
+    from .opamp import synthesize
+
+    spec_flags_given = any(
+        getattr(args, name) is not None for name in _SPEC_FLAGS
+    )
+    if not args.testcase and not spec_flags_given:
+        raise ReproError(
+            "nothing to report on: give a JSONL trace file, --testcase, "
+            "or the specification flags"
+        )
+    process = _process_from_args(args)
+    spec = _spec_or_testcase(args)
+    result = synthesize(spec, process, observe=True)
+    assert result.report is not None  # observe=True guarantees a report
+    print(result.report.summary())
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "design": _cmd_synthesize,  # alias
+    "synth": _cmd_synthesize,  # alias
     "testcases": _cmd_testcases,
     "adc": _cmd_adc,
     "processes": _cmd_processes,
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
+    "stats": _cmd_stats,
 }
 
 

@@ -16,6 +16,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import PlanError, SynthesisError
+from ..obs.spans import NULL_SPAN, NullSpan, current_tracer
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget
 from ..resilience.faults import fault_point
@@ -193,6 +196,27 @@ class PlanExecutor:
         """
         trace = trace if trace is not None else DesignTrace()
         block = block or self.plan.name
+        # Hoisted once per plan: when no tracer is ambient, every
+        # instrumentation point below reduces to a bool check and the
+        # executor runs without any span context manager at all (the
+        # observability-disabled path must stay within noise of the
+        # uninstrumented executor).
+        observing = current_tracer() is not None
+        if observing:
+            with obs_span(
+                f"plan:{self.plan.name}", category="plan", block=block
+            ) as plan_span:
+                return self._execute(state, trace, block, True, plan_span)
+        return self._execute(state, trace, block, False, NULL_SPAN)
+
+    def _execute(
+        self,
+        state: DesignState,
+        trace: DesignTrace,
+        block: str,
+        observing: bool,
+        plan_span: NullSpan,
+    ) -> DesignTrace:
         trace.plan_start(block, self.plan.name)
 
         firings: Dict[str, int] = {rule.name: 0 for rule in self.rules}
@@ -204,7 +228,22 @@ class PlanExecutor:
                 state.budget.check(block=block, step=step.name)
             fault_point("plan.step")
             try:
-                if state.budget is not None:
+                # The step body is written out twice so the
+                # observability-disabled path pays no context-manager
+                # enter/exit at all (a `with NULL_SPAN` per step was
+                # measurable across thousands of steps per run).
+                if observing:
+                    with obs_span(
+                        f"step:{step.name}", category="step", block=block
+                    ):
+                        if state.budget is not None:
+                            with state.budget.step_scope(
+                                step.name, block=block
+                            ):
+                                detail = step.action(state) or ""
+                        else:
+                            detail = step.action(state) or ""
+                elif state.budget is not None:
                     with state.budget.step_scope(step.name, block=block):
                         detail = step.action(state) or ""
                 else:
@@ -213,10 +252,13 @@ class PlanExecutor:
                 # Offer the failure to the rules before giving up: a rule
                 # may know how to patch exactly this situation.
                 patched = self._offer_to_rules(
-                    state, trace, block, firings, failed_step=step, error=exc
+                    state, trace, block, firings, observing,
+                    failed_step=step, error=exc,
                 )
                 if patched is None:
                     trace.abort(block, f"step {step.name}: {exc}")
+                    if observing:
+                        metric_count("plan.aborts", block=block)
                     raise SynthesisError(
                         f"{block}: step {step.name!r} failed: {exc}",
                         block=block,
@@ -225,6 +267,8 @@ class PlanExecutor:
                 restarts += 1
                 if restarts > self.max_restarts:
                     trace.abort(block, "restart budget exhausted")
+                    if observing:
+                        metric_count("plan.aborts", block=block)
                     raise SynthesisError(
                         f"{block}: restart budget exhausted while patching",
                         block=block,
@@ -241,14 +285,20 @@ class PlanExecutor:
                     )
                 index = target
                 trace.restart(block, patched.step, patched.reason)
+                if observing:
+                    metric_count("plan.restarts", block=block)
                 continue
 
             trace.step(block, step.name, detail)
+            if observing:
+                metric_count("plan.steps", block=block)
 
-            action = self._offer_to_rules(state, trace, block, firings)
+            action = self._offer_to_rules(state, trace, block, firings, observing)
             if action is not None:
                 if isinstance(action, Abort):
                     trace.abort(block, action.reason)
+                    if observing:
+                        metric_count("plan.aborts", block=block)
                     raise SynthesisError(
                         f"{block}: aborted by rule: {action.reason}",
                         block=block,
@@ -257,6 +307,8 @@ class PlanExecutor:
                 restarts += 1
                 if restarts > self.max_restarts:
                     trace.abort(block, "restart budget exhausted")
+                    if observing:
+                        metric_count("plan.aborts", block=block)
                     raise SynthesisError(
                         f"{block}: restart budget exhausted",
                         block=block,
@@ -264,11 +316,14 @@ class PlanExecutor:
                     )
                 index = self.plan.index_of(action.step)
                 trace.restart(block, action.step, action.reason)
+                if observing:
+                    metric_count("plan.restarts", block=block)
                 continue
 
             index += 1
 
         trace.plan_done(block)
+        plan_span.set("restarts", restarts)
         return trace
 
     # ------------------------------------------------------------------
@@ -278,6 +333,7 @@ class PlanExecutor:
         trace: DesignTrace,
         block: str,
         firings: Dict[str, int],
+        observing: bool = False,
         failed_step: Optional[PlanStep] = None,
         error: Optional[SynthesisError] = None,
     ) -> RuleAction:
@@ -313,6 +369,8 @@ class PlanExecutor:
             firings[rule.name] += 1
             action = rule.action(state)
             trace.rule_fired(block, rule.name, rule.describe(state))
+            if observing:
+                metric_count("plan.rule_firings", block=block, rule=rule.name)
             if isinstance(action, (Restart, Abort)):
                 if isinstance(action, Abort) and failed_step is not None:
                     trace.abort(block, action.reason)

@@ -32,6 +32,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import BudgetExceeded, SynthesisError
+from ..obs.spans import current_tracer
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
 from ..resilience import Budget, FailureKind, FailureReport
 from ..resilience.faults import fault_point
 from .trace import DesignTrace
@@ -79,6 +82,7 @@ def _record_failure(
     style: str,
     exc: BaseException,
     skipped: bool = False,
+    observing: bool = False,
 ) -> FailureReport:
     report = FailureReport.from_exception(exc, style=style, block=block)
     candidates.append(
@@ -86,6 +90,15 @@ def _record_failure(
             style=style, error=str(exc), failure=report, skipped=skipped
         )
     )
+    if observing:
+        if skipped:
+            metric_count("selection.skipped", block=block or "selection")
+        else:
+            metric_count(
+                "selection.infeasible",
+                block=block or "selection",
+                kind=str(report.kind),
+            )
     if trace is not None:
         if report.kind in (FailureKind.BUDGET, FailureKind.INTERNAL):
             trace.failure(block, f"style {style!r} [{report.kind}]: {exc}")
@@ -137,6 +150,9 @@ def breadth_first_select(
         raise SynthesisError(f"{block or 'selection'}: no candidate styles")
     candidates: List[CandidateResult] = []
     budget_error: Optional[BudgetExceeded] = None
+    # Hoisted once per sweep: with observability disabled, each
+    # candidate costs one bool check rather than span/metric calls.
+    observing = current_tracer() is not None
     remaining = list(styles)
     while remaining:
         style = remaining.pop(0)
@@ -144,7 +160,19 @@ def breadth_first_select(
             fault_point("selection.candidate")
             if budget is not None:
                 budget.check(block=block, step=f"select:{style}")
-            result, cost, soft = design_one(style)
+            # Written out twice so the observability-disabled path pays
+            # no context-manager enter/exit per candidate.
+            if observing:
+                with obs_span(
+                    f"candidate:{style}", category="selection",
+                    block=block or "selection", style=style,
+                ) as candidate_span:
+                    result, cost, soft = design_one(style)
+                    candidate_span.set("cost", cost)
+                    candidate_span.set("soft_violations", soft)
+                metric_count("selection.feasible", block=block or "selection")
+            else:
+                result, cost, soft = design_one(style)
             candidates.append(
                 CandidateResult(
                     style=style, result=result, cost=cost, soft_violations=soft
@@ -155,9 +183,13 @@ def breadth_first_select(
                     block, f"style {style!r} feasible: cost={cost:.4g}, soft={soft}"
                 )
         except SynthesisError as exc:
-            _record_failure(candidates, trace, block, style, exc)
+            _record_failure(
+                candidates, trace, block, style, exc, observing=observing
+            )
         except BudgetExceeded as exc:
-            _record_failure(candidates, trace, block, style, exc)
+            _record_failure(
+                candidates, trace, block, style, exc, observing=observing
+            )
             if budget is None or budget.exhausted():
                 # The *global* budget is gone: stop the sweep, mark the
                 # rest as skipped rather than silently dropping them.
@@ -176,13 +208,16 @@ def breadth_first_select(
                             scope=exc.scope,
                         ),
                         skipped=True,
+                        observing=observing,
                     )
                     report.recoverable = False
                 break
             # A per-style / per-step scope tripped: that candidate is
             # dead, but the overall budget still has headroom.
         except Exception as exc:  # noqa: BLE001 - isolation is the point
-            _record_failure(candidates, trace, block, style, exc)
+            _record_failure(
+                candidates, trace, block, style, exc, observing=observing
+            )
 
     feasible = [c for c in candidates if c.feasible]
     if not feasible:

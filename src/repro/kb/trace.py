@@ -5,13 +5,26 @@ running in order, rules firing to patch the plan, portions of the plan
 re-run with new constraints.  A :class:`DesignTrace` records exactly
 those events so the process is inspectable (and so the Figure 3 bench
 can regenerate the picture as text).
+
+Since the observability layer (:mod:`repro.obs`) landed, every event is
+also **timestamped** (milliseconds since the trace epoch, monotonic),
+**sequence-numbered** and **span-tagged** (the id of the innermost open
+:class:`~repro.obs.spans.Span` of the ambient tracer, when one is
+active), so a trace can be merged with the span timeline in the JSONL
+and Chrome-trace exports.  The event-kind marker table is shared with
+those exporters (:mod:`repro.obs.events`), so a kind added here can
+never silently drift out of the machine-readable stream.
 """
 
 from __future__ import annotations
 
 import io
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.events import marker_for
+from ..obs.spans import _ACTIVE as _ACTIVE_TRACER
 
 __all__ = ["TraceEvent", "DesignTrace"]
 
@@ -22,58 +35,151 @@ class TraceEvent:
 
     ``kind`` is one of: ``plan_start``, ``step``, ``rule_fired``,
     ``restart``, ``abort``, ``plan_done``, ``note``, ``selection``,
-    ``ladder``, ``failure``.
+    ``ladder``, ``failure`` (the shared vocabulary in
+    :data:`repro.obs.events.TRACE_KIND_MARKERS`).
+
+    ``seq`` is the event's position in its trace (re-stamped when
+    traces are merged via :meth:`DesignTrace.extend`), ``t_ms`` the
+    milliseconds since the owning trace's epoch, and ``span_id`` the
+    ambient observability span open when the event was recorded (None
+    when observability was disabled).
     """
 
     kind: str
     block: str
     detail: str
     step: str = ""
+    seq: int = 0
+    t_ms: float = 0.0
+    span_id: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready dict (marker included from the shared table)."""
+        row: Dict[str, Any] = {
+            "type": "event",
+            "seq": self.seq,
+            "t_ms": round(self.t_ms, 3),
+            "kind": self.kind,
+            "marker": marker_for(self.kind).strip(),
+            "block": self.block,
+            "detail": self.detail,
+        }
+        if self.step:
+            row["step"] = self.step
+        if self.span_id is not None:
+            row["span_id"] = self.span_id
+        return row
 
 
 class DesignTrace:
-    """Append-only event log for one synthesis run."""
+    """Append-only event log for one synthesis run.
 
-    def __init__(self):
+    Args:
+        clock: monotonic-seconds source (injectable for tests); event
+            timestamps are milliseconds relative to construction time.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or time.monotonic
+        self.epoch = self._clock()
         self.events: List[TraceEvent] = []
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _append(self, kind: str, block: str, detail: str, step: str = "") -> None:
+        # Hot path: every plan step / rule firing of every designed
+        # block lands here.  The frozen-dataclass __init__ (one
+        # object.__setattr__ per field) and the current_span_id()
+        # call-through were measurable in the observability-disabled
+        # profile, so the event is built via __dict__ directly and the
+        # ambient-tracer lookup is inlined (one ContextVar.get; the
+        # span-stack probe only runs when a tracer is actually active).
+        tracer = _ACTIVE_TRACER.get()
+        events = self.events
+        event = TraceEvent.__new__(TraceEvent)
+        event.__dict__.update(
+            kind=kind,
+            block=block,
+            detail=detail,
+            step=step,
+            seq=len(events),
+            t_ms=(self._clock() - self.epoch) * 1e3,
+            span_id=None if tracer is None else tracer.active_span_id(),
+        )
+        events.append(event)
+
     def plan_start(self, block: str, plan_name: str) -> None:
-        self.events.append(TraceEvent("plan_start", block, plan_name))
+        self._append("plan_start", block, plan_name)
 
     def step(self, block: str, step_name: str, detail: str = "") -> None:
-        self.events.append(TraceEvent("step", block, detail, step=step_name))
+        # Inlined copy of _append: step events are ~3/4 of all events
+        # recorded during a synthesis run, and the extra call frame was
+        # visible in the observability-disabled profile.
+        tracer = _ACTIVE_TRACER.get()
+        events = self.events
+        event = TraceEvent.__new__(TraceEvent)
+        event.__dict__.update(
+            kind="step",
+            block=block,
+            detail=detail,
+            step=step_name,
+            seq=len(events),
+            t_ms=(self._clock() - self.epoch) * 1e3,
+            span_id=None if tracer is None else tracer.active_span_id(),
+        )
+        events.append(event)
 
     def rule_fired(self, block: str, rule_name: str, detail: str) -> None:
-        self.events.append(TraceEvent("rule_fired", block, detail, step=rule_name))
+        self._append("rule_fired", block, detail, step=rule_name)
 
     def restart(self, block: str, target_step: str, reason: str) -> None:
-        self.events.append(TraceEvent("restart", block, reason, step=target_step))
+        self._append("restart", block, reason, step=target_step)
 
     def abort(self, block: str, reason: str) -> None:
-        self.events.append(TraceEvent("abort", block, reason))
+        self._append("abort", block, reason)
 
     def plan_done(self, block: str, detail: str = "") -> None:
-        self.events.append(TraceEvent("plan_done", block, detail))
+        self._append("plan_done", block, detail)
 
     def note(self, block: str, detail: str) -> None:
-        self.events.append(TraceEvent("note", block, detail))
+        self._append("note", block, detail)
 
     def selection(self, block: str, detail: str) -> None:
-        self.events.append(TraceEvent("selection", block, detail))
+        self._append("selection", block, detail)
 
     def ladder(self, block: str, rung: str, detail: str) -> None:
         """One solver retry-ladder attempt (rung escalation history)."""
-        self.events.append(TraceEvent("ladder", block, detail, step=rung))
+        self._append("ladder", block, detail, step=rung)
 
     def failure(self, block: str, detail: str) -> None:
         """An isolated failure (recorded, not raised) during selection."""
-        self.events.append(TraceEvent("failure", block, detail))
+        self._append("failure", block, detail)
 
     def extend(self, other: "DesignTrace") -> None:
-        self.events.extend(other.events)
+        """Adopt ``other``'s events, re-stamping sequence numbers and
+        shifting timestamps onto this trace's epoch so the merged
+        timeline stays monotonic and mutually comparable.
+
+        The events are adopted *by reference* and re-stamped in place
+        (via ``__dict__``, sidestepping the frozen-dataclass setattr
+        guard): extend() runs once per designed (sub-)block and cloning
+        every event dominated the observability-disabled profile.  The
+        sub-trace is thereby *consumed* -- its already-recorded events
+        become part of this trace's timeline (which is what every
+        caller wants: a merged sub-trace rendered on its own shows the
+        merged ``seq``/``t_ms``, i.e. the same timeline).  ``other``
+        itself stays usable for appending new events.
+        """
+        offset_ms = (other.epoch - self.epoch) * 1e3
+        events = self.events
+        seq = len(events)
+        for event in other.events:
+            payload = event.__dict__
+            payload["seq"] = seq
+            payload["t_ms"] = event.t_ms + offset_ms
+            seq += 1
+        events.extend(other.events)
 
     # ------------------------------------------------------------------
     # Queries
@@ -93,30 +199,35 @@ class DesignTrace:
         return [e for e in self.events if e.kind == "step" and e.block == block]
 
     # ------------------------------------------------------------------
-    # Rendering
+    # Rendering / export
     # ------------------------------------------------------------------
-    def render(self, kinds: Optional[List[str]] = None) -> str:
-        """Human-readable log, optionally filtered by event kind."""
-        markers = {
-            "plan_start": ">>",
-            "step": "  .",
-            "rule_fired": "  !",
-            "restart": " <<",
-            "abort": " XX",
-            "plan_done": "<<",
-            "note": "  #",
-            "selection": "==",
-            "ladder": " ^^",
-            "failure": " !!",
-        }
+    def render(
+        self,
+        kinds: Optional[List[str]] = None,
+        seq: bool = False,
+    ) -> str:
+        """Human-readable log, optionally filtered by event kind.
+
+        Args:
+            kinds: only render these event kinds (default: all).
+            seq: prefix each line with the event's sequence number, so
+                a rendered excerpt can be correlated with the JSONL
+                stream (which carries the same ``seq``).
+        """
         out = io.StringIO()
         for event in self.events:
             if kinds and event.kind not in kinds:
                 continue
-            marker = markers.get(event.kind, "  ?")
+            marker = marker_for(event.kind)
             step_part = f" [{event.step}]" if event.step else ""
-            out.write(f"{marker} {event.block}{step_part} {event.detail}\n")
+            prefix = f"{event.seq:4d} " if seq else ""
+            out.write(f"{prefix}{marker} {event.block}{step_part} {event.detail}\n")
         return out.getvalue()
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Every event as a JSONL-ready dict (see
+        :meth:`TraceEvent.to_dict`); the exporters consume this."""
+        return [event.to_dict() for event in self.events]
 
     def __len__(self) -> int:
         return len(self.events)

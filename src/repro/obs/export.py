@@ -1,0 +1,339 @@
+"""Exporters: JSONL event streams, Chrome trace-event files, flame text.
+
+Three renderings of one observed run:
+
+* :func:`to_jsonl` -- a line-per-record stream (``meta`` header, then
+  spans and design-trace events merged in time order, then a terminal
+  ``metrics`` record).  Machine-greppable, append-friendly, and the
+  format :func:`summarize_jsonl` (the ``repro stats`` view) reads back.
+* :func:`to_chrome` -- the Chrome trace-event JSON object (complete
+  ``"X"`` events for spans, instant ``"i"`` events for design-trace
+  events).  Load the file in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` to see where the wall-clock went.
+* :func:`flame_text` -- a terminal flame summary: the span tree with
+  total / self milliseconds and call counts, siblings of the same name
+  merged.
+
+Design-trace events cross this boundary as plain dicts (produced by
+:meth:`repro.kb.trace.DesignTrace.to_dicts`) so this module never
+imports :mod:`repro.kb` -- the kb imports *us* for the shared marker
+table (:mod:`repro.obs.events`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .spans import Span
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome",
+    "to_chrome_json",
+    "flame_text",
+    "summarize_jsonl",
+    "render_metrics",
+    "iter_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(
+    spans: Sequence[Span],
+    events: Sequence[Mapping[str, Any]] = (),
+    metrics: Optional[Mapping[str, Any]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """One JSON record per line; parse with ``json.loads`` per line.
+
+    Record types (``"type"`` field): ``meta`` (first line), ``span``,
+    ``event`` (design-trace events, already dicts with their shared
+    marker embedded), ``metrics`` (last line).  Spans and events are
+    merged by start time so the stream reads chronologically.
+    """
+    records: List[Tuple[float, int, Dict[str, Any]]] = []
+    for order, s in enumerate(sorted(spans, key=lambda s: s.span_id)):
+        row = s.to_dict()
+        row["type"] = "span"
+        records.append((s.start_ms, order, row))
+    for order, event in enumerate(events):
+        row = dict(event)
+        row.setdefault("type", "event")
+        records.append((float(row.get("t_ms", 0.0)), order, row))
+    records.sort(key=lambda item: (item[0], item[1]))
+
+    out = io.StringIO()
+    header: Dict[str, Any] = {"type": "meta", "format": "repro.obs/jsonl/1"}
+    header.update(meta or {})
+    out.write(json.dumps(header, sort_keys=True) + "\n")
+    for _, _, row in records:
+        out.write(json.dumps(row, sort_keys=True) + "\n")
+    out.write(
+        json.dumps({"type": "metrics", "metrics": dict(metrics or {})},
+                   sort_keys=True)
+        + "\n"
+    )
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def to_chrome(
+    spans: Sequence[Span],
+    events: Sequence[Mapping[str, Any]] = (),
+    metrics: Optional[Mapping[str, Any]] = None,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """The Chrome trace-event JSON object (viewable in Perfetto).
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    ``ts`` / ``dur``; design-trace events become thread-scoped instant
+    (``"ph": "i"``) events.  The metrics snapshot rides along under
+    ``otherData`` so one file carries the whole run.
+    """
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for s in sorted(spans, key=lambda s: s.span_id):
+        args: Dict[str, Any] = {"span_id": s.span_id, "status": s.status}
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        args.update(s.attributes)
+        trace_events.append(
+            {
+                "name": s.name,
+                "cat": s.category or "span",
+                "ph": "X",
+                "ts": round(s.start_ms * 1e3, 3),
+                "dur": round(s.duration_ms * 1e3, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    for event in events:
+        kind = str(event.get("kind", "event"))
+        block = str(event.get("block", ""))
+        trace_events.append(
+            {
+                "name": f"{kind}:{block}" if block else kind,
+                "cat": "trace",
+                "ph": "i",
+                "ts": round(float(event.get("t_ms", 0.0)) * 1e3, 3),
+                "pid": 1,
+                "tid": 1,
+                "s": "t",
+                "args": {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("t_ms", "type") and v not in ("", None)
+                },
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": dict(metrics or {})},
+    }
+
+
+def to_chrome_json(
+    spans: Sequence[Span],
+    events: Sequence[Mapping[str, Any]] = (),
+    metrics: Optional[Mapping[str, Any]] = None,
+    process_name: str = "repro",
+) -> str:
+    """:func:`to_chrome`, serialized."""
+    return json.dumps(
+        to_chrome(spans, events, metrics, process_name), indent=1
+    )
+
+
+# ----------------------------------------------------------------------
+# Flame summary (text)
+# ----------------------------------------------------------------------
+class _Node:
+    __slots__ = ("name", "total_ms", "count", "children", "errors")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_ms = 0.0
+        self.count = 0
+        self.errors = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _build_tree(spans: Sequence[Span]) -> _Node:
+    """Aggregate spans into a name tree (same-named siblings merged)."""
+    by_id: Dict[int, Span] = {s.span_id: s for s in spans}
+
+    def path_of(s: Span) -> Tuple[str, ...]:
+        names: List[str] = [s.name]
+        parent = s.parent_id
+        hops = 0
+        while parent is not None and hops < 64:
+            ps = by_id.get(parent)
+            if ps is None:
+                break
+            names.append(ps.name)
+            parent = ps.parent_id
+            hops += 1
+        return tuple(reversed(names))
+
+    root = _Node("")
+    for s in spans:
+        node = root
+        for name in path_of(s):
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = _Node(name)
+            node = child
+        node.total_ms += s.duration_ms
+        node.count += 1
+        if s.status == "error":
+            node.errors += 1
+    return root
+
+
+def flame_text(spans: Sequence[Span], min_ms: float = 0.0) -> str:
+    """Terminal flame summary: span tree with total/self ms and counts.
+
+    Children are listed under their parent, heaviest first; ``self``
+    is the parent's time not covered by its children.  Sub-trees
+    entirely below ``min_ms`` are elided.
+    """
+    if not spans:
+        return "(no spans recorded)\n"
+    root = _build_tree(spans)
+    grand_total = sum(c.total_ms for c in root.children.values()) or 1.0
+    out = io.StringIO()
+    out.write(
+        f"{'span':<48} {'total ms':>9} {'self ms':>9} {'calls':>6}  share\n"
+    )
+
+    def emit(node: _Node, depth: int) -> None:
+        child_ms = sum(c.total_ms for c in node.children.values())
+        self_ms = max(0.0, node.total_ms - child_ms)
+        label = "  " * depth + node.name
+        if len(label) > 48:
+            label = label[:45] + "..."
+        suffix = f" ({node.errors} err)" if node.errors else ""
+        out.write(
+            f"{label:<48} {node.total_ms:9.1f} {self_ms:9.1f} "
+            f"{node.count:>6}  {100.0 * node.total_ms / grand_total:5.1f}%"
+            f"{suffix}\n"
+        )
+        for child in sorted(
+            node.children.values(), key=lambda n: -n.total_ms
+        ):
+            if child.total_ms >= min_ms:
+                emit(child, depth + 1)
+
+    for top in sorted(root.children.values(), key=lambda n: -n.total_ms):
+        emit(top, 0)
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# JSONL summarization (the ``repro stats <file>`` path)
+# ----------------------------------------------------------------------
+def summarize_jsonl(text: str) -> str:
+    """Summarize a JSONL trace written by :func:`to_jsonl`."""
+    spans: List[Span] = []
+    n_events = 0
+    kinds: Dict[str, int] = {}
+    metrics: Dict[str, Any] = {}
+    meta: Dict[str, Any] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        rtype = row.get("type")
+        if rtype == "span":
+            spans.append(
+                Span(
+                    name=str(row.get("name", "")),
+                    span_id=int(row.get("span_id", 0)),
+                    parent_id=row.get("parent_id"),
+                    start_ms=float(row.get("start_ms", 0.0)),
+                    duration_ms=float(row.get("duration_ms", 0.0)),
+                    category=str(row.get("category", "")),
+                    status=str(row.get("status", "ok")),
+                    attributes=dict(row.get("attributes") or {}),
+                )
+            )
+        elif rtype == "event":
+            n_events += 1
+            kind = str(row.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        elif rtype == "metrics":
+            metrics = dict(row.get("metrics") or {})
+        elif rtype == "meta":
+            meta = {k: v for k, v in row.items() if k != "type"}
+    out = io.StringIO()
+    total = max((s.end_ms for s in spans), default=0.0)
+    out.write(
+        f"JSONL trace: {len(spans)} spans, {n_events} events, "
+        f"{total:.1f} ms covered\n"
+    )
+    if meta:
+        for key in sorted(meta):
+            out.write(f"  meta {key}: {meta[key]}\n")
+    if kinds:
+        out.write("  events by kind: ")
+        out.write(
+            ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds)) + "\n"
+        )
+    out.write("\n")
+    out.write(flame_text(spans))
+    out.write("\n")
+    out.write(render_metrics(metrics))
+    return out.getvalue()
+
+
+def render_metrics(snapshot: Mapping[str, Any]) -> str:
+    """Metrics snapshot as an indented text table."""
+    out = io.StringIO()
+    counters = dict(snapshot.get("counters") or {})
+    gauges = dict(snapshot.get("gauges") or {})
+    histograms = dict(snapshot.get("histograms") or {})
+    if not (counters or gauges or histograms):
+        return "(no metrics recorded)\n"
+    if counters:
+        out.write("counters:\n")
+        for key in sorted(counters):
+            out.write(f"  {key:<56} {counters[key]}\n")
+    if gauges:
+        out.write("gauges:\n")
+        for key in sorted(gauges):
+            out.write(f"  {key:<56} {gauges[key]}\n")
+    if histograms:
+        out.write("histograms:\n")
+        for key in sorted(histograms):
+            h = histograms[key]
+            out.write(
+                f"  {key:<44} n={h.get('count', 0)} sum={h.get('sum', 0)} "
+                f"min={h.get('min')} max={h.get('max')}\n"
+            )
+    return out.getvalue()
+
+
+def iter_jsonl(text: str) -> Iterable[Dict[str, Any]]:
+    """Parse a JSONL stream back into record dicts (skips blanks)."""
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            record: Dict[str, Any] = json.loads(line)
+            yield record

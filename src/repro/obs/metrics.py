@@ -1,0 +1,212 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+Every synthesis run burns resources that flat traces cannot account
+for -- Newton iterations per retry-ladder rung, rule firings per block,
+candidate styles explored and pruned, LU solves, budget consumption.
+The :class:`MetricsRegistry` aggregates those as it happens and
+produces a **deterministic** snapshot: two identical runs yield
+byte-identical ``snapshot()`` dicts (keys sorted, no wall-clock values
+unless the caller records them), so metrics diffs are meaningful in CI.
+
+Metrics are identified by a name plus optional string labels; the
+registry folds labels into a canonical ``name{k=v,...}`` key with the
+label keys sorted, Prometheus-style.
+
+The registry is deliberately dependency-free and synchronous; ambient
+access goes through :func:`repro.obs.spans.count` /
+:func:`~repro.obs.spans.observe` / :func:`~repro.obs.spans.gauge`,
+which are no-ops when no tracer is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+]
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (a 1-2-5 decade ladder that
+#: covers iteration counts and millisecond durations alike).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+
+def metric_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical registry key: ``name`` or ``name{k=v,...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _jsonable(value: float) -> Number:
+    """Integral floats become ints so snapshots read naturally."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BUCKETS)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted: {self.bounds}")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.minimum = min(self.minimum, v)
+        self.maximum = max(self.maximum, v)
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets: Dict[str, int] = {}
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if n:
+                buckets[f"le_{_jsonable(bound)}"] = n
+        if self.bucket_counts[-1]:
+            buckets[f"gt_{_jsonable(self.bounds[-1])}"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": _jsonable(self.total),
+            "min": _jsonable(self.minimum) if self.count else None,
+            "max": _jsonable(self.maximum) if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under canonical string keys."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Recording shorthands
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: Number = 1, **labels: str) -> None:
+        self.counter(name, **labels).inc(n)
+
+    def set_gauge(self, name: str, value: Number, **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: Number, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        instrument = self._counters.get(metric_key(name, labels))
+        return instrument.value if instrument is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum over every labelled series of ``name``."""
+        prefix = name + "{"
+        return sum(
+            c.value
+            for key, c in self._counters.items()
+            if key == name or key.startswith(prefix)
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic dict form: sections and keys sorted."""
+        return {
+            "counters": {
+                key: _jsonable(self._counters[key].value)
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: _jsonable(self._gauges[key].value)
+                for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: self._histograms[key].snapshot()
+                for key in sorted(self._histograms)
+            },
+        }

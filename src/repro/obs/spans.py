@@ -1,0 +1,344 @@
+"""Hierarchical timed spans with ambient (contextvar) propagation.
+
+The paper sells *inspectability*: Figure 3 is a trace of plan steps,
+rule firings and restarts.  This module adds the missing wall-clock
+dimension.  A :class:`Tracer` records **spans** -- named, timed,
+hierarchically nested intervals (synthesis > candidate > plan > step >
+dc solve > ladder rung) -- plus a :class:`~repro.obs.metrics.MetricsRegistry`
+of run counters.
+
+Propagation follows the :mod:`repro.resilience.budget` pattern: the
+tracer installs itself on a :class:`~contextvars.ContextVar`
+(:meth:`Tracer.activate`), and instrumented code calls the **module
+level** helpers :func:`span`, :func:`count`, :func:`observe` and
+:func:`gauge`.  When no tracer is active those helpers are no-ops --
+:func:`span` returns a shared stateless :data:`NULL_SPAN` singleton
+(one contextvar read, zero allocation), so production code is
+instrumented unconditionally and observability costs nothing when
+disabled.
+
+Span lifecycle::
+
+    tracer = Tracer()
+    with tracer.activate():
+        with span("synthesize", category="synthesis", styles="a,b") as s:
+            ...                       # nested span() calls parent here
+            s.set("winner", "a")      # attach attributes mid-flight
+    tracer.spans                      # finished Span records
+
+A span that exits through an exception is finished with
+``status="error"`` and the exception summary in its attributes; the
+exception always propagates.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry, Number
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "current_tracer",
+    "current_span_id",
+    "span",
+    "count",
+    "observe",
+    "gauge",
+]
+
+
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar("repro_tracer", default=None)
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The ambient tracer installed by :meth:`Tracer.activate`, if any."""
+    return _ACTIVE.get()
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span of the ambient tracer (None when
+    no tracer is active or no span is open)."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return None
+    return tracer.active_span_id()
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timed interval.
+
+    Attributes:
+        name: span name (``"step:partition_gain"``...).
+        span_id: id unique within the tracer, allocated in *start*
+            order (so sorting by id reproduces the start order).
+        parent_id: enclosing span's id (None for roots).
+        start_ms: start time relative to the tracer epoch, milliseconds.
+        duration_ms: wall-clock duration, milliseconds.
+        category: coarse grouping (``"synthesis"``, ``"plan"``,
+            ``"step"``, ``"sim"``, ``"ladder"``...), used as the Chrome
+            trace category.
+        status: ``"ok"`` or ``"error"``.
+        attributes: free-form string/number annotations.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_ms: float
+    duration_ms: float
+    category: str = ""
+    status: str = "ok"
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "category": self.category,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+class NullSpan:
+    """The disabled-observability span: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_SPAN`) is handed out by
+    :func:`span` whenever no tracer is active.  It is stateless, hence
+    safely re-entrant and shareable across threads and asyncio tasks.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard the attribute."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+#: The shared no-op span (identity-comparable in tests).
+NULL_SPAN = NullSpan()
+
+
+class SpanHandle(NullSpan):
+    """A live (open) span; finishes when its ``with`` block exits."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "start_ms",
+        "attributes",
+        "status",
+        "_open",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ms: float,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ms = start_ms
+        self.attributes = attributes
+        self.status = "ok"
+        self._open = True
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        exc = exc_info[1] if len(exc_info) > 1 else None
+        if exc is not None:
+            self.status = "error"
+            self.attributes.setdefault(
+                "error", f"{type(exc).__name__}: {exc}"
+            )
+        self._tracer._finish(self)
+        return False
+
+
+class Tracer:
+    """Collects spans and metrics for one observed run.
+
+    Args:
+        clock: monotonic-seconds source (injectable for tests).
+
+    The tracer is cheap to construct and single-use by convention: one
+    tracer per synthesis run keeps span ids and the metrics snapshot
+    scoped to that run.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or time.monotonic
+        self._epoch = self._clock()
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self._next_id = 1
+        self._stack: List[SpanHandle] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> float:
+        """Tracer creation time in clock seconds (span times are
+        relative to this)."""
+        return self._epoch
+
+    def now_ms(self) -> float:
+        """Milliseconds since the tracer epoch."""
+        return (self._clock() - self._epoch) * 1e3
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def active_span_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> SpanHandle:
+        """Open a span (closed by the ``with`` block exit)."""
+        handle = SpanHandle(
+            self,
+            name,
+            category,
+            self._next_id,
+            self.active_span_id(),
+            self.now_ms(),
+            dict(attributes or {}),
+        )
+        self._next_id += 1
+        self._stack.append(handle)
+        return handle
+
+    def _finish(self, handle: SpanHandle) -> None:
+        if not handle._open:  # double-exit guard
+            return
+        handle._open = False
+        if self._stack and self._stack[-1] is handle:
+            self._stack.pop()
+        elif handle in self._stack:  # defensive: out-of-order exit
+            self._stack.remove(handle)
+        self.spans.append(
+            Span(
+                name=handle.name,
+                span_id=handle.span_id,
+                parent_id=handle.parent_id,
+                start_ms=handle.start_ms,
+                duration_ms=self.now_ms() - handle.start_ms,
+                category=handle.category,
+                status=handle.status,
+                attributes=handle.attributes,
+            )
+        )
+
+    def spans_by_start(self) -> List[Span]:
+        """Finished spans sorted by start order (= span id order)."""
+        return sorted(self.spans, key=lambda s: s.span_id)
+
+    def total_ms(self) -> float:
+        """Wall-clock covered so far: latest span end (or now when no
+        span has finished yet)."""
+        if not self.spans:
+            return self.now_ms()
+        return max(s.end_ms for s in self.spans)
+
+    # ------------------------------------------------------------------
+    # Ambient installation
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install as the ambient tracer (see :func:`current_tracer`)."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tracer({len(self.spans)} spans, depth={self.depth()}, "
+            f"{len(self.metrics)} metrics)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient helpers: the instrumentation surface for production code.
+# ----------------------------------------------------------------------
+def span(name: str, category: str = "", **attributes: Any) -> NullSpan:
+    """Open a span on the ambient tracer (no-op when none is active).
+
+    Returns a context manager; the concrete type is :class:`SpanHandle`
+    under an active tracer and the shared :data:`NULL_SPAN` otherwise.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, category, attributes)
+
+
+def count(name: str, n: Number = 1, **labels: str) -> None:
+    """Increment a counter on the ambient tracer's metrics (no-op
+    when observability is disabled)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.metrics.inc(name, n, **labels)
+
+
+def observe(name: str, value: Number, **labels: str) -> None:
+    """Record one histogram observation on the ambient metrics."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.metrics.observe(name, value, **labels)
+
+
+def gauge(name: str, value: Number, **labels: str) -> None:
+    """Set a gauge on the ambient metrics."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.metrics.set_gauge(name, value, **labels)

@@ -22,6 +22,11 @@ from ..kb.selection import breadth_first_select
 from ..kb.specs import OpAmpSpec
 from ..kb.templates import StyleCatalog
 from ..kb.trace import DesignTrace
+from ..obs import RunReport, Tracer, current_tracer
+from ..obs.spans import NULL_SPAN, NullSpan
+from ..obs.spans import count as metric_count
+from ..obs.spans import gauge as metric_gauge
+from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget, FailureReport
 from ..resilience.faults import fault_point
@@ -114,6 +119,7 @@ def synthesize(
     best_effort: bool = False,
     budget: Optional[Budget] = None,
     budget_ms: Optional[float] = None,
+    observe: bool = False,
 ) -> SynthesisResult:
     """Synthesize a sized op amp schematic from a performance spec.
 
@@ -150,6 +156,15 @@ def synthesize(
             loops honour it too.
         budget_ms: convenience: shorthand for
             ``budget=Budget(wall_ms=budget_ms)``.
+        observe: record hierarchical timed spans and run metrics for
+            this call.  A fresh :class:`~repro.obs.Tracer` is created
+            (unless one is already ambient, in which case it is used),
+            and the result carries a
+            :class:`~repro.obs.RunReport` under ``result.report``.
+            When False (the default) and no ambient tracer is active,
+            every instrumentation point is a no-op and
+            ``result.report`` is None -- observability costs nothing
+            unless switched on.
 
     Returns:
         A :class:`SynthesisResult`; with ``best_effort`` it may be
@@ -165,26 +180,54 @@ def synthesize(
             and no other style succeeds -- unless ``best_effort``.
     """
     trace = DesignTrace()
-    if best_effort:
-        try:
-            return _synthesize(
-                spec, process, styles, strict, precheck, True, budget,
-                budget_ms, trace,
-            )
-        except Exception as exc:  # noqa: BLE001 - the best-effort contract
-            # Last-ditch containment: anything the isolation layers
-            # below did not convert (a bug in selection itself, a fault
-            # injected outside any candidate) still becomes a report.
-            trace.failure("opamp", f"synthesis failed: {exc}")
-            return SynthesisResult(
-                best=None,
-                candidates=[],
-                trace=trace,
-                failures=[FailureReport.from_exception(exc, recoverable=False)],
-            )
-    return _synthesize(
-        spec, process, styles, strict, precheck, False, budget, budget_ms, trace
-    )
+    tracer = current_tracer()
+    owned: Optional[Tracer] = None
+    if observe and tracer is None:
+        owned = Tracer()
+        tracer = owned
+
+    def run() -> SynthesisResult:
+        if best_effort:
+            try:
+                return _synthesize(
+                    spec, process, styles, strict, precheck, True, budget,
+                    budget_ms, trace,
+                )
+            except Exception as exc:  # noqa: BLE001 - the best-effort contract
+                # Last-ditch containment: anything the isolation layers
+                # below did not convert (a bug in selection itself, a fault
+                # injected outside any candidate) still becomes a report.
+                trace.failure("opamp", f"synthesis failed: {exc}")
+                return SynthesisResult(
+                    best=None,
+                    candidates=[],
+                    trace=trace,
+                    failures=[
+                        FailureReport.from_exception(exc, recoverable=False)
+                    ],
+                )
+        return _synthesize(
+            spec, process, styles, strict, precheck, False, budget,
+            budget_ms, trace,
+        )
+
+    if owned is not None:
+        with owned.activate():
+            result = run()
+    else:
+        result = run()
+    if tracer is not None:
+        result.report = RunReport.from_tracer(
+            tracer,
+            events=trace.to_dicts(),
+            meta={
+                "label": "synthesize",
+                "process": process.name,
+                "ok": result.ok,
+                "winner": result.best.style if result.best else None,
+            },
+        )
+    return result
 
 
 def _synthesize(
@@ -204,14 +247,43 @@ def _synthesize(
     if budget is not None:
         budget.start()
         budget.check(block="opamp", step="start")
+    # Written out twice so the observability-disabled path neither
+    # formats span attributes nor pays a context-manager enter/exit.
+    if current_tracer() is not None:
+        with obs_span(
+            "synthesize", category="synthesis", styles=",".join(styles)
+        ) as root_span:
+            return _synthesize_under_span(
+                spec, process, styles, strict, precheck, best_effort,
+                budget, trace, root_span,
+            )
+    return _synthesize_under_span(
+        spec, process, styles, strict, precheck, best_effort, budget,
+        trace, NULL_SPAN,
+    )
+
+
+def _synthesize_under_span(
+    spec: OpAmpSpec,
+    process: ProcessParameters,
+    styles: Tuple[str, ...],
+    strict: bool,
+    precheck: bool,
+    best_effort: bool,
+    budget: Optional[Budget],
+    trace: DesignTrace,
+    root_span: NullSpan,
+) -> SynthesisResult:
     if precheck:
         # Imported lazily: repro.lint imports the circuit package.
         from ..lint import precheck_styles
 
-        gate = precheck_styles(spec, process, styles)
+        with obs_span("precheck", category="synthesis"):
+            gate = precheck_styles(spec, process, styles)
         pruned_reports = []
         for style in styles:
             if style in gate.pruned:
+                metric_count("selection.pruned", block="opamp", style=style)
                 trace.note(
                     f"opamp/{style}",
                     f"precheck: {gate.reason(style)} "
@@ -278,6 +350,20 @@ def _synthesize(
             winner, candidates = run_selection()
     else:
         winner, candidates = run_selection()
+
+    if winner is not None:
+        root_span.set("winner", winner.style)
+    root_span.set("feasible", sum(1 for c in candidates if c.feasible))
+    root_span.set("candidates", len(candidates))
+    if budget is not None:
+        # Budget consumption, as gauges: how much of the run's resource
+        # envelope this synthesis actually used.
+        metric_gauge("budget.elapsed_ms", budget.elapsed_ms())
+        metric_gauge(
+            "budget.newton_iterations_used", budget.iterations_used
+        )
+        if budget.wall_ms is not None:
+            metric_gauge("budget.wall_ms_limit", budget.wall_ms)
 
     failures = [c.failure for c in candidates if c.failure is not None]
     return SynthesisResult(

@@ -14,6 +14,7 @@ from ..kb.blocks import Block
 from ..kb.selection import CandidateResult
 from ..kb.specs import OpAmpSpec, Violation
 from ..kb.trace import DesignTrace
+from ..obs.report import RunReport
 from ..process.parameters import ProcessParameters
 from ..resilience import FailureReport
 from ..units import format_quantity
@@ -115,12 +116,18 @@ class SynthesisResult:
         failures: structured reports for every isolated failure
             (per-candidate and global); empty on a clean run.  See
             :class:`~repro.resilience.FailureReport`.
+        report: observability run report (spans + metrics + events),
+            present when the run was observed -- an ambient
+            :class:`~repro.obs.Tracer` was active or
+            ``synthesize(..., observe=True)`` was requested; None
+            otherwise (the zero-overhead default).
     """
 
     best: Optional[DesignedOpAmp]
     candidates: List[CandidateResult]
     trace: DesignTrace
     failures: List[FailureReport] = field(default_factory=list)
+    report: Optional[RunReport] = None
 
     @property
     def ok(self) -> bool:

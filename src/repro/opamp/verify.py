@@ -26,6 +26,8 @@ import numpy as np
 from ..circuit.builder import CircuitBuilder
 from ..circuit.netlist import Circuit
 from ..errors import ConvergenceError, SimulationError
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
 from ..simulator.ac import ac_analysis, log_frequencies
 from ..simulator.analysis import (
     FrequencyResponse,
@@ -307,51 +309,71 @@ def verify_opamp(
     """
     report = VerificationReport()
 
-    offset, op = _find_offset(amp)
-    report.offset_v = offset
-    report.measured["offset_mv"] = abs(offset) * 1e3
-    report.measured["power"] = abs(op.total_power())
+    with obs_span(
+        f"verify:{amp.style}", category="verify", style=amp.style
+    ) as verify_span:
+        with obs_span("verify:offset", category="verify"):
+            offset, op = _find_offset(amp)
+        report.offset_v = offset
+        report.measured["offset_mv"] = abs(offset) * 1e3
+        report.measured["power"] = abs(op.total_power())
+        metric_count("verify.measurements", phase="offset")
 
-    response = open_loop_response(amp)
-    report.measured["gain_db"] = response.dc_gain_db
-    f_unity = crossover_frequency(response)
-    if f_unity is not None:
-        report.measured["unity_gain_hz"] = f_unity
-        pm = phase_margin_deg(response)
-        if pm is not None:
-            report.measured["phase_margin_deg"] = pm
-    else:
-        report.notes["unity_gain_hz"] = "no 0 dB crossing in sweep"
+        with obs_span("verify:ac", category="verify"):
+            response = open_loop_response(amp)
+        metric_count("verify.measurements", phase="ac")
+        report.measured["gain_db"] = response.dc_gain_db
+        f_unity = crossover_frequency(response)
+        if f_unity is not None:
+            report.measured["unity_gain_hz"] = f_unity
+            pm = phase_margin_deg(response)
+            if pm is not None:
+                report.measured["phase_margin_deg"] = pm
+        else:
+            report.notes["unity_gain_hz"] = "no 0 dB crossing in sweep"
 
-    if measure_swing:
-        swing = _measure_swing(amp)
-        report.measured["output_swing"] = swing
-    else:
-        swing = amp.spec.output_swing
+        if measure_swing:
+            with obs_span("verify:swing", category="verify"):
+                swing = _measure_swing(amp)
+            metric_count("verify.measurements", phase="swing")
+            report.measured["output_swing"] = swing
+        else:
+            swing = amp.spec.output_swing
 
-    if measure_slew:
-        try:
-            slew, t_settle = _measure_slew(amp, swing)
-            report.measured["slew_rate"] = slew
-            if t_settle is not None:
-                report.measured["settling_time_1pct"] = t_settle
-        except (ConvergenceError, SimulationError) as exc:
-            report.notes["slew_rate"] = f"transient failed: {exc}"
+        if measure_slew:
+            try:
+                with obs_span("verify:slew", category="verify"):
+                    slew, t_settle = _measure_slew(amp, swing)
+                metric_count("verify.measurements", phase="slew")
+                report.measured["slew_rate"] = slew
+                if t_settle is not None:
+                    report.measured["settling_time_1pct"] = t_settle
+            except (ConvergenceError, SimulationError) as exc:
+                report.notes["slew_rate"] = f"transient failed: {exc}"
+                metric_count("verify.failures", phase="slew")
 
-    if measure_rejections:
-        try:
-            report.measured.update(measure_rejection(amp))
-        except (ConvergenceError, SimulationError) as exc:
-            report.notes["rejection"] = f"CMRR/PSRR failed: {exc}"
+        if measure_rejections:
+            try:
+                with obs_span("verify:rejection", category="verify"):
+                    report.measured.update(measure_rejection(amp))
+                metric_count("verify.measurements", phase="rejection")
+            except (ConvergenceError, SimulationError) as exc:
+                report.notes["rejection"] = f"CMRR/PSRR failed: {exc}"
+                metric_count("verify.failures", phase="rejection")
 
-    if measure_noise:
-        try:
-            results = measure_input_noise(amp)
-            report.notes["noise_dominant_element"] = results.pop(
-                "noise_dominant_element"
-            )
-            report.measured.update(results)
-        except (ConvergenceError, SimulationError) as exc:
-            report.notes["noise"] = f"noise analysis failed: {exc}"
+        if measure_noise:
+            try:
+                with obs_span("verify:noise", category="verify"):
+                    results = measure_input_noise(amp)
+                report.notes["noise_dominant_element"] = results.pop(
+                    "noise_dominant_element"
+                )
+                report.measured.update(results)
+                metric_count("verify.measurements", phase="noise")
+            except (ConvergenceError, SimulationError) as exc:
+                report.notes["noise"] = f"noise analysis failed: {exc}"
+                metric_count("verify.failures", phase="noise")
+
+        verify_span.set("measured_keys", len(report.measured))
 
     return report

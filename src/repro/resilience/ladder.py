@@ -29,6 +29,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
+from ..obs.spans import count as _metric_count
+from ..obs.spans import span as _obs_span
+
 __all__ = ["Rung", "RungAttempt", "LadderTrace", "LadderExhausted", "RetryLadder"]
 
 
@@ -182,7 +185,11 @@ class RetryLadder:
             for attempt in range(1, rung.attempts + 1):
                 began = self._clock()
                 try:
-                    result = rung.run(last_error)
+                    with _obs_span(
+                        f"rung:{rung.name}", category="ladder",
+                        rung=rung.name, attempt=attempt,
+                    ):
+                        result = rung.run(last_error)
                 except self.retry_on as exc:
                     # Chain escalations: this rung's failure is *caused*
                     # by the previous rung's (unless the strategy already
@@ -190,26 +197,36 @@ class RetryLadder:
                     if last_error is not None and exc.__cause__ is None:
                         exc.__cause__ = last_error
                     last_error = exc
+                    iterations = int(getattr(exc, "iterations", 0) or 0)
                     trace.attempts.append(
                         RungAttempt(
                             rung=rung.name,
                             attempt=attempt,
                             ok=False,
                             error=str(exc),
-                            iterations=int(getattr(exc, "iterations", 0) or 0),
+                            iterations=iterations,
                             elapsed_ms=(self._clock() - began) * 1e3,
                         )
                     )
+                    _metric_count("ladder.attempts", rung=rung.name, outcome="failed")
+                    if iterations:
+                        _metric_count(
+                            "ladder.iterations", n=iterations, rung=rung.name
+                        )
                     continue
+                iterations = int(getattr(result, "iterations", 0) or 0)
                 trace.attempts.append(
                     RungAttempt(
                         rung=rung.name,
                         attempt=attempt,
                         ok=True,
-                        iterations=int(getattr(result, "iterations", 0) or 0),
+                        iterations=iterations,
                         elapsed_ms=(self._clock() - began) * 1e3,
                     )
                 )
+                _metric_count("ladder.attempts", rung=rung.name, outcome="ok")
+                if iterations:
+                    _metric_count("ladder.iterations", n=iterations, rung=rung.name)
                 return result, trace
         assert last_error is not None  # rungs is non-empty
         if self._exhausted is not None:

@@ -15,6 +15,8 @@ import numpy as np
 from ..circuit.elements import GROUND
 from ..circuit.netlist import Circuit
 from ..errors import SimulationError
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from .mna import MnaSystem, OperatingPointResult
 
@@ -105,15 +107,21 @@ def ac_analysis(
     if freqs.size == 0 or np.any(freqs <= 0):
         raise SimulationError("AC sweep needs positive frequencies")
     solution = np.zeros((freqs.size, system.size), dtype=complex)
-    for k, frequency in enumerate(freqs):
-        omega = 2.0 * np.pi * frequency
-        matrix, rhs = system.assemble_ac(omega, op.device_ops, source_overrides)
-        try:
-            solution[k] = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SimulationError(
-                f"AC solve failed at {frequency:g} Hz: {exc}"
-            ) from exc
+    with obs_span(
+        f"ac:{circuit.name}", category="sim", points=int(freqs.size)
+    ):
+        for k, frequency in enumerate(freqs):
+            omega = 2.0 * np.pi * frequency
+            matrix, rhs = system.assemble_ac(omega, op.device_ops, source_overrides)
+            try:
+                solution[k] = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"AC solve failed at {frequency:g} Hz: {exc}"
+                ) from exc
+        metric_count("ac.analyses")
+        metric_count("ac.points", n=int(freqs.size))
+        metric_count("ac.lu_solves", n=int(freqs.size))
     phasors = {
         node: solution[:, index] for node, index in system.node_index.items()
     }

@@ -41,6 +41,9 @@ import numpy as np
 from ..circuit.netlist import Circuit
 from ..errors import ConvergenceError
 from ..kb.trace import DesignTrace
+from ..obs.spans import count as metric_count
+from ..obs.spans import observe as metric_observe
+from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget, LadderTrace, RetryLadder, Rung, current_budget
 from ..resilience.faults import fault_point
@@ -333,12 +336,30 @@ def operating_point(
         # its full cap away before the damped rung redoes the work, so
         # the cheap rung only pays for itself on warm starts.
         ladder = ladder.without("plain")
-    try:
-        solved, ladder_trace = ladder.climb()
-    except ConvergenceError as exc:
-        if trace is not None:
-            trace.ladder(block, exc.rung or "?", f"exhausted: {exc}")
-        raise
+    with obs_span(
+        f"dc:{circuit.name}", category="sim",
+        block=block, nodes=system.n_nodes,
+    ) as solve_span:
+        try:
+            solved, ladder_trace = ladder.climb()
+        except ConvergenceError as exc:
+            metric_count("dc.failures")
+            metric_count("dc.newton.iterations", n=exc.iterations, rung="failed")
+            if trace is not None:
+                trace.ladder(block, exc.rung or "?", f"exhausted: {exc}")
+            raise
+        total = ladder_trace.total_iterations
+        solve_span.set("iterations", total)
+        solve_span.set("rung", ladder_trace.succeeded_on())
+        metric_count("dc.solves")
+        # One LU factor-and-solve per Newton iteration (the single
+        # np.linalg.solve in the inner loop).
+        metric_count("dc.lu_solves", n=total)
+        metric_observe("dc.iterations_per_solve", total)
+        for attempt in ladder_trace.attempts:
+            metric_count(
+                "dc.newton.iterations", n=attempt.iterations, rung=attempt.rung
+            )
     if trace is not None and len(ladder_trace.attempts) > 1:
         for attempt in ladder_trace.attempts:
             outcome = "converged" if attempt.ok else f"failed ({attempt.error})"

@@ -23,6 +23,8 @@ import numpy as np
 from ..circuit.elements import GROUND, Capacitor
 from ..circuit.netlist import Circuit
 from ..errors import ConvergenceError, SimulationError
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from .dc import MAX_STEP, RELTOL, VTOL, operating_point
 from .mna import MnaSystem
@@ -176,33 +178,37 @@ def transient_analysis(
     device_ops = op0.device_ops
 
     t = 0.0
-    while t < t_stop - 1e-15:
-        h = min(t_step, t_stop - t)
-        t_next = t + h
-        x_next, device_ops = _solve_timestep(
-            system,
-            x,
-            t_next,
-            h,
-            stimuli,
-            explicit_states,
-            device_states,
-            max_iterations,
-        )
-        # Accept: update companion histories.
-        for state in explicit_states + device_states:
-            v_new = _branch_voltage(x_next, state)
-            geq = 2.0 * state.capacitance / h
-            i_new = geq * (v_new - state.v_prev) - state.i_prev
-            state.v_prev = v_new
-            state.i_prev = i_new
-        # Refresh device capacitance values quasi-statically.
-        for state, (name, a, b, kind) in zip(device_states, device_branches):
-            state.capacitance = getattr(device_ops[name], kind)
-        x = x_next
-        t = t_next
-        times.append(t)
-        history.append(x.copy())
+    with obs_span(f"transient:{circuit.name}", category="sim") as tran_span:
+        while t < t_stop - 1e-15:
+            h = min(t_step, t_stop - t)
+            t_next = t + h
+            x_next, device_ops = _solve_timestep(
+                system,
+                x,
+                t_next,
+                h,
+                stimuli,
+                explicit_states,
+                device_states,
+                max_iterations,
+            )
+            # Accept: update companion histories.
+            for state in explicit_states + device_states:
+                v_new = _branch_voltage(x_next, state)
+                geq = 2.0 * state.capacitance / h
+                i_new = geq * (v_new - state.v_prev) - state.i_prev
+                state.v_prev = v_new
+                state.i_prev = i_new
+            # Refresh device capacitance values quasi-statically.
+            for state, (name, a, b, kind) in zip(device_states, device_branches):
+                state.capacitance = getattr(device_ops[name], kind)
+            x = x_next
+            t = t_next
+            times.append(t)
+            history.append(x.copy())
+        tran_span.set("timesteps", len(times) - 1)
+        metric_count("transient.analyses")
+        metric_count("transient.timesteps", n=len(times) - 1)
 
     stacked = np.vstack(history)
     waveforms = {

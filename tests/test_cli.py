@@ -10,9 +10,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_synthesize_requires_core_args(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["synthesize", "--gain-db", "60"])
+    def test_synthesize_requires_core_args(self, capsys):
+        # Spec flags are optional at parse time (--testcase can supply
+        # them), so an incomplete spec is a runtime error, not argparse's.
+        args = build_parser().parse_args(["synthesize", "--gain-db", "60"])
+        assert args.command == "synthesize"
+        assert main(["synthesize", "--gain-db", "60"]) == 1
+        assert "incomplete specification" in capsys.readouterr().err
 
     def test_suffixes_accepted(self):
         args = build_parser().parse_args(
@@ -395,3 +399,71 @@ class TestSynthesizePrecheck:
         code = main(["synthesize", "--precheck", *INFEASIBLE_FLAGS])
         assert code == 1
         assert "statically infeasible" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        from repro.cli import package_version
+
+        assert package_version() in out
+
+
+class TestObservabilityCli:
+    def test_synth_alias_with_testcase_number(self, capsys):
+        assert main(["synth", "--testcase", "1"]) == 0
+        assert "Selected style" in capsys.readouterr().out
+
+    def test_trace_out_chrome_is_valid(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "synth",
+                    "--testcase",
+                    "A",
+                    "--trace-out",
+                    str(path),
+                    "--trace-format",
+                    "chrome",
+                ]
+            )
+            == 0
+        )
+        assert "Trace (chrome" in capsys.readouterr().out
+        data = json.loads(path.read_text(encoding="utf-8"))
+        events = data["traceEvents"]
+        assert any(
+            e["ph"] == "X" and e["name"] == "synthesize" for e in events
+        )
+        assert data["otherData"]["metrics"]["counters"]
+
+    def test_trace_out_jsonl_feeds_stats(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["synthesize", *CASE_A_FLAGS, "--trace-out", str(path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "JSONL trace:" in out
+        assert "synthesize" in out
+
+    def test_stats_runs_observed_synthesis(self, capsys):
+        assert main(["stats", "--testcase", "B"]) == 0
+        out = capsys.readouterr().out
+        assert "Run report:" in out
+        assert "plan.steps" in out
+
+    def test_stats_without_input_errors(self, capsys):
+        assert main(["stats"]) == 1
+        assert "nothing to report on" in capsys.readouterr().err
