@@ -1,0 +1,136 @@
+"""Batch engine benchmark: pool scaling and cached-rerun speedup.
+
+Two perf claims ride on the batch engine and both are recorded here,
+merged into ``BENCH_synth.json`` (under a ``"batch"`` key, alongside
+the per-amp runtimes from ``test_runtime.py``) so CI archives them as
+one artifact:
+
+* **Scaling** -- the A/B/C x corner grid through ``run_batch`` with one
+  worker versus a pool.  The speedup assertion only arms on machines
+  with >= 4 usable cores (CI runners); on smaller boxes the numbers are
+  recorded for the artifact but pool overhead legitimately dominates.
+* **Cache-warm speedup** -- the same grid cold (empty disk cache) and
+  warm (second run over the populated cache).  A warm rerun replays
+  stored records instead of re-synthesizing, so it must be at least
+  3x faster end to end -- and byte-identical modulo volatile keys.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.batch import build_tasks, run_batch
+from repro.cli import package_version
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+
+CORNERS = ("typical", "fast", "slow")
+
+
+def _usable_cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _grid(**options):
+    specs = sorted(paper_test_cases().items())
+    return build_tasks(specs, CMOS_5UM, corners=CORNERS, **options)
+
+
+def _timed_batch(tasks, **kwargs):
+    start = time.perf_counter()
+    results = sorted(run_batch(tasks, **kwargs), key=lambda r: r.index)
+    return time.perf_counter() - start, results
+
+
+def _canonical(results):
+    return [r.canonical_json() for r in results]
+
+
+def test_pool_scaling(once, benchmark):
+    cores = _usable_cores()
+    jobs = min(4, cores) if cores > 1 else 2
+
+    serial_s, serial = once(benchmark, _timed_batch, _grid(), jobs=1)
+    pooled_s, pooled = _timed_batch(_grid(), jobs=jobs)
+
+    # Determinism first: the pool must not change a single byte.
+    assert _canonical(pooled) == _canonical(serial)
+    assert all(r.ok for r in serial)
+
+    speedup = serial_s / pooled_s if pooled_s > 0 else float("inf")
+    print()
+    print(
+        f"  grid: {len(serial)} tasks  serial {serial_s * 1e3:7.1f} ms  "
+        f"jobs={jobs} {pooled_s * 1e3:7.1f} ms  speedup {speedup:4.2f}x "
+        f"({cores} usable cores)"
+    )
+    if cores >= 4:
+        # Pool startup costs are real; demand only that parallelism
+        # recoups them on a grid this size.
+        assert speedup > 1.0, f"no pool speedup on {cores} cores"
+
+    _merge_bench_section(
+        "scaling",
+        {
+            "tasks": len(serial),
+            "jobs": jobs,
+            "usable_cores": cores,
+            "serial_ms": round(serial_s * 1e3, 3),
+            "pooled_ms": round(pooled_s * 1e3, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
+
+
+def test_cache_warm_speedup(tmp_path):
+    options = dict(use_cache=True, cache_dir=str(tmp_path))
+
+    cold_s, cold = _timed_batch(_grid(**options), jobs=1)
+    warm_s, warm = _timed_batch(_grid(**options), jobs=1)
+
+    # Same answers, and the warm run really was served from the cache.
+    assert _canonical(warm) == _canonical(cold)
+    assert all(r.record["cache"] == "miss" for r in cold)
+    assert all(r.record["cache"] == "hit" for r in warm)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print()
+    print(
+        f"  cache: cold {cold_s * 1e3:7.1f} ms  warm {warm_s * 1e3:7.1f} ms  "
+        f"speedup {speedup:4.2f}x"
+    )
+    assert speedup >= 3.0, f"warm rerun only {speedup:.2f}x faster"
+
+    _merge_bench_section(
+        "cache",
+        {
+            "tasks": len(cold),
+            "cold_ms": round(cold_s * 1e3, 3),
+            "warm_ms": round(warm_s * 1e3, 3),
+            "speedup": round(speedup, 3),
+        },
+    )
+
+
+def _merge_bench_section(section, payload):
+    """Fold a batch measurement into BENCH_synth.json in place."""
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    else:  # batch bench ran first; seed the envelope
+        data = {
+            "bench": "synth_runtime",
+            "version": package_version(),
+            "python": platform.python_version(),
+            "cases": {},
+        }
+    data.setdefault("batch", {})[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

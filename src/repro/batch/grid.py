@@ -1,0 +1,276 @@
+"""Batch task grids: spec sweeps x process corners x test cases.
+
+The batch engine consumes a flat list of :class:`BatchTask`; this module
+builds that list from the three axes a dataset-generation run sweeps:
+
+* **specifications** -- explicit :class:`~repro.kb.specs.OpAmpSpec`
+  objects, the paper's A/B/C test cases, or a base spec expanded over
+  ``--sweep gain=60:80:5``-style axes (full cross product, deterministic
+  order);
+* **process corners** -- ``typical`` / ``fast`` / ``slow`` via
+  :meth:`~repro.process.parameters.ProcessParameters.corner`;
+* **run options** -- verification, budgets, cache policy -- inherited
+  identically by every task.
+
+Grid files (``repro batch --grid jobs.json``) are plain JSON::
+
+    {
+      "testcases": ["A", "B"],
+      "base": {"gain_db": 60, "unity_gain_hz": 1e6, "phase_margin_deg": 60,
+               "slew_rate": 2e6, "load_capacitance": 1e-11, "output_swing": 3.0},
+      "sweeps": {"gain_db": [60, 70, 80], "slew_rate": "1e6:3e6:1e6"},
+      "corners": ["typical", "slow"]
+    }
+
+(``testcases`` and ``base``+``sweeps`` may be combined; every resulting
+spec runs on every corner.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SpecificationError
+from ..kb.specs import OpAmpSpec
+from ..process.parameters import ProcessParameters
+from ..units import parse_quantity
+
+__all__ = [
+    "BatchTask",
+    "SWEEP_FIELDS",
+    "parse_sweep",
+    "sweep_values",
+    "expand_sweeps",
+    "build_tasks",
+    "load_grid",
+    "grid_from_config",
+]
+
+#: Recognized sweep-axis names (CLI short forms included) -> OpAmpSpec
+#: field.  Values go through :func:`repro.units.parse_quantity`, so
+#: ``load=5p:20p:5p`` works.
+SWEEP_FIELDS: Dict[str, str] = {
+    "gain": "gain_db",
+    "gain_db": "gain_db",
+    "ugf": "unity_gain_hz",
+    "unity_gain_hz": "unity_gain_hz",
+    "pm": "phase_margin_deg",
+    "phase_margin_deg": "phase_margin_deg",
+    "slew": "slew_rate",
+    "slew_rate": "slew_rate",
+    "load": "load_capacitance",
+    "load_capacitance": "load_capacitance",
+    "swing": "output_swing",
+    "output_swing": "output_swing",
+    "offset": "offset_max_mv",
+    "offset_max_mv": "offset_max_mv",
+    "power": "power_max",
+    "power_max": "power_max",
+}
+
+#: The classic corner names, in canonical order.
+CORNERS: Tuple[str, ...] = ("typical", "fast", "slow")
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work: a spec on a process, plus run options.
+
+    Frozen and picklable by construction: tasks cross process
+    boundaries.  ``index`` is the task's position in the grid (results
+    are re-sorted by it, so output order never depends on completion
+    order); ``label`` is the human-readable grid coordinate.
+    """
+
+    index: int
+    label: str
+    spec: OpAmpSpec
+    process: ProcessParameters
+    corner: str = "typical"
+    styles: Optional[Tuple[str, ...]] = None
+    verify: bool = False
+    precheck: bool = False
+    budget_wall_ms: Optional[float] = None
+    budget_style_ms: Optional[float] = None
+    budget_newton_iterations: Optional[int] = None
+    use_cache: bool = False
+    cache_dir: Optional[str] = None
+    observe: bool = False
+    collect_trace: bool = False
+
+
+def _parse_values(text: str) -> List[float]:
+    """``"60:80:5"`` (inclusive range), ``"1,2,5"`` (list), ``"42"``."""
+    text = text.strip()
+    if ":" in text:
+        parts = [p.strip() for p in text.split(":")]
+        if len(parts) != 3:
+            raise SpecificationError(
+                f"sweep range must be START:STOP:STEP, got {text!r}"
+            )
+        start, stop, step = (parse_quantity(p) for p in parts)
+        if step <= 0:
+            raise SpecificationError(f"sweep step must be positive: {text!r}")
+        if stop < start:
+            raise SpecificationError(
+                f"sweep stop {stop:g} below start {start:g}: {text!r}"
+            )
+        count = int((stop - start) / step + 1e-9) + 1
+        return [start + i * step for i in range(count)]
+    if "," in text:
+        return [parse_quantity(p) for p in text.split(",") if p.strip()]
+    return [parse_quantity(text)]
+
+
+def parse_sweep(text: str) -> Tuple[str, List[float]]:
+    """Parse one ``--sweep`` argument: ``NAME=START:STOP:STEP`` /
+    ``NAME=V1,V2,...`` / ``NAME=V``.  Returns (spec field, values)."""
+    name, sep, values = text.partition("=")
+    name = name.strip().lower()
+    if not sep or not values.strip():
+        raise SpecificationError(
+            f"sweep must look like name=start:stop:step, got {text!r}"
+        )
+    field = SWEEP_FIELDS.get(name)
+    if field is None:
+        raise SpecificationError(
+            f"unknown sweep axis {name!r}; known: "
+            f"{sorted(set(SWEEP_FIELDS))}"
+        )
+    return field, _parse_values(values)
+
+
+def sweep_values(spec: Union[str, Sequence[float]]) -> List[float]:
+    """Normalize a grid-file sweep spec (string or list) to values."""
+    if isinstance(spec, str):
+        return _parse_values(spec)
+    return [float(v) for v in spec]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+def expand_sweeps(
+    base: OpAmpSpec, sweeps: Mapping[str, Sequence[float]]
+) -> List[Tuple[str, OpAmpSpec]]:
+    """Cross product of sweep axes over ``base``.
+
+    Axes iterate in sorted field order, values in given order; labels
+    are ``"gain_db=60,slew_rate=2e+06"`` grid coordinates.  With no
+    sweeps the result is ``[("spec", base)]``.
+    """
+    if not sweeps:
+        return [("spec", base)]
+    fields = sorted(sweeps)
+    valid = set(SWEEP_FIELDS.values())
+    for field in fields:
+        if field not in valid:
+            raise SpecificationError(
+                f"unknown sweep field {field!r}; known: {sorted(valid)}"
+            )
+    out: List[Tuple[str, OpAmpSpec]] = []
+    for combo in itertools.product(*(sweeps[f] for f in fields)):
+        label = ",".join(
+            f"{field}={_fmt(value)}" for field, value in zip(fields, combo)
+        )
+        out.append(
+            (label, replace(base, **dict(zip(fields, combo))))
+        )
+    return out
+
+
+def build_tasks(
+    specs: Sequence[Tuple[str, OpAmpSpec]],
+    process: ProcessParameters,
+    corners: Sequence[str] = ("typical",),
+    **options: Any,
+) -> List[BatchTask]:
+    """The full grid: every labeled spec on every process corner.
+
+    ``options`` are forwarded to every :class:`BatchTask` (styles,
+    verify, budgets, cache policy...).
+    """
+    tasks: List[BatchTask] = []
+    index = 0
+    for label, spec in specs:
+        for corner in corners:
+            cornered = process if corner == "typical" else process.corner(corner)
+            task_label = label if corner == "typical" else f"{label}@{corner}"
+            tasks.append(
+                BatchTask(
+                    index=index,
+                    label=task_label,
+                    spec=spec,
+                    process=cornered,
+                    corner=corner,
+                    **options,
+                )
+            )
+            index += 1
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Grid files
+# ----------------------------------------------------------------------
+_SPEC_FIELDS = {f.name for f in dataclasses.fields(OpAmpSpec)}
+
+
+def grid_from_config(
+    config: Mapping[str, Any],
+    process: ProcessParameters,
+    **options: Any,
+) -> List[BatchTask]:
+    """Build tasks from a parsed grid-file dict (see module docstring)."""
+    labeled: List[Tuple[str, OpAmpSpec]] = []
+    for label in config.get("testcases", ()):
+        from ..opamp.testcases import paper_test_cases
+
+        cases = paper_test_cases()
+        if label not in cases:
+            raise SpecificationError(
+                f"grid: unknown testcase {label!r} (have {sorted(cases)})"
+            )
+        labeled.append((f"case-{label}", cases[label]))
+    base_fields = config.get("base")
+    if base_fields is not None:
+        unknown = set(base_fields) - _SPEC_FIELDS
+        if unknown:
+            raise SpecificationError(
+                f"grid: unknown base spec fields {sorted(unknown)}"
+            )
+        base = OpAmpSpec(**{k: float(v) for k, v in base_fields.items()})
+        sweeps = {
+            field: sweep_values(values)
+            for field, values in (config.get("sweeps") or {}).items()
+        }
+        labeled.extend(expand_sweeps(base, sweeps))
+    elif config.get("sweeps"):
+        raise SpecificationError("grid: 'sweeps' requires a 'base' spec")
+    if not labeled:
+        raise SpecificationError(
+            "grid: nothing to run (give 'testcases' and/or 'base')"
+        )
+    corners = tuple(config.get("corners", ("typical",)))
+    for corner in corners:
+        if corner not in CORNERS:
+            raise SpecificationError(
+                f"grid: unknown corner {corner!r} (have {list(CORNERS)})"
+            )
+    return build_tasks(labeled, process, corners=corners, **options)
+
+
+def load_grid(
+    path: str, process: ProcessParameters, **options: Any
+) -> List[BatchTask]:
+    """Read a JSON grid file and build its tasks."""
+    with open(path, "r", encoding="utf-8") as handle:
+        config = json.load(handle)
+    if not isinstance(config, dict):
+        raise SpecificationError(f"grid file {path!r} must hold a JSON object")
+    return grid_from_config(config, process, **options)

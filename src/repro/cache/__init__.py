@@ -1,0 +1,67 @@
+"""Deterministic, content-addressed result caching.
+
+OASYS-style synthesis is cheap per run but is *meant* to be run in
+bulk -- spec sweeps, corner grids, style ablations -- and those
+workloads recompute identical plan translations and DC operating points
+endlessly.  This package memoizes them safely:
+
+* :mod:`repro.cache.keys` -- canonical hashing: dict-order- and
+  unit-formatting-insensitive content addresses for specs, processes,
+  netlists, and the knowledge base itself;
+* :mod:`repro.cache.store` -- verified memory/disk stores with
+  KB-version invalidation, corruption self-healing, and hit/miss
+  counters wired into the observability metrics.
+
+The cache is ambient and opt-in::
+
+    from repro.cache import ResultCache, cache_scope
+
+    with cache_scope(ResultCache(disk_dir=".repro-cache")):
+        synthesize(spec, process)      # op points memoized
+        synthesize(spec, process)      # ... and reused
+
+``REPRO_CACHE_DIR`` enables the disk layer from the environment (see
+:func:`cache_from_env`); ``repro batch --cache`` uses it automatically.
+"""
+
+from .keys import (
+    canonical_json,
+    canonicalize,
+    circuit_key,
+    content_key,
+    kb_fingerprint,
+    plan_fingerprint,
+    process_key,
+    spec_key,
+)
+from .store import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    DiskCache,
+    MemoryCache,
+    ResultCache,
+    cache_from_env,
+    cache_scope,
+    current_cache,
+    memoize,
+)
+
+__all__ = [
+    "canonicalize",
+    "canonical_json",
+    "content_key",
+    "spec_key",
+    "process_key",
+    "circuit_key",
+    "plan_fingerprint",
+    "kb_fingerprint",
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "MemoryCache",
+    "DiskCache",
+    "ResultCache",
+    "current_cache",
+    "cache_scope",
+    "cache_from_env",
+    "memoize",
+]

@@ -1,0 +1,206 @@
+"""Canonical hashing for the deterministic result cache.
+
+Everything the cache stores is keyed by a **content address**: a SHA-256
+digest of a *canonical JSON* rendering of the inputs that produced the
+value.  Two inputs that are semantically identical must hash
+identically, no matter how they were spelled or assembled:
+
+* **dict ordering** -- keys are sorted at serialization time, so
+  ``{"a": 1, "b": 2}`` and the same dict built in the opposite insertion
+  order produce the same bytes;
+* **unit formatting** -- quantities are hashed as *parsed floats*, so a
+  spec built from ``parse_quantity("10p")`` and one built from
+  ``1e-11`` collide (as they must: they are the same specification);
+* **numeric noise** -- ``-0.0`` normalizes to ``0.0``, integral floats
+  hash like their int value, NaN/inf get explicit tokens (plain
+  ``json`` would reject or misrender them);
+* **containers** -- tuples hash like lists, sets/frozensets are sorted
+  (set *iteration order* is ``PYTHONHASHSEED``-dependent and must never
+  leak into a key), dataclasses hash as tagged field dicts, enums as
+  ``class.value``.
+
+The top-level entry points are :func:`content_key` (hash any canonical
+structure), and the domain helpers :func:`spec_key`,
+:func:`process_key`, :func:`circuit_key` and :func:`kb_fingerprint`
+(spec + process + netlist + knowledge-base identities).  The KB
+fingerprint folds :data:`repro.kb.KB_VERSION` together with the
+registered templates' plan/rule structure, so editing a plan -- or
+bumping the version -- invalidates every dependent entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..circuit.netlist import Circuit
+    from ..kb.specs import OpAmpSpec
+    from ..process.parameters import ProcessParameters
+
+__all__ = [
+    "canonicalize",
+    "canonical_json",
+    "content_key",
+    "spec_key",
+    "process_key",
+    "circuit_key",
+    "kb_fingerprint",
+    "plan_fingerprint",
+]
+
+Canonical = Union[None, bool, int, float, str, List[Any], Dict[str, Any]]
+
+
+def _canonical_float(value: float) -> Union[int, float, str]:
+    """Normalize one float for hashing.
+
+    * ``-0.0`` -> ``0.0`` (equal floats must hash equally);
+    * integral floats -> int (``1e6`` and ``1000000`` are the same
+      quantity no matter how the spec file spelled it);
+    * NaN / +-inf -> explicit string tokens (canonical JSON is emitted
+      with ``allow_nan=False``).
+    """
+    if math.isnan(value):
+        return "__nan__"
+    if math.isinf(value):
+        return "__+inf__" if value > 0 else "__-inf__"
+    if value == 0.0:
+        return 0  # folds -0.0 and 0.0 (and int 0)
+    if value.is_integer() and abs(value) < 2**53:
+        return int(value)
+    return value
+
+
+def canonicalize(obj: Any) -> Canonical:
+    """Reduce ``obj`` to a canonical JSON-able structure (see module
+    docstring for the normalization rules).
+
+    Raises:
+        TypeError: for objects with no canonical form (functions, open
+            files...); the cache must never silently hash ``repr()``.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return _canonical_float(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.value}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        out: Dict[str, Any] = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                key = json.dumps(canonicalize(key), sort_keys=True)
+            out[key] = canonicalize(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonicalize(item) for item in obj]
+        return sorted(items, key=lambda c: json.dumps(c, sort_keys=True))
+    # numpy scalars (float64, int64...) expose .item(); accept them
+    # without importing numpy here.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        value = item()
+        if isinstance(value, (bool, int, float, str)):
+            return canonicalize(value)
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache hashing"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON rendering of ``obj`` (compact, sorted keys)."""
+    return json.dumps(
+        canonicalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+        ensure_ascii=True,
+    )
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 content address of canonicalized ``parts`` (hex)."""
+    payload = canonical_json(list(parts))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Domain identities
+# ----------------------------------------------------------------------
+def spec_key(spec: "OpAmpSpec") -> str:
+    """Content address of a performance specification."""
+    return content_key("OpAmpSpec", spec)
+
+
+def process_key(process: "ProcessParameters") -> str:
+    """Content address of a fabrication process (both device decks,
+    geometry/supply values, extras)."""
+    return content_key("ProcessParameters", process)
+
+
+def circuit_key(circuit: "Circuit") -> str:
+    """Content address of a netlist: name + every element's full field
+    set, in deterministic element order."""
+    elements = [
+        {"__element__": type(element).__name__, **dataclasses.asdict(element)}
+        for element in circuit.elements
+    ]
+    return content_key("Circuit", circuit.name, elements)
+
+
+def plan_fingerprint(template: Any) -> Dict[str, Any]:
+    """Structural fingerprint of one topology template: style, plan
+    name, ordered step names, ordered rule names, sub-block wiring.
+    Renaming / reordering / adding a step or rule changes the
+    fingerprint -- and therefore every cached translation for the
+    style."""
+    plan = template.build_plan()
+    rules = template.build_rules()
+    return {
+        "block_type": template.block_type,
+        "style": template.style,
+        "plan": plan.name,
+        "steps": [step.name for step in plan],
+        "rules": [rule.name for rule in rules],
+        "sub_blocks": [list(pair) for pair in template.sub_blocks],
+    }
+
+
+_KB_FINGERPRINT_CACHE: Optional[str] = None
+
+
+def kb_fingerprint(refresh: bool = False) -> str:
+    """Content address of the active knowledge base.
+
+    Combines :data:`repro.kb.KB_VERSION` with the
+    :func:`plan_fingerprint` of every template in the op amp catalogue.
+    Cached after the first call (the KB is immutable at runtime); pass
+    ``refresh=True`` from tests that monkeypatch the version.
+    """
+    global _KB_FINGERPRINT_CACHE
+    if _KB_FINGERPRINT_CACHE is not None and not refresh:
+        return _KB_FINGERPRINT_CACHE
+    # Imported lazily: repro.opamp imports the simulator, which imports
+    # this package for the operating-point cache hook.
+    from ..kb import KB_VERSION
+    from ..opamp.designer import OPAMP_CATALOG
+
+    fingerprints = [plan_fingerprint(t) for t in OPAMP_CATALOG]
+    fingerprints.sort(key=lambda f: (f["block_type"], f["style"]))
+    _KB_FINGERPRINT_CACHE = content_key("kb", KB_VERSION, fingerprints)
+    return _KB_FINGERPRINT_CACHE

@@ -24,7 +24,13 @@ equivalent.  Commands:
   follows the worst finding (0 clean/info, 1 warning, 2 error);
 * ``analyze``    -- abstract interpretation range report: how each
   design style's plan behaves over the spec inflated to process-corner
-  intervals, without running the concrete synthesizer.
+  intervals, without running the concrete synthesizer;
+* ``batch``      -- parallel batch synthesis: expand a task grid
+  (``--testcase`` cases and/or a base spec crossed over ``--sweep``
+  axes and ``--corners``, or a ``--grid`` JSON file), run it on
+  ``--jobs`` worker processes with optional result caching
+  (``--cache`` / ``--cache-dir``), and emit one JSON record per task
+  (JSONL, grid order -- byte-identical for any ``--jobs``).
 
 All quantity arguments accept SPICE suffixes (``10p``, ``2MEG``...).
 """
@@ -345,8 +351,126 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="synthesize the paper's Table 2 case under observation",
     )
+    stats.add_argument(
+        "--cache",
+        action="store_true",
+        help="run the observed synthesis twice under a result cache and "
+        "print the hit/miss statistics (cold run then warm rerun)",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="back the --cache run with a persistent disk cache at DIR "
+        "(implies --cache)",
+    )
     _add_spec_arguments(stats, required=False)
     _add_process_arguments(stats)
+
+    # batch --------------------------------------------------------------
+    batch = commands.add_parser(
+        "batch",
+        help="parallel batch synthesis over a spec grid",
+        description="Expand a task grid (test cases and/or a base spec "
+        "swept over --sweep axes, crossed with process corners), run it "
+        "on a worker pool, and write one JSON record per task (JSONL, "
+        "grid order).  Failures are contained per task; the exit code "
+        "is 0 when every task produced a design, 3 otherwise.",
+    )
+    batch.add_argument(
+        "--testcase",
+        action="append",
+        dest="testcases",
+        choices=sorted("ABC") + sorted(_TESTCASE_ALIASES),
+        default=None,
+        help="add a paper Table 2 case to the grid (repeatable)",
+    )
+    _add_spec_arguments(batch, required=False)
+    batch.add_argument(
+        "--sweep",
+        action="append",
+        default=None,
+        metavar="NAME=START:STOP:STEP",
+        help="sweep a spec axis over the base spec given by the spec "
+        "flags: name=start:stop:step, name=v1,v2,... or name=value; "
+        "repeatable, axes cross-product (e.g. --sweep gain=60:80:5)",
+    )
+    batch.add_argument(
+        "--corners",
+        default="typical",
+        help="comma-separated process corners: typical,fast,slow "
+        "(default: typical)",
+    )
+    batch.add_argument(
+        "--grid",
+        default=None,
+        metavar="FILE",
+        help="JSON grid file (testcases/base/sweeps/corners); exclusive "
+        "with --testcase/--sweep/spec flags",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = inline; 0 = one per CPU)",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-runs for a task whose worker crashed (default: 1)",
+    )
+    batch.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize task results and DC operating points in-process "
+        "(add --cache-dir to persist across runs)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk cache directory shared by workers and reruns "
+        "(implies --cache)",
+    )
+    batch.add_argument(
+        "--verify", action="store_true", help="measure each design with the simulator"
+    )
+    batch.add_argument(
+        "--precheck",
+        action="store_true",
+        help="static feasibility gate before each plan execution",
+    )
+    batch.add_argument(
+        "--styles",
+        choices=["paper", "extended"],
+        default="paper",
+        help="style catalogue (as in synthesize)",
+    )
+    batch.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="wall-clock budget per task, milliseconds",
+    )
+    batch.add_argument(
+        "--observe",
+        action="store_true",
+        help="collect per-task metrics and print the merged snapshot",
+    )
+    batch.add_argument(
+        "--collect-trace",
+        action="store_true",
+        help="include each task's design-trace events in its record",
+    )
+    batch.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write JSONL records here (default: stdout)",
+    )
+    _add_process_arguments(batch)
 
     return parser
 
@@ -578,10 +702,133 @@ def _cmd_stats(args) -> int:
         )
     process = _process_from_args(args)
     spec = _spec_or_testcase(args)
+    if args.cache or args.cache_dir:
+        # Synthesis itself is analytic; the cache earns its keep on the
+        # *simulator* (DC operating points).  Verify twice -- cold then
+        # warm -- so the hit/miss statistics show real traffic.
+        from .cache import ResultCache, cache_scope
+        from .opamp import verify_opamp
+
+        cache = ResultCache(disk_dir=args.cache_dir)
+        with cache_scope(cache):
+            result = synthesize(spec, process, observe=True)
+            if result.best is not None:
+                verify_opamp(result.best)  # cold: populate
+                verify_opamp(result.best)  # warm: hits
+        assert result.report is not None
+        print(result.report.summary())
+        print()
+        print(cache.render_stats())
+        return 0
     result = synthesize(spec, process, observe=True)
     assert result.report is not None  # observe=True guarantees a report
     print(result.report.summary())
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from .batch import (
+        build_tasks,
+        default_jobs,
+        expand_sweeps,
+        load_grid,
+        parse_sweep,
+        run_batch,
+    )
+
+    process = _process_from_args(args)
+    use_cache = args.cache or bool(args.cache_dir)
+    styles = None
+    if args.styles == "extended":
+        from .opamp import EXTENDED_STYLES
+
+        styles = EXTENDED_STYLES
+    options = dict(
+        styles=styles,
+        verify=args.verify,
+        precheck=args.precheck,
+        budget_wall_ms=args.budget_ms,
+        use_cache=use_cache,
+        cache_dir=args.cache_dir,
+        observe=args.observe,
+        collect_trace=args.collect_trace,
+    )
+    spec_flags_given = any(
+        getattr(args, name) is not None for name in _SPEC_FLAGS
+    )
+    if args.grid:
+        if args.testcases or args.sweep or spec_flags_given:
+            raise ReproError(
+                "--grid is exclusive with --testcase/--sweep/spec flags "
+                "(put them in the grid file)"
+            )
+        tasks = load_grid(args.grid, process, **options)
+    else:
+        labeled = []
+        for label in args.testcases or ():
+            from .opamp.testcases import paper_test_cases
+
+            canon = _TESTCASE_ALIASES.get(label, label)
+            labeled.append((f"case-{canon}", paper_test_cases()[canon]))
+        sweeps = {}
+        for text in args.sweep or ():
+            field, values = parse_sweep(text)
+            sweeps[field] = values
+        if spec_flags_given:
+            labeled.extend(expand_sweeps(_spec_from_args(args), sweeps))
+        elif sweeps:
+            raise ReproError(
+                "--sweep needs a base specification (the spec flags)"
+            )
+        if not labeled:
+            raise ReproError(
+                "empty grid: give --testcase, spec flags (+ --sweep), "
+                "or --grid FILE"
+            )
+        corners = tuple(
+            c.strip() for c in args.corners.split(",") if c.strip()
+        )
+        tasks = build_tasks(labeled, process, corners=corners, **options)
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    tracer = None
+    if args.observe:
+        from .obs import Tracer
+
+        tracer = Tracer()
+
+    def run():
+        results = list(run_batch(tasks, jobs=jobs, retries=args.retries))
+        results.sort(key=lambda r: r.index)
+        return results
+
+    if tracer is not None:
+        with tracer.activate():
+            results = run()
+    else:
+        results = run()
+
+    lines = "".join(result.to_json() + "\n" for result in results)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+    else:
+        sys.stdout.write(lines)
+
+    ok = sum(1 for r in results if r.ok)
+    hits = sum(1 for r in results if r.record.get("cache") == "hit")
+    summary = (
+        f"batch: {len(results)} tasks on {jobs} worker(s): "
+        f"{ok} ok, {len(results) - ok} failed"
+    )
+    if use_cache:
+        summary += f", {hits} cached"
+    print(summary, file=sys.stderr)
+    if tracer is not None:
+        from .obs.export import render_metrics
+
+        print(render_metrics(tracer.metrics.snapshot()), file=sys.stderr)
+    return 0 if ok == len(results) else 3
 
 
 _COMMANDS = {
@@ -594,6 +841,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,
+    "batch": _cmd_batch,
 }
 
 

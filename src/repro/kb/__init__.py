@@ -17,6 +17,13 @@ Design-style selection is breadth-first (:mod:`repro.kb.selection`), and
 every synthesis run records a :class:`~repro.kb.trace.DesignTrace`.
 """
 
+#: Knowledge-base version.  Bump whenever a plan, rule, or template
+#: changes *behaviour* (not just refactoring): the deterministic result
+#: cache (:mod:`repro.cache`) folds this version into every key (via
+#: :func:`repro.cache.kb_fingerprint`), so a bump explicitly invalidates
+#: all previously cached plan translations and synthesis results.
+KB_VERSION = "2026.08.0"
+
 from .specs import OpAmpSpec, Specification, SpecEntry, SpecKind, Violation
 from .blocks import Block
 from .plans import DesignState, Plan, PlanExecutor, PlanStep
@@ -26,6 +33,7 @@ from .templates import StyleCatalog, TopologyTemplate
 from .trace import DesignTrace, TraceEvent
 
 __all__ = [
+    "KB_VERSION",
     "SpecKind",
     "SpecEntry",
     "Specification",

@@ -965,7 +965,11 @@ def _widen_state(
     target.  Numeric variables widen bound-wise; unstable non-numeric
     values degrade to TOP; unstable choices are dropped."""
     widened = current.clone()
-    for name in set(prev.vars) | set(current.vars):
+    # sorted(): set-union iteration order depends on PYTHONHASHSEED, and
+    # it decides the insertion order of widened.vars -- which leaks into
+    # rendered range reports.  Determinism under hash randomization is a
+    # repo invariant (tests/test_determinism.py), so iterate name order.
+    for name in sorted(set(prev.vars) | set(current.vars)):
         if name not in prev.vars or name not in current.vars:
             widened.vars[name] = Interval.top()
             continue
@@ -979,7 +983,7 @@ def _widen_state(
             widened.vars[name] = cv
         else:
             widened.vars[name] = Interval.top()
-    for slot in set(prev.choices) | set(current.choices):
+    for slot in sorted(set(prev.choices) | set(current.choices)):
         if prev.choices.get(slot) != current.choices.get(slot):
             widened.choices.pop(slot, None)
     return widened

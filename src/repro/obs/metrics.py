@@ -210,3 +210,55 @@ class MetricsRegistry:
                 for key in sorted(self._histograms)
             },
         }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict from *another* registry into
+        this one -- how the batch engine aggregates per-worker metrics
+        into the parent run's registry.
+
+        Counters add; gauges take the incoming value (last write wins,
+        matching :class:`Gauge` semantics); histograms merge
+        count/sum/min/max and re-bin bucket counts by their labelled
+        upper bound (``le_X`` buckets land on the matching bound of the
+        local histogram, ``gt_X`` and unknown bounds overflow into the
+        final bucket).  Merging the empty snapshot is a no-op, and
+        ``a.merge_snapshot(b.snapshot())`` leaves ``a.snapshot()``
+        deterministic (keys re-sort on the way out).
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.inc(float(value))
+        for key, value in (snapshot.get("gauges") or {}).items():
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(float(value))
+        for key, snap in (snapshot.get("histograms") or {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            count = int(snap.get("count", 0))
+            if not count:
+                continue
+            hist.count += count
+            hist.total += float(snap.get("sum", 0.0))
+            if snap.get("min") is not None:
+                hist.minimum = min(hist.minimum, float(snap["min"]))
+            if snap.get("max") is not None:
+                hist.maximum = max(hist.maximum, float(snap["max"]))
+            for label, n in (snap.get("buckets") or {}).items():
+                if label.startswith("le_"):
+                    try:
+                        bound = float(label[3:])
+                    except ValueError:
+                        bound = float("inf")
+                    for i, local_bound in enumerate(hist.bounds):
+                        if bound <= local_bound:
+                            hist.bucket_counts[i] += int(n)
+                            break
+                    else:
+                        hist.bucket_counts[-1] += int(n)
+                else:  # gt_* overflow bucket
+                    hist.bucket_counts[-1] += int(n)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 import io
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..circuit.builder import CircuitBuilder
 from ..circuit.netlist import Circuit
@@ -61,6 +63,43 @@ class DesignedOpAmp:
 
     def soft_violation_count(self) -> int:
         return sum(1 for v in self.violations() if not v.hard)
+
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """Canonical sized-schematic record: a plain-JSON rendering of
+        everything the synthesis decided -- style, per-device geometry,
+        predicted performance, spec verdicts.
+
+        This is the repo's *golden artifact*: byte-stable across runs,
+        across ``--jobs`` counts, and across ``PYTHONHASHSEED`` values
+        (see tests/test_golden_runs.py).  Devices appear in emission
+        order (deterministic), floats are emitted exactly as computed
+        (shortest-repr, so equality means bit-identical doubles).
+        """
+        circuit = self.standalone_circuit()
+        devices = []
+        for element in circuit.elements:
+            entry: Dict[str, Any] = {"element": type(element).__name__}
+            entry.update(dataclasses.asdict(element))
+            devices.append(entry)
+        return {
+            "style": self.style,
+            "process": self.process.name,
+            "area_m2": self.area,
+            "transistor_count": circuit.transistor_count(),
+            "performance": {
+                key: self.performance[key] for key in sorted(self.performance)
+            },
+            "violations": [str(v) for v in self.violations()],
+            "devices": devices,
+            "nodes": list(circuit.nodes),
+        }
+
+    def record_json(self) -> str:
+        """The canonical record as deterministic JSON bytes (sorted
+        keys, 2-space indent, trailing newline) -- what the golden
+        files under tests/golden/ hold."""
+        return json.dumps(self.to_record(), indent=2, sort_keys=True) + "\n"
 
     # ------------------------------------------------------------------
     def standalone_circuit(self, name: Optional[str] = None) -> Circuit:

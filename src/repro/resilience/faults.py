@@ -344,6 +344,18 @@ register_fault_site(
     "(exercises verification-path containment)",
 )
 register_fault_site(
+    "cache.corrupt",
+    "result-cache read: the fetched payload is poisoned after the read "
+    "and before digest verification (exercises cache self-healing: a "
+    "corrupt entry must become a recompute, never a wrong answer)",
+    kind="nan",
+)
+register_fault_site(
+    "worker.crash",
+    "batch worker entry: the worker dies before running its task "
+    "(exercises the batch engine's requeue/retry path)",
+)
+register_fault_site(
     "budget.clock",
     "budget clock skew: wall-clock jumps forward by skew_ms "
     "(exercises deadline handling without sleeping in tests)",

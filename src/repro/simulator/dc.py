@@ -38,7 +38,9 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..cache import circuit_key, content_key, current_cache, process_key
 from ..circuit.netlist import Circuit
+from ..devices.mosfet import MosfetOperatingPoint, Region
 from ..errors import ConvergenceError
 from ..kb.trace import DesignTrace
 from ..obs.spans import count as metric_count
@@ -270,6 +272,96 @@ def build_dc_ladder(
     )
 
 
+# ----------------------------------------------------------------------
+# Operating-point memoization (repro.cache hook)
+# ----------------------------------------------------------------------
+def _op_cache_key(
+    circuit: Circuit,
+    process: ProcessParameters,
+    initial_guess: Optional[Dict[str, float]],
+    max_iterations: int,
+    vth_shifts: Optional[Dict[str, float]],
+) -> str:
+    """Content address of one DC solve: netlist + process + solver
+    inputs.  Solver *strategy* (the ladder) is not part of the key: a
+    converged operating point is a property of the circuit, not of the
+    homotopy that found it."""
+    return content_key(
+        "operating_point",
+        circuit_key(circuit),
+        process_key(process),
+        dict(initial_guess or {}),
+        max_iterations,
+        dict(vth_shifts or {}),
+    )
+
+
+def _op_to_payload(result: OperatingPointResult) -> Dict[str, object]:
+    """Serialize a converged operating point for the cache."""
+    return {
+        "voltages": dict(result.voltages),
+        "source_currents": dict(result.source_currents),
+        "iterations": result.iterations,
+        "device_ops": {
+            name: {
+                "region": op.region.value,
+                "ids": op.ids,
+                "vgs": op.vgs,
+                "vds": op.vds,
+                "vbs": op.vbs,
+                "vth": op.vth,
+                "vdsat": op.vdsat,
+                "gm": op.gm,
+                "gds": op.gds,
+                "gmbs": op.gmbs,
+                "cgs": op.cgs,
+                "cgd": op.cgd,
+                "cgb": op.cgb,
+                "cbd": op.cbd,
+                "cbs": op.cbs,
+                "reversed_mode": op.reversed_mode,
+            }
+            for name, op in result.device_ops.items()
+        },
+    }
+
+
+def _op_from_payload(
+    payload: Dict[str, object], circuit: Circuit
+) -> OperatingPointResult:
+    """Rebuild a fresh :class:`OperatingPointResult` from cached JSON
+    (fresh dicts every time: cached state is never aliased).  The
+    result's voltage-source backrefs (``total_power`` needs them) are
+    re-bound to the *caller's* circuit, which hashes identically to the
+    one that produced the entry."""
+    device_ops = {
+        str(name): MosfetOperatingPoint(
+            region=Region(fields.pop("region")),
+            **fields,
+        )
+        for name, fields in (
+            (n, dict(f)) for n, f in dict(payload["device_ops"]).items()  # type: ignore[arg-type]
+        )
+    }
+    from ..circuit.elements import VoltageSource
+
+    result = OperatingPointResult(
+        voltages={str(k): float(v) for k, v in dict(payload["voltages"]).items()},  # type: ignore[arg-type]
+        source_currents={
+            str(k): float(v)
+            for k, v in dict(payload["source_currents"]).items()  # type: ignore[arg-type]
+        },
+        device_ops=device_ops,
+        iterations=int(payload["iterations"]),  # type: ignore[arg-type]
+    )
+    result._sources_by_name = {
+        element.name.lower(): element
+        for element in circuit.elements
+        if isinstance(element, VoltageSource)
+    }
+    return result
+
+
 def operating_point(
     circuit: Circuit,
     process: ProcessParameters,
@@ -321,6 +413,22 @@ def operating_point(
 
         assert_erc_clean(circuit, process=process, context="operating_point")
     circuit.validate()
+
+    # Deterministic memoization: with an ambient ResultCache, identical
+    # (netlist, process, guess, mismatch) solves are answered from the
+    # cache.  Custom ladder factories opt out -- they exist precisely to
+    # observe the solve, not just its answer.
+    cache = current_cache() if ladder_factory is None else None
+    op_key = ""
+    if cache is not None:
+        op_key = _op_cache_key(
+            circuit, process, initial_guess, max_iterations, vth_shifts
+        )
+        cached = cache.get("op", op_key)
+        if cached is not None:
+            metric_count("dc.cache_hits")
+            return _op_from_payload(cached, circuit)
+
     system = MnaSystem(circuit, process, vth_shifts=vth_shifts)
     x0 = np.zeros(system.size)
     if initial_guess:
@@ -369,6 +477,9 @@ def operating_point(
                 f"attempt {attempt.attempt}: {outcome} "
                 f"after {attempt.iterations} iterations",
             )
-    return system.package_result(
+    result = system.package_result(
         solved.x, solved.device_ops, ladder_trace.total_iterations
     )
+    if cache is not None:
+        cache.put("op", op_key, _op_to_payload(result))
+    return result

@@ -1,0 +1,197 @@
+"""Canonical hashing properties: the cache-key layer.
+
+A content-addressed cache is only safe if semantically identical inputs
+*always* hash identically (no false misses -> no silent cache blowup)
+and distinct inputs hash distinctly (no false hits -> no wrong
+answers).  Hypothesis sweeps the canonicalization over permuted dict
+orderings, unit spellings and numeric edge cases; the unit tests pin
+the domain helpers (spec/process/circuit/KB keys).
+"""
+
+import dataclasses
+import enum
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    canonical_json,
+    canonicalize,
+    circuit_key,
+    content_key,
+    kb_fingerprint,
+    plan_fingerprint,
+    process_key,
+    spec_key,
+)
+from repro.circuit.builder import CircuitBuilder
+from repro.kb.specs import OpAmpSpec
+from repro.process import CMOS_3UM, CMOS_5UM
+from repro.units import parse_quantity
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=12),
+)
+
+nested = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _shuffled(obj, rng):
+    """Deep copy with every dict rebuilt in a random insertion order."""
+    if isinstance(obj, dict):
+        items = [(k, _shuffled(v, rng)) for k, v in obj.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(obj, list):
+        return [_shuffled(v, rng) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestCanonicalJsonProperties:
+    @given(obj=nested, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_dict_insertion_order_never_changes_the_hash(self, obj, seed):
+        shuffled = _shuffled(obj, random.Random(seed))
+        assert canonical_json(obj) == canonical_json(shuffled)
+        assert content_key(obj) == content_key(shuffled)
+
+    @given(obj=nested)
+    @settings(max_examples=150, deadline=None)
+    def test_canonical_json_is_strict_json(self, obj):
+        # Round-trips through the stdlib parser with no NaN extension.
+        text = canonical_json(obj)
+        json.loads(text)
+        assert "NaN" not in text and "Infinity" not in text
+
+    @given(obj=nested)
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalize_is_idempotent(self, obj):
+        once = canonicalize(obj)
+        assert canonicalize(once) == once
+
+    @given(value=st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=200, deadline=None)
+    def test_equal_floats_hash_equally(self, value):
+        # In particular 0.0 == -0.0 and 1e6 == 1000000.
+        if math.isnan(value):
+            assert canonicalize(value) == "__nan__"
+        else:
+            assert content_key(value) == content_key(value + 0.0)
+            if value == 0.0:
+                assert content_key(value) == content_key(-value)
+            if value.is_integer() and abs(value) < 2**53:
+                assert content_key(value) == content_key(int(value))
+
+
+class TestCanonicalizeUnits:
+    def test_tuple_hashes_like_list(self):
+        assert content_key((1, 2, "x")) == content_key([1, 2, "x"])
+
+    def test_sets_are_order_free(self):
+        assert content_key({"b", "a", "c"}) == content_key({"c", "a", "b"})
+        assert content_key(frozenset({1, 2})) == content_key({2, 1})
+
+    def test_nan_inf_tokens(self):
+        assert canonicalize(float("inf")) == "__+inf__"
+        assert canonicalize(float("-inf")) == "__-inf__"
+        text = canonical_json({"x": float("nan")})
+        assert "__nan__" in text
+
+    def test_dataclasses_are_tagged(self):
+        @dataclasses.dataclass
+        class Point:
+            x: float
+            y: float
+
+        data = canonicalize(Point(1.0, 2.0))
+        assert data["__dataclass__"] == "Point"
+        assert data["x"] == 1 and data["y"] == 2
+
+    def test_enums_hash_by_class_and_value(self):
+        class Color(enum.Enum):
+            RED = "red"
+
+        assert "Color.red" in canonical_json(Color.RED)
+
+    def test_unhashable_objects_are_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+
+class TestDomainKeys:
+    def _spec(self, load) -> OpAmpSpec:
+        return OpAmpSpec(
+            gain_db=60.0,
+            unity_gain_hz=1e6,
+            phase_margin_deg=60.0,
+            slew_rate=2e6,
+            load_capacitance=load,
+            output_swing=3.0,
+        )
+
+    def test_spec_key_is_unit_spelling_insensitive(self):
+        # "10p" and 1e-11 are the same capacitance; the keys must agree.
+        assert parse_quantity("10p") == pytest.approx(1e-11)
+        assert spec_key(self._spec(parse_quantity("10p"))) == spec_key(
+            self._spec(1e-11)
+        )
+
+    def test_spec_key_separates_distinct_specs(self):
+        assert spec_key(self._spec(1e-11)) != spec_key(self._spec(2e-11))
+
+    def test_process_keys_separate_processes(self):
+        assert process_key(CMOS_5UM) != process_key(CMOS_3UM)
+        assert process_key(CMOS_5UM) == process_key(CMOS_5UM)
+
+    def test_corner_changes_the_process_key(self):
+        assert process_key(CMOS_5UM) != process_key(CMOS_5UM.corner("slow"))
+
+    def test_circuit_key_tracks_structure(self):
+        def build(r):
+            b = CircuitBuilder("t", CMOS_5UM)
+            b.supplies()
+            b.resistor("r1", "vdd", "out", r)
+            b.resistor("r2", "out", "vss", r)
+            return b.build()
+
+        assert circuit_key(build(1e3)) == circuit_key(build(1e3))
+        assert circuit_key(build(1e3)) != circuit_key(build(2e3))
+
+    def test_plan_fingerprint_is_stable(self):
+        from repro.opamp.designer import OPAMP_CATALOG
+
+        template = OPAMP_CATALOG["one_stage"]
+        assert plan_fingerprint(template) == plan_fingerprint(template)
+
+    def test_kb_fingerprint_folds_the_version(self, monkeypatch):
+        import repro.kb as kb
+
+        base = kb_fingerprint(refresh=True)
+        assert base == kb_fingerprint()  # cached and stable
+        monkeypatch.setattr(kb, "KB_VERSION", "9999.99.9")
+        try:
+            assert kb_fingerprint(refresh=True) != base
+        finally:
+            monkeypatch.undo()
+            assert kb_fingerprint(refresh=True) == base

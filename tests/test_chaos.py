@@ -51,12 +51,14 @@ class TestRegistry:
         assert set(ALL_SITES) == {
             "analysis.measure",
             "budget.clock",
+            "cache.corrupt",
             "dc.newton",
             "dc.newton.nan",
             "opamp.package",
             "plan.rule",
             "plan.step",
             "selection.candidate",
+            "worker.crash",
         }
         assert list(iter_chaos_sites()) == ALL_SITES
 
@@ -162,6 +164,110 @@ class TestStrictModeStillRaises:
         with inject("plan.step", times=-1):
             with pytest.raises(SynthesisError, match="injected fault"):
                 synthesize(easy_spec(), CMOS_5UM)
+
+
+class TestCacheChaos:
+    """A poisoned cache degrades to a recompute -- never a wrong answer."""
+
+    def test_corrupt_hit_recomputes(self):
+        from repro.cache import ResultCache, content_key
+
+        cache = ResultCache()
+        key = content_key("x")
+        cache.put("t", key, {"v": 1})
+        with inject("cache.corrupt") as injector:
+            assert cache.get("t", key) is None  # poisoned -> miss
+        assert injector.fired_sites() == ["cache.corrupt"]
+        assert cache.stats()["t"].corruptions == 1
+        # The entry was dropped, so the system heals on the next put.
+        cache.put("t", key, {"v": 1})
+        assert cache.get("t", key) == {"v": 1}
+
+    def test_corrupt_cache_never_changes_batch_results(self, tmp_path):
+        from repro.batch import synthesize_many
+
+        spec = easy_spec()
+        kwargs = dict(use_cache=True, cache_dir=str(tmp_path))
+        [cold] = synthesize_many([spec], CMOS_5UM, **kwargs)
+        with inject("cache.corrupt", times=-1) as injector:
+            [poisoned] = synthesize_many([spec], CMOS_5UM, **kwargs)
+        assert injector.fired  # every read really was poisoned
+        assert poisoned.record["cache"] == "miss"  # degraded to recompute
+        assert poisoned.canonical() == cold.canonical()  # same answer
+        # With the fault gone the (re-put) entry serves hits again.
+        [healed] = synthesize_many([spec], CMOS_5UM, **kwargs)
+        assert healed.record["cache"] == "hit"
+        assert healed.canonical() == cold.canonical()
+
+    def test_persistent_corruption_under_op_cache(self):
+        """DC op-point memoization with every read poisoned: results
+        must equal the uncached run exactly."""
+        from repro.cache import ResultCache, cache_scope
+        from repro.opamp.verify import open_loop_response
+
+        amp = synthesize(easy_spec(), CMOS_5UM).best
+        clean = open_loop_response(amp).dc_gain_db
+        with cache_scope(ResultCache()):
+            with inject("cache.corrupt", times=-1):
+                poisoned = open_loop_response(amp).dc_gain_db
+        assert poisoned == pytest.approx(clean, rel=0, abs=0)
+
+
+class TestWorkerChaos:
+    """A dying batch worker is retried, then contained -- the batch
+    never raises and never loses a task."""
+
+    def _tasks(self):
+        from repro.batch import build_tasks
+
+        return build_tasks([("t", easy_spec())], CMOS_5UM)
+
+    def test_single_crash_retried_to_success(self):
+        from repro.batch import run_batch
+
+        with inject("worker.crash") as injector:
+            [result] = list(run_batch(self._tasks(), jobs=1, retries=1))
+        assert injector.fired_sites() == ["worker.crash"]
+        assert result.ok and result.attempts == 2
+
+    def test_persistent_crash_contained_as_record(self):
+        from repro.batch import run_batch
+
+        with inject("worker.crash", times=-1):
+            [result] = list(run_batch(self._tasks(), jobs=1, retries=1))
+        assert not result.ok
+        assert result.record["failures"][0]["kind"] == "worker"
+
+    def test_env_activation_reaches_pool_workers(self, tmp_path):
+        """REPRO_FAULTS crosses the process boundary: pool workers
+        re-read the environment, so the chaos CI job covers them too."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "from repro.batch import synthesize_many\n"
+            "from repro.process import CMOS_5UM\n"
+            "from repro.kb.specs import OpAmpSpec\n"
+            "spec = OpAmpSpec(gain_db=45.0, unity_gain_hz=1e6, "
+            "phase_margin_deg=60.0, slew_rate=2e6, "
+            "load_capacitance=10e-12, output_swing=3.5)\n"
+            "[r] = synthesize_many([spec], CMOS_5UM, jobs=2, retries=2)\n"
+            "print('OK' if r.ok and r.attempts > 1 else 'BAD', r.attempts)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+        env["REPRO_FAULTS"] = "worker.crash"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("OK"), proc.stdout
 
 
 class TestEnvActivation:

@@ -1,0 +1,97 @@
+"""Determinism under hash randomization.
+
+Python randomizes ``hash(str)`` per process (``PYTHONHASHSEED``), so
+any code path that iterates a set or relies on dict-of-set ordering can
+silently produce run-dependent output.  The repo's contract is stronger:
+**the same inputs produce the same bytes in every process**, because
+golden files, content-addressed cache keys and batch reruns all compare
+bytes across process boundaries.
+
+These tests launch fresh interpreters under different hash seeds and
+compare their output byte-for-byte: the sized-schematic record, the
+cache keys, and the abstract-interpretation report (whose widening loop
+once iterated a set union -- see ``_widen_state`` in
+``repro/lint/absint.py``).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).parent.parent / "src")
+
+RECORD_SCRIPT = """
+import sys
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+spec = paper_test_cases()[sys.argv[1]]
+sys.stdout.write(synthesize(spec, CMOS_5UM).best.record_json())
+"""
+
+KEYS_SCRIPT = """
+import sys
+from repro.cache import kb_fingerprint, process_key, spec_key
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+for label, spec in sorted(paper_test_cases().items()):
+    print(label, spec_key(spec))
+print("process", process_key(CMOS_5UM))
+print("kb", kb_fingerprint())
+"""
+
+ANALYZE_SCRIPT = """
+from repro.lint import render_analysis
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+spec = paper_test_cases()["A"]
+print(render_analysis(spec, process=CMOS_5UM, corner=0.05))
+"""
+
+
+def _run(script: str, seed: str, *argv: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = seed
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+SEEDS = ("0", "12345")
+
+
+class TestHashSeedIndependence:
+    @pytest.mark.parametrize("label", ["A", "B"])
+    def test_sized_schematic_bytes(self, label):
+        outputs = [_run(RECORD_SCRIPT, seed, label) for seed in SEEDS]
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip().endswith("}")
+
+    def test_cache_keys(self):
+        outputs = [_run(KEYS_SCRIPT, seed) for seed in SEEDS]
+        assert outputs[0] == outputs[1]
+        assert "kb " in outputs[0]
+
+    def test_abstract_interpretation_report(self):
+        # Exercises the widening loop that iterates var-set unions.
+        # The report embeds a wall-clock "elapsed=" figure; timing is
+        # legitimately run-dependent, everything else must not be.
+        import re
+
+        def stable(text: str) -> str:
+            return re.sub(r"elapsed=\S+ ms", "elapsed=X ms", text)
+
+        outputs = [stable(_run(ANALYZE_SCRIPT, seed)) for seed in SEEDS]
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,106 @@
+"""Golden-run regression suite: the sized schematics are *pinned*.
+
+For each paper test case (A/B/C) a golden file under ``tests/golden/``
+holds the canonical sized-schematic record -- style, every device
+geometry, predicted performance -- as deterministic JSON.  These tests
+assert the synthesizer reproduces those bytes exactly:
+
+* run-to-run (same process, repeated calls);
+* across the batch engine (``jobs=1`` vs ``jobs=4`` workers);
+* with and without the result cache.
+
+Any intended change to sizing (a rule edit, a solver tweak, a new
+heuristic) must regenerate the files consciously::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden_runs.py
+
+and the diff then documents exactly which devices moved.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.batch import synthesize_many
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+CASES = sorted(paper_test_cases())
+
+
+def _golden_path(label: str) -> Path:
+    return GOLDEN_DIR / f"case_{label}.json"
+
+
+def _current_record_json(label: str) -> str:
+    spec = paper_test_cases()[label]
+    return synthesize(spec, CMOS_5UM).best.record_json()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """label -> golden bytes; regenerates under REPRO_UPDATE_GOLDEN=1."""
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for label in CASES:
+            _golden_path(label).write_text(
+                _current_record_json(label), encoding="utf-8"
+            )
+    out = {}
+    for label in CASES:
+        path = _golden_path(label)
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path}; regenerate with "
+                "REPRO_UPDATE_GOLDEN=1"
+            )
+        out[label] = path.read_text(encoding="utf-8")
+    return out
+
+
+class TestGoldenRecords:
+    @pytest.mark.parametrize("label", CASES)
+    def test_synthesis_reproduces_the_golden_bytes(self, golden, label):
+        assert _current_record_json(label) == golden[label]
+
+    @pytest.mark.parametrize("label", CASES)
+    def test_repeated_runs_are_byte_stable(self, label):
+        assert _current_record_json(label) == _current_record_json(label)
+
+    @pytest.mark.parametrize("label", CASES)
+    def test_golden_files_are_canonical_json(self, golden, label):
+        record = json.loads(golden[label])
+        assert golden[label] == json.dumps(record, indent=2, sort_keys=True) + "\n"
+        # Sanity: the record carries the essentials.
+        assert record["style"] in ("one_stage", "two_stage")
+        assert record["devices"] and record["transistor_count"] > 0
+        assert "gain_db" in record["performance"]
+
+
+class TestGoldenAcrossTheBatchEngine:
+    def _designs(self, **kwargs):
+        specs = [(label, paper_test_cases()[label]) for label in CASES]
+        results = synthesize_many(specs, CMOS_5UM, **kwargs)
+        return {
+            r.label: json.dumps(r.record["design"], indent=2, sort_keys=True)
+            + "\n"
+            for r in results
+        }
+
+    def test_jobs_1_and_jobs_4_match_the_golden_files(self, golden):
+        for designs in (self._designs(jobs=1), self._designs(jobs=4)):
+            for label in CASES:
+                assert designs[label] == golden[label], label
+
+    def test_cached_rerun_matches_the_golden_files(self, golden, tmp_path):
+        cache_kwargs = dict(use_cache=True, cache_dir=str(tmp_path))
+        cold = self._designs(**cache_kwargs)
+        warm = self._designs(**cache_kwargs)
+        for label in CASES:
+            assert cold[label] == golden[label], label
+            assert warm[label] == golden[label], label
