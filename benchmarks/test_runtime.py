@@ -72,3 +72,115 @@ def test_runtime_per_opamp(once, benchmark):
         # The paper's budget was 120 s of VAX CPU; demand < 5 s here.
         assert seconds < 5.0
     print(f"  wrote {BENCH_JSON.name}")
+
+
+#: The bundled foreign decks the TOPO6xx acceptance criterion names.
+BUNDLED_DECKS = ("ota_5t.sp", "comparator.sp")
+FIXTURES = Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+
+
+def _topology_span_ms(circuit):
+    """Median ``lint.topology`` span over a few runs (PR-4 span data)."""
+    import statistics
+
+    from repro.lint import lint_topology
+    from repro.obs import Tracer
+
+    samples = []
+    for _ in range(5):
+        tracer = Tracer()
+        with tracer.activate():
+            lint_topology(circuit, process=CMOS_5UM)
+        samples.append(
+            sum(
+                s.duration_ms
+                for s in tracer.spans
+                if s.name == "lint.topology"
+            )
+        )
+    return statistics.median(samples)
+
+
+def _deck_overhead():
+    """Per bundled deck: the full ``repro lint`` command wall (what a
+    user actually waits for) and the in-process lint pipeline wall,
+    against the span-measured topology cost."""
+    import subprocess
+    import sys
+
+    from repro.circuit.netlist_io import parse_deck
+    from repro.lint import lint_spice_deck, lint_topology
+    from repro.obs import Tracer
+
+    measurements = {}
+    for deck in BUNDLED_DECKS:
+        path = FIXTURES / deck
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "analyze",
+                "--netlist",
+                str(path),
+                "--topology",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        command_ms = (time.perf_counter() - start) * 1e3
+        # comparator.sp intentionally warns (TOPO604); worse is a bug.
+        assert proc.returncode <= 1, proc.stderr
+
+        text = path.read_text(encoding="utf-8")
+        tracer = Tracer()
+        with tracer.activate():
+            t0 = time.perf_counter()
+            lint_spice_deck(text, name=deck, process=CMOS_5UM)
+            circuit, _ = parse_deck(text, deck)
+            lint_topology(circuit, process=CMOS_5UM)
+            pipeline_ms = (time.perf_counter() - t0) * 1e3
+        topology_ms = _topology_span_ms(circuit)
+        measurements[deck] = (command_ms, pipeline_ms, topology_ms)
+    return measurements
+
+
+def test_topology_pass_overhead(once, benchmark):
+    """Acceptance: the structural pass adds <= 10% to ``repro lint``
+    wall time on the bundled decks, measured via the span data."""
+    measurements = once(benchmark, _deck_overhead)
+    section = {}
+    print()
+    for deck, (command_ms, pipeline_ms, topology_ms) in measurements.items():
+        share = topology_ms / command_ms
+        section[deck] = {
+            "lint_command_wall_ms": round(command_ms, 3),
+            "lint_pipeline_ms": round(pipeline_ms, 3),
+            "topology_span_ms": round(topology_ms, 3),
+            "share_of_command": round(share, 4),
+            "share_of_pipeline": round(topology_ms / pipeline_ms, 4),
+        }
+        print(
+            f"  {deck}: topology {topology_ms:6.3f} ms of "
+            f"{command_ms:7.1f} ms command wall ({share:.2%}; "
+            f"in-process pipeline {pipeline_ms:.2f} ms)"
+        )
+        assert topology_ms > 0.0, "lint.topology span not recorded"
+        assert share <= 0.10, (
+            f"{deck}: topology pass adds {share:.1%} to lint wall time"
+        )
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    else:  # ran standalone; seed the envelope
+        data = {
+            "bench": "synth_runtime",
+            "version": package_version(),
+            "python": platform.python_version(),
+            "cases": {},
+        }
+    data["topology"] = section
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"  merged topology overhead into {BENCH_JSON.name}")

@@ -21,6 +21,13 @@ from .netlist import Circuit
 from .builder import CircuitBuilder
 from .netlist_io import to_spice, from_spice
 from .schematic import schematic_report
+from .graph import (
+    CanonicalForm,
+    canonical_form,
+    device_net_graph,
+    element_terminals,
+    wl_fingerprint,
+)
 
 __all__ = [
     "GROUND",
@@ -35,4 +42,9 @@ __all__ = [
     "to_spice",
     "from_spice",
     "schematic_report",
+    "CanonicalForm",
+    "canonical_form",
+    "device_net_graph",
+    "element_terminals",
+    "wl_fingerprint",
 ]

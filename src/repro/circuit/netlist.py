@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -16,6 +16,9 @@ from .elements import (
     Resistor,
     VoltageSource,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import CanonicalForm
 
 __all__ = ["Circuit"]
 
@@ -106,6 +109,17 @@ class Circuit:
     def mosfets(self) -> List[Mosfet]:
         return [e for e in self._elements if isinstance(e, Mosfet)]
 
+    def mosfet(self, name: str) -> Mosfet:
+        """The MOSFET with this name.
+
+        Raises:
+            NetlistError: when the element is missing or not a MOSFET.
+        """
+        element = self[name]
+        if not isinstance(element, Mosfet):
+            raise NetlistError(f"element {name!r} is not a MOSFET")
+        return element
+
     @property
     def capacitors(self) -> List[Capacitor]:
         return [e for e in self._elements if isinstance(e, Capacitor)]
@@ -163,6 +177,27 @@ class Circuit:
             for other in nodes[1:]:
                 graph.add_edge(first, other, element=element.name)
         return graph
+
+    def device_graph(self) -> "nx.Graph":
+        """The labeled bipartite device-net graph view.
+
+        See :func:`repro.circuit.graph.device_net_graph`: device and net
+        vertices, edges labeled with terminal roles -- the substrate the
+        topology motif matchers and canonicalization work on.
+        """
+        # Imported lazily: repro.circuit.graph imports this module.
+        from .graph import device_net_graph
+
+        return device_net_graph(self)
+
+    def canonical_form(self) -> "CanonicalForm":
+        """Relabeling-invariant canonical ordering of this circuit.
+
+        See :func:`repro.circuit.graph.canonical_form`.
+        """
+        from .graph import canonical_form
+
+        return canonical_form(self)
 
     def validate(self) -> None:
         """Check structural soundness.

@@ -24,7 +24,14 @@ from ..units import format_quantity, parse_quantity
 from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
 from .netlist import Circuit
 
-__all__ = ["to_spice", "from_spice", "parse_deck", "SubcktDef", "model_cards"]
+__all__ = [
+    "to_spice",
+    "from_spice",
+    "parse_deck",
+    "scan_duplicate_names",
+    "SubcktDef",
+    "model_cards",
+]
 
 
 @dataclass(frozen=True)
@@ -144,6 +151,14 @@ def parse_deck(
         subcircuit names to :class:`SubcktDef`.
     """
     top_lines, blocks = _split_subckts(text)
+    duplicates = _collect_duplicates(top_lines, blocks)
+    if duplicates:
+        scope, dup_name, first, second = duplicates[0]
+        raise NetlistError(
+            f"line {second}: duplicate name {dup_name!r} in {scope} "
+            f"(first declared at line {first}); flattening two elements "
+            f"under one name would silently merge their nodes"
+        )
     subckts: Dict[str, SubcktDef] = {}
     building: Set[str] = set()
 
@@ -171,6 +186,48 @@ def parse_deck(
     for lineno, line in top_lines:
         _parse_line(circuit, lineno, line, blocks, build)
     return circuit, subckts
+
+
+def scan_duplicate_names(text: str) -> List[Tuple[str, str, int, int]]:
+    """Find duplicate element / instance names, scope by scope.
+
+    Historically only duplicate ``.subckt`` *definitions* were caught;
+    two lines declaring the same device or instance name either crashed
+    mid-flattening or -- for ``x`` instances of different subcircuits --
+    quietly merged both bodies' internal nodes under one hierarchy
+    prefix.  This scan reports every collision up front, with both line
+    numbers, and is what :func:`repro.lint.erc.lint_spice_deck` turns
+    into ERC111 diagnostics.
+
+    Returns:
+        ``(scope, name, first_lineno, duplicate_lineno)`` tuples in
+        deck order; ``scope`` is ``"the top level"`` or
+        ``".subckt <name>"``.
+    """
+    top_lines, blocks = _split_subckts(text)
+    return _collect_duplicates(top_lines, blocks)
+
+
+def _collect_duplicates(
+    top_lines: List[Tuple[int, str]],
+    blocks: Dict[str, Tuple[Tuple[str, ...], List[Tuple[int, str]]]],
+) -> List[Tuple[str, str, int, int]]:
+    findings: List[Tuple[str, str, int, int]] = []
+    scopes = [("the top level", top_lines)]
+    scopes.extend(
+        (f".subckt {sub_name}", blocks[sub_name][1])
+        for sub_name in sorted(blocks)
+    )
+    for scope, lines in scopes:
+        seen: Dict[str, int] = {}
+        for lineno, line in lines:
+            token = line.split()[0].lower()
+            if token in seen:
+                findings.append((scope, token, seen[token], lineno))
+            else:
+                seen[token] = lineno
+    findings.sort(key=lambda f: f[3])
+    return findings
 
 
 def _split_subckts(

@@ -19,12 +19,17 @@ equivalent.  Commands:
 * ``adc``        -- design a successive-approximation converter;
 * ``processes``  -- list the built-in processes / print Table 1;
 * ``lint``       -- static diagnostics: ERC over a SPICE deck or a
-  synthesized test case, the knowledge-base self-check, and (with
-  ``--feasibility``) the interval feasibility pass.  The exit code
-  follows the worst finding (0 clean/info, 1 warning, 2 error);
+  synthesized test case, the knowledge-base self-check, the interval
+  feasibility pass (``--feasibility``), and the structural topology
+  pass (``--topology``: sub-block recognition + TOPO6xx checks).  The
+  exit code follows the worst finding (0 clean/info, 1 warning,
+  2 error);
 * ``analyze``    -- abstract interpretation range report: how each
   design style's plan behaves over the spec inflated to process-corner
-  intervals, without running the concrete synthesizer;
+  intervals, without running the concrete synthesizer; or, with
+  ``--topology``, the structural report for a synthesized test case or
+  a foreign deck -- recognized blocks, derived symmetry / matching
+  constraints (``--format json`` emits the machine-readable set);
 * ``batch``      -- parallel batch synthesis: expand a task grid
   (``--testcase`` cases and/or a base spec crossed over ``--sweep``
   axes and ``--corners``, or a ``--grid`` JSON file), run it on
@@ -146,6 +151,17 @@ def _spec_from_args(args) -> OpAmpSpec:
         offset_max_mv=parse_quantity(args.offset) * 1e3,
         power_max=parse_quantity(args.power_max),
     )
+
+
+def _read_netlist(path: str) -> str:
+    """The netlist file's text, unreadable paths as a clean CLI error."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read netlist {path!r}: {exc.strerror or exc}"
+        ) from exc
 
 
 def _spec_or_testcase(args) -> OpAmpSpec:
@@ -283,6 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--self-check, without running the concrete synthesizer",
     )
     lint.add_argument(
+        "--topology",
+        action="store_true",
+        help="structural topology pass (TOPO6xx): recognize sub-blocks "
+        "over the device-net graph and check diff-pair symmetry, "
+        "mirror ratios and tail sharing; applies to the netlist, "
+        "--testcase, or every built-in case with --self-check",
+    )
+    lint.add_argument(
         "--corner",
         type=float,
         default=0.05,
@@ -316,11 +340,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="abstract-interpretation range report for a specification",
         description="Abstractly execute every design style's plan over "
         "the specification inflated to process-corner intervals and "
-        "report the resulting variable ranges and feasibility verdicts. "
-        "Never invokes the concrete synthesizer; exit code follows the "
-        "feasibility findings (0 clean/info, 1 warning, 2 error).",
+        "report the resulting variable ranges and feasibility verdicts "
+        "(never invoking the concrete synthesizer); or, with "
+        "--topology, the structural topology report -- recognized "
+        "sub-blocks, derived symmetry/matching constraints and TOPO6xx "
+        "findings -- for a synthesized --testcase or a foreign "
+        "--netlist deck.  Exit code follows the findings (0 clean/info, "
+        "1 warning, 2 error).",
     )
-    _add_spec_arguments(analyze, required=True)
+    _add_spec_arguments(analyze, required=False)
+    analyze.add_argument(
+        "--testcase",
+        choices=sorted("ABC") + sorted(_TESTCASE_ALIASES),
+        default=None,
+        help="use the paper's Table 2 case A/B/C (or 1/2/3) as the "
+        "specification instead of the spec flags",
+    )
+    analyze.add_argument(
+        "--netlist",
+        default=None,
+        metavar="FILE",
+        help="SPICE deck to analyze structurally (needs --topology)",
+    )
+    analyze.add_argument(
+        "--topology",
+        action="store_true",
+        help="structural topology analysis of the synthesized schematic "
+        "(--testcase / spec flags) or a parsed deck (--netlist): "
+        "recognized blocks, constraints, TOPO6xx diagnostics",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="format",
+        help="report rendering (default: text)",
+    )
     analyze.add_argument(
         "--corner",
         type=float,
@@ -632,8 +687,7 @@ def _cmd_lint(args) -> int:
             )
         )
     if args.netlist:
-        with open(args.netlist, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        text = _read_netlist(args.netlist)
         process = _process_from_args(args)
         deck_report = lint_spice_deck(text, process=process, name=args.netlist)
         if select is not None or ignore is not None:
@@ -648,6 +702,21 @@ def _cmd_lint(args) -> int:
                 ]
             )
         report.extend(deck_report)
+        if args.topology:
+            from .circuit.netlist_io import parse_deck
+            from .errors import NetlistError
+            from .lint import lint_topology
+
+            try:
+                circuit, _subckts = parse_deck(text, name=args.netlist)
+            except NetlistError:
+                # The deck findings above already explain the failure.
+                pass
+            else:
+                _analysis, topo_report = lint_topology(
+                    circuit, process=process, select=select, ignore=ignore
+                )
+                report.extend(topo_report)
     if args.testcase and not args.feasibility:
         from .opamp import synthesize
         from .opamp.testcases import paper_test_cases
@@ -656,16 +725,46 @@ def _cmd_lint(args) -> int:
         spec = paper_test_cases()[args.testcase]
         print(f"synthesizing case {args.testcase}...", file=sys.stderr)
         best = synthesize(spec, process).best
+        circuit = best.standalone_circuit()
         report.extend(
             lint_circuit(
-                best.standalone_circuit(),
+                circuit,
                 process=process,
                 select=select,
                 ignore=ignore,
             )
         )
+        if args.topology:
+            from .lint import lint_topology
+
+            _analysis, topo_report = lint_topology(
+                circuit, process=process, select=select, ignore=ignore
+            )
+            report.extend(topo_report)
     if args.self_check:
         report.extend(lint_knowledge_base())
+        if args.topology:
+            # Structural regression oracle: every synthesized style must
+            # be fully recognized (unrecognized clusters are TOPO601).
+            from .lint import lint_topology
+            from .opamp import synthesize
+            from .opamp.testcases import paper_test_cases
+
+            process = _process_from_args(args)
+            for label, spec in sorted(paper_test_cases().items()):
+                print(
+                    f"synthesizing case {label} for the topology "
+                    f"self-check...",
+                    file=sys.stderr,
+                )
+                best = synthesize(spec, process).best
+                _analysis, topo_report = lint_topology(
+                    best.standalone_circuit(),
+                    process=process,
+                    select=select,
+                    ignore=ignore,
+                )
+                report.extend(topo_report)
     print(report.render(args.format))
     return report.exit_code()
 
@@ -674,11 +773,43 @@ def _cmd_analyze(args) -> int:
     from .lint import lint_feasibility, render_analysis
 
     process = _process_from_args(args)
-    spec = _spec_from_args(args)
-    print(render_analysis(spec, process=process, corner=args.corner))
+    if args.topology:
+        import json
+
+        from .lint import lint_topology
+
+        if args.netlist:
+            from .circuit.netlist_io import parse_deck
+
+            text = _read_netlist(args.netlist)
+            circuit, _subckts = parse_deck(text, name=args.netlist)
+        else:
+            from .opamp import synthesize
+
+            spec = _spec_or_testcase(args)
+            print("synthesizing...", file=sys.stderr)
+            circuit = synthesize(spec, process).best.standalone_circuit()
+        analysis, report = lint_topology(circuit, process=process)
+        if args.format == "json":
+            payload = analysis.to_dict()
+            payload["diagnostics"] = [d.to_dict() for d in report]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(analysis.render_text())
+            if len(report):
+                print()
+                print(report.render_text())
+        return report.exit_code()
+    if args.netlist:
+        raise ReproError("--netlist analysis needs --topology")
+    spec = _spec_or_testcase(args)
     report = lint_feasibility(spec, process=process, corner=args.corner)
-    print()
-    print(report.render_text())
+    if args.format == "json":
+        print(report.render("json"))
+    else:
+        print(render_analysis(spec, process=process, corner=args.corner))
+        print()
+        print(report.render_text())
     return report.exit_code()
 
 

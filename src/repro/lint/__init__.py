@@ -12,7 +12,12 @@ Two passes ship with the package:
 * **Feasibility** -- interval-arithmetic abstract interpretation of
   the translation plans (:mod:`repro.lint.absint`): infeasible-spec
   detection, division/domain hazards, dead rules and restart-cycle
-  termination (``FEAS4xx`` / ``RULE5xx``).
+  termination (``FEAS4xx`` / ``RULE5xx``);
+* **Topology** -- structural sub-block recognition over the device-net
+  graph (:mod:`repro.lint.topology`): motif matching, symmetry /
+  matching constraint derivation, and the ``TOPO6xx`` checkers
+  (asymmetric pairs, inconsistent mirror ratios, unrecognized
+  clusters, shared tails).
 
 Entry points:
 
@@ -23,6 +28,8 @@ Entry points:
   :func:`lint_knowledge_base` for the knowledge base;
 * :func:`lint_feasibility` / :func:`precheck_styles` /
   :func:`render_analysis` for interval feasibility;
+* :func:`analyze_topology` / :func:`lint_topology` for structural
+  recognition and the TOPO6xx checks;
 * the ``repro lint`` / ``repro analyze`` CLI subcommands wrap all of
   the above.
 
@@ -65,7 +72,29 @@ from .kblint import (
     lint_plan,
     lint_template,
 )
+from .constraints import (
+    CommonCentroidCandidate,
+    ConstraintSet,
+    MatchedGroup,
+    SymmetricPair,
+    derive_constraints,
+)
+from .motifs import (
+    MOTIF_REGISTRY,
+    BlockInstance,
+    Motif,
+    MotifRegistry,
+    TopologyView,
+    recognize_blocks,
+)
 from .registry import ERC_REGISTRY, KB_REGISTRY, Checker, CheckerRegistry
+from .topology import (
+    TOPO_REGISTRY,
+    TopologyAnalysis,
+    TopologyContext,
+    analyze_topology,
+    lint_topology,
+)
 
 __all__ = [
     "Diagnostic",
@@ -99,4 +128,20 @@ __all__ = [
     "lint_template",
     "lint_plan",
     "lint_knowledge_base",
+    "MOTIF_REGISTRY",
+    "TOPO_REGISTRY",
+    "Motif",
+    "MotifRegistry",
+    "BlockInstance",
+    "TopologyView",
+    "recognize_blocks",
+    "SymmetricPair",
+    "MatchedGroup",
+    "CommonCentroidCandidate",
+    "ConstraintSet",
+    "derive_constraints",
+    "TopologyAnalysis",
+    "TopologyContext",
+    "analyze_topology",
+    "lint_topology",
 ]

@@ -1,0 +1,234 @@
+"""Symmetry / matching constraints derived from recognized blocks.
+
+Layout needs to know what the schematic means: which devices must be
+drawn identically (a differential pair), which must track in ratio (a
+mirror and its legs), which deserve common-centroid placement.  Tools
+like ALIGN consume exactly these annotations; this module derives them
+*soundly* from the motif-recognition output instead of guessing -- the
+seed of the ROADMAP-5 constraint export.
+
+Three constraint types, all frozen and JSON-serializable:
+
+* :class:`SymmetricPair` -- two devices that must be identical twins;
+* :class:`MatchedGroup` -- N devices whose W/L must track at fixed
+  relative weights (mirror ratio groups; weight 1 is the reference);
+* :class:`CommonCentroidCandidate` -- equal-weight groups worth a
+  common-centroid layout (pairs and unit mirrors).
+
+Every constraint carries an ``origin``: the name of the block (or block
+relation) it was derived from, so a layout reviewer can trace each
+requirement back to the structure that justifies it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .motifs import BlockInstance, TopologyView
+
+__all__ = [
+    "SymmetricPair",
+    "MatchedGroup",
+    "CommonCentroidCandidate",
+    "ConstraintSet",
+    "derive_constraints",
+]
+
+
+@dataclass(frozen=True, order=True)
+class SymmetricPair:
+    """Two devices that must be laid out as identical twins."""
+
+    a: str
+    b: str
+    origin: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"a": self.a, "b": self.b, "origin": self.origin}
+
+
+@dataclass(frozen=True, order=True)
+class MatchedGroup:
+    """Devices whose geometries must track at fixed relative weights.
+
+    ``weights[i]`` is the W/L of ``devices[i]`` relative to the group
+    reference (weight ``"1"``), formatted for stable JSON.
+    """
+
+    devices: Tuple[str, ...]
+    weights: Tuple[str, ...]
+    origin: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "devices": list(self.devices),
+            "weights": list(self.weights),
+            "origin": self.origin,
+        }
+
+
+@dataclass(frozen=True, order=True)
+class CommonCentroidCandidate:
+    """Equal-weight device group worth common-centroid placement."""
+
+    devices: Tuple[str, ...]
+    origin: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"devices": list(self.devices), "origin": self.origin}
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """All layout constraints derived from one circuit's topology."""
+
+    circuit: str
+    symmetric_pairs: Tuple[SymmetricPair, ...] = ()
+    matched_groups: Tuple[MatchedGroup, ...] = ()
+    common_centroid: Tuple[CommonCentroidCandidate, ...] = ()
+
+    def __len__(self) -> int:
+        return (
+            len(self.symmetric_pairs)
+            + len(self.matched_groups)
+            + len(self.common_centroid)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "symmetric_pairs": [p.to_dict() for p in self.symmetric_pairs],
+            "matched_groups": [g.to_dict() for g in self.matched_groups],
+            "common_centroid": [c.to_dict() for c in self.common_centroid],
+        }
+
+    def to_json(self) -> str:
+        """Canonical bytes: sorted keys, two-space indent, newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _pair_constraints(
+    block: BlockInstance,
+    pairs: List[SymmetricPair],
+    centroids: List[CommonCentroidCandidate],
+) -> None:
+    a, b = block.role("a"), block.role("b")
+    pairs.append(SymmetricPair(a=a, b=b, origin=block.name))
+    centroids.append(
+        CommonCentroidCandidate(devices=(a, b), origin=block.name)
+    )
+
+
+def _mirror_groups(block: BlockInstance) -> List[Tuple[str, ...]]:
+    """Role groups that must track: bottoms together, cascodes together."""
+    bottoms = [block.role("ref")]
+    bottoms.extend(device for _role, device in block.roles_like("out["))
+    groups = [tuple(bottoms)]
+    # Reference first -- weight slots line up with the mirror ratios.
+    cascodes = [
+        device
+        for _role, device in block.roles_like("ref_cascode")
+        + block.roles_like("out_cascode[")
+    ]
+    if cascodes:
+        groups.append(tuple(cascodes))
+    return groups
+
+
+def _mirror_constraints(
+    block: BlockInstance,
+    groups: List[MatchedGroup],
+    centroids: List[CommonCentroidCandidate],
+) -> None:
+    ratios = [
+        value
+        for key, value in block.attrs
+        if key.startswith("ratio[")
+    ]
+    for member_group in _mirror_groups(block):
+        weights = ("1",) + tuple(ratios[: len(member_group) - 1])
+        groups.append(
+            MatchedGroup(
+                devices=member_group, weights=weights, origin=block.name
+            )
+        )
+        if all(w == "1" for w in weights) and len(member_group) >= 2:
+            centroids.append(
+                CommonCentroidCandidate(
+                    devices=member_group, origin=block.name
+                )
+            )
+
+
+def _mirror_on_input(
+    view: TopologyView, net: Optional[str]
+) -> Optional[BlockInstance]:
+    """The mirror block (any style) whose reference input sits on ``net``."""
+    if net is None:
+        return None
+    for kind in ("simple_mirror", "cascode_mirror", "wide_swing_mirror"):
+        for block in view.blocks_of(kind):
+            if block.net("input") == net:
+                return block
+    return None
+
+
+def _cross_mirror_symmetry(
+    view: TopologyView, pairs: List[SymmetricPair]
+) -> None:
+    """Two same-style mirrors fed from a pair's two drains form a
+    symmetric load: their role-matched devices pair up (the one-stage
+    OTA's left/right PMOS loads)."""
+    for pair_block in view.blocks_of("diff_pair"):
+        left = _mirror_on_input(view, pair_block.net("out_a"))
+        right = _mirror_on_input(view, pair_block.net("out_b"))
+        if left is None or right is None or left.kind != right.kind:
+            continue
+        if len(left.roles) != len(right.roles):
+            continue
+        origin = f"symmetric_loads({pair_block.name})"
+        for (role_l, dev_l), (role_r, dev_r) in zip(
+            left.roles, right.roles
+        ):
+            if role_l != role_r:
+                continue
+            a, b = sorted((dev_l, dev_r))
+            pairs.append(SymmetricPair(a=a, b=b, origin=origin))
+
+
+def derive_constraints(view: TopologyView) -> ConstraintSet:
+    """Derive the full constraint set from a recognized topology."""
+    pairs: List[SymmetricPair] = []
+    groups: List[MatchedGroup] = []
+    centroids: List[CommonCentroidCandidate] = []
+    for block in view.blocks:
+        if block.kind in ("diff_pair", "cross_coupled_pair"):
+            _pair_constraints(block, pairs, centroids)
+        elif block.kind in (
+            "simple_mirror",
+            "cascode_mirror",
+            "wide_swing_mirror",
+        ):
+            _mirror_constraints(block, groups, centroids)
+        elif block.kind == "current_source_bank":
+            members = tuple(
+                device for _role, device in block.roles_like("source[")
+            )
+            if len(members) >= 2:
+                groups.append(
+                    MatchedGroup(
+                        devices=members,
+                        weights=("1",) * len(members),
+                        origin=block.name,
+                    )
+                )
+    _cross_mirror_symmetry(view, pairs)
+    return ConstraintSet(
+        circuit=view.circuit.name,
+        symmetric_pairs=tuple(sorted(set(pairs))),
+        matched_groups=tuple(sorted(set(groups))),
+        common_centroid=tuple(sorted(set(centroids))),
+    )
+

@@ -25,6 +25,8 @@ ERC108 error    supply-to-supply short: a zero-resistance (voltage-source)
                 loop
 ERC109 warning  current-mirror partners with mismatched channel length
 ERC110 error    dangling subcircuit port (declared but unused in the body)
+ERC111 error    duplicate element / instance name within one deck scope
+                (flattening would silently merge the two bodies' nodes)
 ====== ======== ==========================================================
 
 The structural subset (ERC100-ERC103) is exactly what
@@ -431,10 +433,35 @@ def lint_spice_deck(
     process: Optional[ProcessParameters] = None,
     name: str = "deck",
 ) -> LintReport:
-    """Lint a SPICE deck: subcircuit-port checks (ERC110) plus the full
-    ERC pass over the flattened top-level circuit."""
-    from ..circuit.netlist_io import parse_deck
+    """Lint a SPICE deck: duplicate-name (ERC111) and subcircuit-port
+    (ERC110) checks plus the full ERC pass over the flattened top-level
+    circuit.
 
+    Name collisions are reported *instead of* the flattened-circuit
+    pass: flattening a deck with duplicates would either crash or
+    silently merge two bodies' nodes, so there is no sound circuit to
+    lint until they are fixed.
+    """
+    from ..circuit.netlist_io import parse_deck, scan_duplicate_names
+
+    duplicates = scan_duplicate_names(text)
+    if duplicates:
+        report = LintReport()
+        for scope, dup_name, first, second in duplicates:
+            report.add(
+                Diagnostic(
+                    "ERC111",
+                    Severity.ERROR,
+                    f"duplicate name {dup_name!r} in {scope}: declared "
+                    f"at line {first} and again at line {second} -- "
+                    f"flattening would silently fold both elements' "
+                    f"nodes into one hierarchy prefix",
+                    location=f"{name}:line {second}",
+                    suggestion="rename one of the colliding elements or "
+                    "instances",
+                )
+            )
+        return report
     circuit, subckts = parse_deck(text, name=name)
     report = LintReport()
     for subckt in subckts.values():

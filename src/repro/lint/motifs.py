@@ -1,0 +1,776 @@
+"""Declarative motif library: functional sub-block recognition.
+
+The synthesizer *knows* it placed a differential pair; a parsed foreign
+deck carries no such knowledge.  This module recovers it statically: a
+:class:`MotifRegistry` of small declarative matchers -- each a pattern
+over the device-net graph plus structural predicates -- runs in priority
+order over a :class:`TopologyView`, claiming devices into typed
+:class:`BlockInstance` records (differential pair, simple / cascode /
+wide-swing current mirror, tail source, cascode stack, common-source
+stage, source follower, compensation network...).
+
+Registration mirrors the PR-1 checker registries: decorate a matcher
+with :meth:`MotifRegistry.register`, declaring the block ``kind`` it
+produces and a ``priority`` (lower runs earlier).  Priority expresses
+*specificity*: composite motifs (wide-swing mirror) must claim their
+devices before generic ones (simple mirror, lone diode) can swallow the
+parts.  Matchers see only devices no earlier motif claimed, so a new
+third-party motif slots in without editing any existing one.
+
+Every iteration in this module is name-sorted: recognition output is a
+pure function of circuit structure, byte-stable across processes and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from ..circuit.netlist import Circuit
+from ..errors import LintError
+
+__all__ = [
+    "BlockInstance",
+    "TopologyView",
+    "Motif",
+    "MotifRegistry",
+    "MOTIF_REGISTRY",
+    "rail_nets",
+    "recognize_blocks",
+]
+
+#: Matcher signature: yields blocks over not-yet-claimed devices.
+MatchFunction = Callable[["TopologyView"], Iterable["BlockInstance"]]
+
+#: Relative tolerance when comparing device geometries.
+_REL_TOL = 1e-6
+
+
+def rail_nets(circuit: Circuit) -> FrozenSet[str]:
+    """Nets with a DC potential fixed by voltage sources, plus ground.
+
+    These are the "rail-like" nets motif predicates test against: a
+    mirror's common source sits on one, a differential tail never does.
+    (Driven inputs count too -- a pair's gate on a driven net is fine;
+    no motif requires a *gate* to avoid rails.)
+    """
+    from .erc import _known_potentials
+
+    return frozenset(_known_potentials(circuit)) | {GROUND}
+
+
+def _is_diode(mosfet: Mosfet) -> bool:
+    """Diode-connected: gate tied to drain."""
+    return mosfet.gate == mosfet.drain
+
+
+def _w_over_l(mosfet: Mosfet) -> float:
+    """Effective W/L including the multiplier (sets mirror ratios)."""
+    return mosfet.width * mosfet.multiplier / mosfet.length
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+@dataclass(frozen=True)
+class BlockInstance:
+    """One recognized functional sub-block.
+
+    Attributes:
+        kind: block kind (``"diff_pair"``, ``"simple_mirror"``, ...).
+        devices: element names claimed by the block, sorted.
+        roles: (role, device-name) pairs, sorted by role -- the block's
+            internal structure (``ref`` / ``out[0]`` / ``cascode``...).
+        nets: (role, net-name) pairs, sorted by role -- the block's
+            external interface (``input`` / ``output`` / ``tail``...).
+        attrs: (key, value) string pairs, sorted -- derived quantities
+            such as mirror ratios, pre-formatted for stable JSON.
+    """
+
+    kind: str
+    devices: Tuple[str, ...]
+    roles: Tuple[Tuple[str, str], ...] = ()
+    nets: Tuple[Tuple[str, str], ...] = ()
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}({','.join(self.devices)})"
+
+    def role(self, role: str) -> str:
+        for key, device in self.roles:
+            if key == role:
+                return device
+        raise LintError(f"block {self.name} has no role {role!r}")
+
+    def roles_like(self, prefix: str) -> Tuple[Tuple[str, str], ...]:
+        """(role, device) pairs whose role starts with ``prefix``."""
+        return tuple(
+            (key, device) for key, device in self.roles
+            if key.startswith(prefix)
+        )
+
+    def net(self, role: str) -> Optional[str]:
+        for key, net in self.nets:
+            if key == role:
+                return net
+        return None
+
+    def attr(self, key: str) -> Optional[str]:
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "devices": list(self.devices),
+            "roles": {role: device for role, device in self.roles},
+            "nets": {role: net for role, net in self.nets},
+            "attrs": {key: value for key, value in self.attrs},
+        }
+
+
+def _block(
+    kind: str,
+    roles: Iterable[Tuple[str, str]],
+    nets: Iterable[Tuple[str, str]] = (),
+    attrs: Iterable[Tuple[str, str]] = (),
+) -> BlockInstance:
+    """Assemble a block from role pairs; devices are derived and sorted."""
+    role_pairs = tuple(sorted(roles))
+    return BlockInstance(
+        kind=kind,
+        devices=tuple(sorted({device for _role, device in role_pairs})),
+        roles=role_pairs,
+        nets=tuple(sorted(nets)),
+        attrs=tuple(sorted(attrs)),
+    )
+
+
+class TopologyView:
+    """Mutable working view over one circuit during recognition.
+
+    Holds the name-sorted device list, the rail-net set, and the claim
+    map (device name -> block) that matchers consult so no device lands
+    in two blocks.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.rails: FrozenSet[str] = rail_nets(circuit)
+        self.mosfets: Tuple[Mosfet, ...] = tuple(
+            sorted(circuit.mosfets, key=lambda m: m.name)
+        )
+        self._claims: Dict[str, BlockInstance] = {}
+        self._unclaimed: List[Mosfet] = list(self.mosfets)
+        self.blocks: List[BlockInstance] = []
+
+    # ------------------------------------------------------------------
+    def is_claimed(self, name: str) -> bool:
+        return name in self._claims
+
+    def unclaimed(self) -> List[Mosfet]:
+        """Name-sorted MOSFETs no motif has claimed yet.
+
+        Returns a fresh snapshot: matchers claim between yields, so
+        callers must not observe the live list shrinking mid-iteration.
+        """
+        return list(self._unclaimed)
+
+    def unclaimed_sources_on(self, net: str) -> List[Mosfet]:
+        return [m for m in self.unclaimed() if m.source == net]
+
+    def claim(self, block: BlockInstance) -> None:
+        """Record a block, claiming its devices.
+
+        Raises:
+            LintError: when any device is already claimed (a matcher
+                failed to check the claim map).
+        """
+        for device in block.devices:
+            if device in self._claims:
+                raise LintError(
+                    f"device {device!r} claimed by both "
+                    f"{self._claims[device].name} and {block.name}"
+                )
+        for device in block.devices:
+            self._claims[device] = block
+        owned = set(block.devices)
+        self._unclaimed = [
+            m for m in self._unclaimed if m.name not in owned
+        ]
+        self.blocks.append(block)
+
+    def blocks_of(self, kind: str) -> List[BlockInstance]:
+        return [b for b in self.blocks if b.kind == kind]
+
+    def block_of(self, device: str) -> Optional[BlockInstance]:
+        return self._claims.get(device)
+
+    def unrecognized(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.unclaimed())
+
+
+@dataclass(frozen=True)
+class Motif:
+    """One registered motif matcher.
+
+    Attributes:
+        name: unique motif name within the registry.
+        kind: the block kind this matcher produces.
+        priority: run order; lower (more specific) runs earlier.
+        func: the matcher.
+        doc: one-line description (defaults to the function docstring).
+    """
+
+    name: str
+    kind: str
+    priority: int
+    func: MatchFunction
+    doc: str = ""
+
+
+class MotifRegistry:
+    """An ordered, named collection of sub-block motifs."""
+
+    def __init__(self) -> None:
+        self._motifs: Dict[str, Motif] = {}
+
+    def register(
+        self, name: str, kind: str, priority: int
+    ) -> Callable[[MatchFunction], MatchFunction]:
+        """Decorator registering a matcher::
+
+            @MOTIF_REGISTRY.register("diff-pair", kind="diff_pair",
+                                     priority=40)
+            def match_diff_pair(view):
+                ...
+                yield BlockInstance(...)
+        """
+        if not name:
+            raise LintError("motif name must be non-empty")
+        if not kind:
+            raise LintError(f"motif {name!r} must declare a block kind")
+
+        def wrap(func: MatchFunction) -> MatchFunction:
+            if name in self._motifs:
+                raise LintError(f"duplicate motif name {name!r}")
+            self._motifs[name] = Motif(
+                name=name,
+                kind=kind,
+                priority=priority,
+                func=func,
+                doc=(func.__doc__ or "").strip().splitlines()[0]
+                if func.__doc__
+                else "",
+            )
+            return func
+
+        return wrap
+
+    def motifs(self) -> List[Motif]:
+        """Motifs in execution order: (priority, name)."""
+        return sorted(
+            self._motifs.values(), key=lambda m: (m.priority, m.name)
+        )
+
+    def __len__(self) -> int:
+        return len(self._motifs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._motifs
+
+    def __getitem__(self, name: str) -> Motif:
+        try:
+            return self._motifs[name]
+        except KeyError:
+            raise LintError(
+                f"no motif named {name!r} (have {sorted(self._motifs)})"
+            ) from None
+
+    def recognize(self, circuit: Circuit) -> TopologyView:
+        """Run every motif over ``circuit`` in priority order."""
+        view = TopologyView(circuit)
+        for motif in self.motifs():
+            for block in motif.func(view):
+                if block.kind != motif.kind:
+                    raise LintError(
+                        f"motif {motif.name!r} produced kind "
+                        f"{block.kind!r}, declared {motif.kind!r}"
+                    )
+                view.claim(block)
+        return view
+
+
+#: The built-in motif library; third-party motifs register here too.
+MOTIF_REGISTRY = MotifRegistry()
+
+
+def recognize_blocks(circuit: Circuit) -> TopologyView:
+    """Recognize sub-blocks with the default motif library."""
+    return MOTIF_REGISTRY.recognize(circuit)
+
+
+# ----------------------------------------------------------------------
+# Built-in motifs, most specific first
+# ----------------------------------------------------------------------
+@MOTIF_REGISTRY.register(
+    "wide-swing-mirror", kind="wide_swing_mirror", priority=10
+)
+def match_wide_swing_mirror(view: TopologyView) -> Iterator[BlockInstance]:
+    """Sooch cascode: a narrow rail diode biases the cascode gate line,
+    bottom gates tie to the reference cascode's drain."""
+    for diode in view.unclaimed():
+        if not _is_diode(diode) or diode.source not in view.rails:
+            continue
+        bias_net = diode.gate
+        cascodes = [
+            m
+            for m in view.unclaimed()
+            if m.name != diode.name
+            and m.gate == bias_net
+            and m.polarity == diode.polarity
+            and not _is_diode(m)
+            and m.source not in view.rails
+        ]
+        if len(cascodes) < 2:
+            continue
+        bottoms: List[Mosfet] = []
+        consistent = True
+        for cascode in cascodes:
+            legs = [
+                m
+                for m in view.unclaimed()
+                if m.name not in (diode.name, cascode.name)
+                and m.drain == cascode.source
+                and m.polarity == cascode.polarity
+                and m.source in view.rails
+            ]
+            if len(legs) != 1:
+                consistent = False
+                break
+            bottoms.append(legs[0])
+        if not consistent:
+            continue
+        gate_nets = {b.gate for b in bottoms}
+        if len(gate_nets) != 1:
+            continue
+        input_net = gate_nets.pop()
+        ref_cascodes = [c for c in cascodes if c.drain == input_net]
+        if len(ref_cascodes) != 1:
+            continue
+        ref_cascode = ref_cascodes[0]
+        ref = bottoms[cascodes.index(ref_cascode)]
+        out_legs = sorted(
+            (
+                (bottoms[i], cascode)
+                for i, cascode in enumerate(cascodes)
+                if cascode.name != ref_cascode.name
+            ),
+            key=lambda leg: leg[0].name,
+        )
+        roles = [
+            ("bias_diode", diode.name),
+            ("ref", ref.name),
+            ("ref_cascode", ref_cascode.name),
+        ]
+        nets = [
+            ("bias", bias_net),
+            ("input", input_net),
+            ("rail", ref.source),
+        ]
+        attrs = [("style", "wide_swing")]
+        for i, (bottom, cascode) in enumerate(out_legs):
+            roles.append((f"out[{i}]", bottom.name))
+            roles.append((f"out_cascode[{i}]", cascode.name))
+            nets.append((f"output[{i}]", cascode.drain))
+            attrs.append(
+                (f"ratio[{i}]", _fmt(_w_over_l(bottom) / _w_over_l(ref)))
+            )
+        yield _block("wide_swing_mirror", roles, nets, attrs)
+
+
+@MOTIF_REGISTRY.register("cascode-mirror", kind="cascode_mirror", priority=20)
+def match_cascode_mirror(view: TopologyView) -> Iterator[BlockInstance]:
+    """Classic 4T cascode mirror: double-diode reference branch, output
+    branches mirroring both gate lines."""
+    for top in view.unclaimed():
+        if not _is_diode(top) or top.source in view.rails:
+            continue
+        mid = top.source
+        bottom_refs = [
+            m
+            for m in view.unclaimed()
+            if m.name != top.name
+            and m.drain == mid
+            and m.polarity == top.polarity
+            and m.source in view.rails
+        ]
+        if len(bottom_refs) != 1:
+            continue
+        bottom_ref = bottom_refs[0]
+        if bottom_ref.gate != mid:
+            continue  # reference bottom must be diode-connected at mid
+        rail = bottom_ref.source
+        out_bottoms = sorted(
+            (
+                m
+                for m in view.unclaimed()
+                if m.name not in (top.name, bottom_ref.name)
+                and m.gate == mid
+                and m.source == rail
+                and m.polarity == top.polarity
+            ),
+            key=lambda m: m.name,
+        )
+        legs: List[Tuple[Mosfet, Mosfet]] = []
+        consistent = bool(out_bottoms)
+        for bottom in out_bottoms:
+            tops = [
+                m
+                for m in view.unclaimed()
+                if m.name not in (top.name, bottom_ref.name, bottom.name)
+                and m.source == bottom.drain
+                and m.gate == top.gate
+                and m.polarity == top.polarity
+                and not _is_diode(m)
+            ]
+            if len(tops) != 1:
+                consistent = False
+                break
+            legs.append((bottom, tops[0]))
+        if not consistent:
+            continue
+        roles = [("ref", bottom_ref.name), ("ref_cascode", top.name)]
+        nets = [("input", top.drain), ("rail", rail)]
+        attrs = [("style", "cascode")]
+        for i, (bottom, cascode) in enumerate(legs):
+            roles.append((f"out[{i}]", bottom.name))
+            roles.append((f"out_cascode[{i}]", cascode.name))
+            nets.append((f"output[{i}]", cascode.drain))
+            attrs.append(
+                (
+                    f"ratio[{i}]",
+                    _fmt(_w_over_l(bottom) / _w_over_l(bottom_ref)),
+                )
+            )
+        yield _block("cascode_mirror", roles, nets, attrs)
+
+
+@MOTIF_REGISTRY.register("simple-mirror", kind="simple_mirror", priority=30)
+def match_simple_mirror(view: TopologyView) -> Iterator[BlockInstance]:
+    """Diode-referenced mirror: devices sharing gate and source nets
+    around a diode-connected reference (multi-output bias networks
+    included)."""
+    groups: Dict[Tuple[str, str, str], List[Mosfet]] = {}
+    for mosfet in view.unclaimed():
+        key = (mosfet.gate, mosfet.source, mosfet.polarity)
+        groups.setdefault(key, []).append(mosfet)
+    for key in sorted(groups):
+        members = [m for m in groups[key] if not view.is_claimed(m.name)]
+        if len(members) < 2:
+            continue
+        diodes = [m for m in members if _is_diode(m)]
+        if not diodes:
+            continue
+        ref = min(diodes, key=lambda m: m.name)
+        outs = sorted(
+            (m for m in members if m.name != ref.name),
+            key=lambda m: m.name,
+        )
+        roles = [("ref", ref.name)]
+        nets = [("input", ref.gate), ("rail", ref.source)]
+        attrs = [("style", "simple")]
+        for i, out in enumerate(outs):
+            roles.append((f"out[{i}]", out.name))
+            nets.append((f"output[{i}]", out.drain))
+            attrs.append(
+                (f"ratio[{i}]", _fmt(_w_over_l(out) / _w_over_l(ref)))
+            )
+        yield _block("simple_mirror", roles, nets, attrs)
+
+
+@MOTIF_REGISTRY.register(
+    "cross-coupled-pair", kind="cross_coupled_pair", priority=35
+)
+def match_cross_coupled_pair(view: TopologyView) -> Iterator[BlockInstance]:
+    """Positive-feedback pair: each gate on the other's drain, common
+    source net (a latch core).  Must run before the differential-pair
+    motif, which would otherwise see four devices on the shared tail."""
+    unclaimed = view.unclaimed()
+    for a in unclaimed:
+        if view.is_claimed(a.name) or _is_diode(a):
+            continue
+        for b in unclaimed:
+            if (
+                b.name <= a.name
+                or view.is_claimed(b.name)
+                or _is_diode(b)
+                or b.polarity != a.polarity
+            ):
+                continue
+            if (
+                a.gate == b.drain
+                and b.gate == a.drain
+                and a.source == b.source
+                and a.drain != b.drain
+            ):
+                yield _block(
+                    "cross_coupled_pair",
+                    [("a", a.name), ("b", b.name)],
+                    [
+                        ("out_a", a.drain),
+                        ("out_b", b.drain),
+                        ("tail", a.source),
+                    ],
+                )
+                break
+
+
+@MOTIF_REGISTRY.register("diff-pair", kind="diff_pair", priority=40)
+def match_diff_pair(view: TopologyView) -> Iterator[BlockInstance]:
+    """Differential pair: exactly two matched-polarity devices sharing a
+    non-rail source net, with distinct gates and drains."""
+    source_nets = sorted(
+        {m.source for m in view.unclaimed() if m.source not in view.rails}
+    )
+    for net in source_nets:
+        members = view.unclaimed_sources_on(net)
+        if len(members) != 2:
+            continue
+        a, b = sorted(members, key=lambda m: m.name)
+        if a.polarity != b.polarity:
+            continue
+        if a.gate == b.gate or a.drain == b.drain:
+            continue
+        if _is_diode(a) or _is_diode(b):
+            continue
+        if a.gate in (a.drain, b.drain) or b.gate in (a.drain, b.drain):
+            continue  # cross-coupled, not differential
+        yield _block(
+            "diff_pair",
+            [("a", a.name), ("b", b.name)],
+            [
+                ("in_a", a.gate),
+                ("in_b", b.gate),
+                ("out_a", a.drain),
+                ("out_b", b.drain),
+                ("tail", net),
+            ],
+        )
+
+
+@MOTIF_REGISTRY.register("tail-source", kind="tail_source", priority=50)
+def match_tail_source(view: TopologyView) -> Iterator[BlockInstance]:
+    """Tail current device: drain on a recognized pair's common-source
+    net (gate bias from anywhere -- a mirror leg or a clock)."""
+    pairs = view.blocks_of("diff_pair") + view.blocks_of(
+        "cross_coupled_pair"
+    )
+    tails = sorted({t for b in pairs for t in [b.net("tail")] if t})
+    for tail in tails:
+        for mosfet in view.unclaimed():
+            if mosfet.drain == tail and not _is_diode(mosfet):
+                yield _block(
+                    "tail_source",
+                    [("source", mosfet.name)],
+                    [
+                        ("bias", mosfet.gate),
+                        ("rail", mosfet.source),
+                        ("tail", tail),
+                    ],
+                )
+
+
+@MOTIF_REGISTRY.register("source-follower", kind="source_follower", priority=55)
+def match_source_follower(view: TopologyView) -> Iterator[BlockInstance]:
+    """Level shifter: drain on a rail, gate and source both internal --
+    the output rides the source."""
+    for mosfet in view.unclaimed():
+        if (
+            mosfet.drain in view.rails
+            and mosfet.gate not in view.rails
+            and mosfet.source not in view.rails
+            and not _is_diode(mosfet)
+        ):
+            yield _block(
+                "source_follower",
+                [("follower", mosfet.name)],
+                [
+                    ("input", mosfet.gate),
+                    ("output", mosfet.source),
+                    ("rail", mosfet.drain),
+                ],
+            )
+
+
+@MOTIF_REGISTRY.register(
+    "current-source-bank", kind="current_source_bank", priority=60
+)
+def match_current_source_bank(view: TopologyView) -> Iterator[BlockInstance]:
+    """Gate-shared rail devices with no local diode: current sources
+    biased from elsewhere (the diode lives in another block)."""
+    groups: Dict[Tuple[str, str, str], List[Mosfet]] = {}
+    for mosfet in view.unclaimed():
+        if mosfet.source in view.rails and not _is_diode(mosfet):
+            key = (mosfet.gate, mosfet.source, mosfet.polarity)
+            groups.setdefault(key, []).append(mosfet)
+    for key in sorted(groups):
+        members = sorted(
+            (m for m in groups[key] if not view.is_claimed(m.name)),
+            key=lambda m: m.name,
+        )
+        if len(members) < 2:
+            continue
+        gate, rail, _polarity = key
+        roles: List[Tuple[str, str]] = []
+        nets = [("bias", gate), ("rail", rail)]
+        for i, member in enumerate(members):
+            roles.append((f"source[{i}]", member.name))
+            nets.append((f"output[{i}]", member.drain))
+        yield _block("current_source_bank", roles, nets)
+
+
+@MOTIF_REGISTRY.register("cascode-stack", kind="cascode_stack", priority=70)
+def match_cascode_stack(view: TopologyView) -> Iterator[BlockInstance]:
+    """Two stacked devices: the top's source rides the bottom's drain on
+    an internal net (telescopic branches in foreign decks)."""
+    for top in view.unclaimed():
+        if _is_diode(top) or top.source in view.rails:
+            continue
+        bottoms = [
+            m
+            for m in view.unclaimed()
+            if m.name != top.name
+            and m.drain == top.source
+            and m.polarity == top.polarity
+            and not _is_diode(m)
+        ]
+        if len(bottoms) != 1:
+            continue
+        bottom = bottoms[0]
+        yield _block(
+            "cascode_stack",
+            [("bottom", bottom.name), ("cascode", top.name)],
+            [
+                ("bias", top.gate),
+                ("input", bottom.gate),
+                ("output", top.drain),
+            ],
+        )
+
+
+@MOTIF_REGISTRY.register("common-source", kind="common_source", priority=80)
+def match_common_source(view: TopologyView) -> Iterator[BlockInstance]:
+    """Common-source gain stage: rail-tied source, internal gate and
+    drain (the classic second-stage transconductor)."""
+    for mosfet in view.unclaimed():
+        if (
+            mosfet.source in view.rails
+            and mosfet.gate not in view.rails
+            and mosfet.drain not in view.rails
+            and not _is_diode(mosfet)
+        ):
+            yield _block(
+                "common_source",
+                [("gm", mosfet.name)],
+                [
+                    ("input", mosfet.gate),
+                    ("output", mosfet.drain),
+                    ("rail", mosfet.source),
+                ],
+            )
+
+
+@MOTIF_REGISTRY.register("lone-diode", kind="diode_load", priority=90)
+def match_lone_diode(view: TopologyView) -> Iterator[BlockInstance]:
+    """Leftover diode-connected devices: a bias diode when its gate net
+    drives other gates, otherwise a diode load."""
+    gate_counts: Dict[str, int] = {}
+    for mosfet in view.mosfets:
+        gate_counts[mosfet.gate] = gate_counts.get(mosfet.gate, 0) + 1
+    for mosfet in view.unclaimed():
+        if not _is_diode(mosfet):
+            continue
+        role = (
+            "bias_diode" if gate_counts[mosfet.gate] > 1 else "diode_load"
+        )
+        yield _block(
+            "diode_load",
+            [(role, mosfet.name)],
+            [("node", mosfet.drain), ("rail", mosfet.source)],
+            [("function", role)],
+        )
+
+
+@MOTIF_REGISTRY.register("passive-roles", kind="passive", priority=200)
+def match_passive_roles(view: TopologyView) -> Iterator[BlockInstance]:
+    """Classify non-MOS elements: compensation vs load capacitors,
+    supplies vs signal sources, current references, resistors."""
+    gate_nets = {m.gate for m in view.mosfets}
+
+    def internal(net: str) -> bool:
+        return net not in view.rails and net != GROUND
+
+    for element in sorted(view.circuit.elements, key=lambda e: e.name):
+        if isinstance(element, Capacitor):
+            kind = (
+                "compensation_cap"
+                if internal(element.node_a) and internal(element.node_b)
+                else "load_cap"
+            )
+            yield _block(
+                "passive",
+                [("cap", element.name)],
+                [("a", element.node_a), ("b", element.node_b)],
+                [("function", kind)],
+            )
+        elif isinstance(element, VoltageSource):
+            kind = (
+                "signal_source"
+                if element.positive in gate_nets
+                or element.negative in gate_nets
+                else "supply"
+            )
+            yield _block(
+                "passive",
+                [("vsource", element.name)],
+                [("neg", element.negative), ("pos", element.positive)],
+                [("function", kind)],
+            )
+        elif isinstance(element, CurrentSource):
+            yield _block(
+                "passive",
+                [("isource", element.name)],
+                [("neg", element.negative), ("pos", element.positive)],
+                [("function", "current_reference")],
+            )
+        elif isinstance(element, Resistor):
+            yield _block(
+                "passive",
+                [("resistor", element.name)],
+                [("a", element.node_a), ("b", element.node_b)],
+                [("function", "resistor")],
+            )
+

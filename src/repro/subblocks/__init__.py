@@ -38,7 +38,23 @@ from .level_shifter import (
 from .gm_stage import DesignedGmStage, GmStageSpec, design_gm_stage, emit_gm_stage
 from .bias import BiasSpec, DesignedBias, design_bias, emit_bias
 
+#: Designer <-> analyzer cross-reference: the motif kinds
+#: (:mod:`repro.lint.motifs`) that each emitter's netlist decomposes
+#: into.  The topology pass must recognize every structure these
+#: emitters can produce -- ``tests/test_topology.py`` checks each kind
+#: here against the registered motif library, and the self-check
+#: (``repro lint --self-check --topology``) exercises the emitters
+#: end-to-end through the full designs.
+DESIGNER_MOTIFS = {
+    "emit_mirror": ("simple_mirror", "cascode_mirror", "wide_swing_mirror"),
+    "emit_diff_pair": ("diff_pair",),
+    "emit_level_shifter": ("source_follower",),
+    "emit_gm_stage": ("common_source",),
+    "emit_bias": ("simple_mirror",),
+}
+
 __all__ = [
+    "DESIGNER_MOTIFS",
     "SizedDevice",
     "size_for_gm_id",
     "size_for_vov",

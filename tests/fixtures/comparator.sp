@@ -1,0 +1,39 @@
+* two-stage clocked comparator, foreign deck: differential preamp with
+* diode loads into a clocked regenerative latch.  The latch tail is
+* intentionally shared between its input pair and the cross-coupled
+* pair -- a structure the topology pass flags (TOPO604) and a human
+* recognizes as a latch.
+.subckt preamp inp inn op on ibias vdd vss
+* diode-connected pmos loads
+mp1 op op vdd vdd pmos W=10u L=5u
+mp2 on on vdd vdd pmos W=10u L=5u
+* nmos input pair
+mn1 op inp tail vss nmos W=60u L=5u
+mn2 on inn tail vss nmos W=60u L=5u
+* tail leg, mirrored from the ibias port
+mn3 tail ibias vss vss nmos W=30u L=10u
+.ends
+.subckt latch ip in qp qn clk vdd vss
+* clocked tail switch
+mn5 tail clk vss vss nmos W=30u L=5u
+* nmos input pair
+mn6 qp ip tail vss nmos W=20u L=5u
+mn7 qn in tail vss nmos W=20u L=5u
+* cross-coupled nmos regeneration pair (shares the tail)
+mn8 qp qn tail vss nmos W=20u L=5u
+mn9 qn qp tail vss nmos W=20u L=5u
+* cross-coupled pmos loads
+mp3 qp qn vdd vdd pmos W=40u L=5u
+mp4 qn qp vdd vdd pmos W=40u L=5u
+.ends
+x1 inp inn a1 a2 nbias vdd 0 preamp
+x2 a1 a2 qp qn clk vdd 0 latch
+mnb nbias nbias 0 0 nmos W=15u L=10u
+ib vdd nbias DC 25u
+vdd vdd 0 DC 5
+vclk clk 0 DC 5
+vinp inp 0 DC 2.5
+vinn inn 0 DC 2.5
+cqp qp 0 1p
+cqn qn 0 1p
+.end

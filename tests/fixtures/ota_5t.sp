@@ -1,0 +1,21 @@
+* five-transistor OTA, foreign deck (hand-written, not synthesized)
+* pmos load mirror spans the pair drains; nmos tail mirrored from the
+* bias diode at the top level.
+.subckt ota5 inp inn out ibias vdd vss
+* pmos load mirror: diode-connected reference at d1
+mp1 d1 d1 vdd vdd pmos W=20u L=10u
+mp2 out d1 vdd vdd pmos W=20u L=10u
+* nmos input pair
+mn1 d1 inp tail vss nmos W=40u L=5u
+mn2 out inn tail vss nmos W=40u L=5u
+* tail current source, mirrored from the ibias port
+mn3 tail ibias vss vss nmos W=20u L=10u
+.ends
+xamp inp inn out nbias vdd 0 ota5
+mnb nbias nbias 0 0 nmos W=10u L=10u
+ib vdd nbias DC 20u
+vdd vdd 0 DC 5
+vinp inp 0 DC 2.5
+vinn inn 0 DC 2.5
+cl out 0 5p
+.end

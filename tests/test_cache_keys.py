@@ -79,10 +79,17 @@ class TestCanonicalJsonProperties:
     @given(obj=nested)
     @settings(max_examples=150, deadline=None)
     def test_canonical_json_is_strict_json(self, obj):
-        # Round-trips through the stdlib parser with no NaN extension.
+        # Round-trips through the stdlib parser with no NaN extension:
+        # parse_constant fires only on bare NaN/Infinity literals (a
+        # *string* containing "NaN" is legitimate data and must pass).
         text = canonical_json(obj)
-        json.loads(text)
-        assert "NaN" not in text and "Infinity" not in text
+
+        def _reject(literal):
+            raise AssertionError(
+                f"canonical_json emitted non-finite literal {literal}"
+            )
+
+        json.loads(text, parse_constant=_reject)
 
     @given(obj=nested)
     @settings(max_examples=100, deadline=None)

@@ -385,9 +385,16 @@ class TestAnalyzeCommand:
         assert "infeasible" in out
         assert "FEAS403" in out
 
-    def test_analyze_requires_spec_flags(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["analyze", "--gain-db", "60"])
+    def test_analyze_requires_spec_flags(self, capsys):
+        # Spec flags are optional at parse time (a --testcase or
+        # --topology run needs none), but a feasibility analysis with an
+        # incomplete spec is still an error.
+        assert main(["analyze", "--gain-db", "60"]) == 1
+        assert "incomplete specification" in capsys.readouterr().err
+
+    def test_analyze_accepts_testcase_label(self, capsys):
+        assert main(["analyze", "--testcase", "A"]) == 0
+        assert "Feasibility analysis" in capsys.readouterr().out
 
 
 class TestSynthesizePrecheck:

@@ -51,6 +51,19 @@ spec = paper_test_cases()["A"]
 print(render_analysis(spec, process=CMOS_5UM, corner=0.05))
 """
 
+TOPOLOGY_SCRIPT = """
+import sys
+from repro.lint import analyze_topology
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+spec = paper_test_cases()[sys.argv[1]]
+circuit = synthesize(spec, CMOS_5UM).best.standalone_circuit()
+analysis = analyze_topology(circuit)
+sys.stdout.write(analysis.to_json())
+sys.stdout.write(analysis.constraints.to_json())
+"""
+
 
 def _run(script: str, seed: str, *argv: str) -> str:
     env = dict(os.environ)
@@ -95,3 +108,13 @@ class TestHashSeedIndependence:
 
         outputs = [stable(_run(ANALYZE_SCRIPT, seed)) for seed in SEEDS]
         assert outputs[0] == outputs[1]
+
+    @pytest.mark.parametrize("label", ["A", "C"])
+    def test_topology_analysis_bytes(self, label):
+        # Motif matching and canonicalization walk graph adjacency; the
+        # emitted analysis and constraint JSON must not depend on the
+        # interpreter's hash seed.
+        outputs = [_run(TOPOLOGY_SCRIPT, seed, label) for seed in SEEDS]
+        assert outputs[0] == outputs[1]
+        assert '"fingerprint"' in outputs[0]
+        assert '"symmetric_pairs"' in outputs[0]

@@ -1,0 +1,157 @@
+"""Generative properties of the canonical graph form and motif matching.
+
+The canonicalization contract: the signature, fingerprint and the
+recognized block structure depend only on the circuit *graph* -- never
+on device names, net names, or declaration order.  Hypothesis drives
+random relabelings and shuffles against the synthesized test cases and
+against fully random circuits.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CMOS_5UM
+from repro.circuit import GROUND, Circuit, canonical_form, wl_fingerprint
+from repro.circuit.netlist import _remap
+from repro.lint import analyze_topology
+from repro.opamp.designer import synthesize
+from repro.opamp.testcases import paper_test_cases
+
+CASES = sorted(paper_test_cases())
+_CIRCUITS = {}
+
+
+def _case_circuit(label):
+    if label not in _CIRCUITS:
+        spec = paper_test_cases()[label]
+        _CIRCUITS[label] = synthesize(spec, CMOS_5UM).best.standalone_circuit()
+    return _CIRCUITS[label]
+
+
+def _relabel(circuit, order, net_names, device_tags):
+    """Rebuild ``circuit`` with shuffled declarations, renamed nets and
+    renamed devices (leading type letter preserved)."""
+    nets = sorted(set(circuit.nodes) - {GROUND})
+    node_map = dict(zip(nets, net_names))
+    out = Circuit(circuit.name)
+    for position, index in enumerate(order):
+        element = circuit.elements[index]
+        renamed = element.renamed(
+            f"{element.name[0]}{device_tags[index]}"
+        )
+        out.add(_remap(renamed, node_map))
+    return out
+
+
+@st.composite
+def case_relabelings(draw):
+    label = draw(st.sampled_from(CASES))
+    circuit = _case_circuit(label)
+    n = len(circuit.elements)
+    order = draw(st.permutations(list(range(n))))
+    net_count = len(set(circuit.nodes) - {GROUND})
+    net_names = draw(
+        st.permutations([f"zz{i}" for i in range(net_count)])
+    )
+    device_tags = draw(st.permutations([f"q{i}" for i in range(n)]))
+    return label, _relabel(circuit, order, net_names, device_tags)
+
+
+node_names = st.sampled_from(["a", "b", "c", "out", "n1", "n2", GROUND])
+
+
+@st.composite
+def random_circuits(draw):
+    circuit = Circuit("generated")
+    count = draw(st.integers(min_value=1, max_value=8))
+    for k in range(count):
+        kind = draw(st.sampled_from(["r", "c", "v", "i", "m"]))
+        a = draw(node_names)
+        b = draw(node_names.filter(lambda n, a=a: n != a))
+        if kind == "r":
+            circuit.add_resistor(f"r{k}", a, b, 1e3 * (k + 1))
+        elif kind == "c":
+            circuit.add_capacitor(f"c{k}", a, b, 1e-12 * (k + 1))
+        elif kind == "v":
+            circuit.add_vsource(f"v{k}", a, b, dc=float(k))
+        elif kind == "i":
+            circuit.add_isource(f"i{k}", a, b, dc=1e-6 * (k + 1))
+        else:
+            gate = draw(node_names)
+            bulk = draw(node_names)
+            circuit.add_mosfet(
+                f"m{k}", a, gate, b, bulk,
+                draw(st.sampled_from(["nmos", "pmos"])),
+                width=draw(st.sampled_from([5e-6, 10e-6, 20e-6])),
+                length=draw(st.sampled_from([5e-6, 10e-6])),
+            )
+    return circuit
+
+
+class TestCanonicalInvariance:
+    @given(relabeled=case_relabelings())
+    @settings(max_examples=20, deadline=None)
+    def test_signature_invariant_for_synthesized_cases(self, relabeled):
+        label, shuffled = relabeled
+        original = canonical_form(_case_circuit(label))
+        renamed = canonical_form(shuffled)
+        assert renamed.signature == original.signature
+        assert renamed.digest() == original.digest()
+
+    @given(relabeled=case_relabelings())
+    @settings(max_examples=20, deadline=None)
+    def test_fingerprint_invariant_for_synthesized_cases(self, relabeled):
+        label, shuffled = relabeled
+        assert wl_fingerprint(shuffled) == wl_fingerprint(
+            _case_circuit(label)
+        )
+
+    @given(relabeled=case_relabelings())
+    @settings(max_examples=15, deadline=None)
+    def test_recognition_invariant_under_relabeling(self, relabeled):
+        label, shuffled = relabeled
+        original = analyze_topology(_case_circuit(label))
+        renamed = analyze_topology(shuffled)
+        assert renamed.coverage == original.coverage == 1.0
+        assert sorted(b.kind for b in renamed.blocks) == sorted(
+            b.kind for b in original.blocks
+        )
+
+    @given(circuit=random_circuits(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_declaration_order_irrelevant(self, circuit, data):
+        order = data.draw(
+            st.permutations(list(range(len(circuit.elements))))
+        )
+        shuffled = Circuit(circuit.name)
+        for index in order:
+            shuffled.add(circuit.elements[index])
+        assert (
+            canonical_form(shuffled).signature
+            == canonical_form(circuit).signature
+        )
+        assert wl_fingerprint(shuffled) == wl_fingerprint(circuit)
+
+    @given(circuit=random_circuits(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_net_renaming_irrelevant(self, circuit, data):
+        nets = sorted(set(circuit.nodes) - {GROUND})
+        fresh = data.draw(
+            st.permutations([f"zz{i}" for i in range(len(nets))])
+        )
+        node_map = dict(zip(nets, fresh))
+        renamed = Circuit(circuit.name)
+        for element in circuit.elements:
+            renamed.add(_remap(element, node_map))
+        assert (
+            canonical_form(renamed).signature
+            == canonical_form(circuit).signature
+        )
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_form_is_stable(self, circuit):
+        first = canonical_form(circuit)
+        second = canonical_form(circuit)
+        assert first.signature == second.signature
+        assert first.devices == second.devices
+        assert first.nets == second.nets
