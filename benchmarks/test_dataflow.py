@@ -1,0 +1,115 @@
+"""Overhead gate for the dataflow + dimensional lint passes (PR-7).
+
+The FLOW7xx/DIM8xx passes run on every ``repro lint --dataflow
+--units`` invocation and in CI on every push, so they must stay cheap
+relative to what the user already waits for.  The gate compares the
+span-measured cost of both passes (median over a few in-process runs)
+against the wall time of the full ``repro lint --self-check --dataflow
+--units`` command, and merges the measurement into ``BENCH_synth.json``
+next to the synthesis and topology numbers.
+"""
+
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.cli import package_version
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+
+#: Combined share of the lint command wall the two passes may consume.
+MAX_SHARE = 0.15
+
+
+def _span_ms():
+    """Median span-measured cost of each pass over the bundled KB."""
+    from repro.lint import lint_dataflow, lint_units
+    from repro.obs import Tracer
+
+    dataflow_samples, units_samples = [], []
+    for _ in range(5):
+        tracer = Tracer()
+        with tracer.activate():
+            report_flow = lint_dataflow()
+            report_dim = lint_units()
+        assert len(report_flow) == 0, report_flow.render_text()
+        assert len(report_dim) == 0, report_dim.render_text()
+        dataflow_samples.append(
+            sum(s.duration_ms for s in tracer.spans if s.name == "lint.dataflow")
+        )
+        units_samples.append(
+            sum(s.duration_ms for s in tracer.spans if s.name == "lint.units")
+        )
+    return statistics.median(dataflow_samples), statistics.median(units_samples)
+
+
+def _command_wall_ms():
+    """Wall time of the full self-check command a user (and CI) runs."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "lint",
+            "--self-check",
+            "--dataflow",
+            "--units",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    wall_ms = (time.perf_counter() - start) * 1e3
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return wall_ms
+
+
+def _measure():
+    dataflow_ms, units_ms = _span_ms()
+    return dataflow_ms, units_ms, _command_wall_ms()
+
+
+def test_dataflow_pass_overhead(once, benchmark):
+    """Acceptance: dataflow + units together add <= 15% to the lint
+    command wall time, measured via the span data."""
+    dataflow_ms, units_ms, command_ms = once(benchmark, _measure)
+    combined_ms = dataflow_ms + units_ms
+    share = combined_ms / command_ms
+    print()
+    print(
+        f"  dataflow {dataflow_ms:.3f} ms + units {units_ms:.3f} ms = "
+        f"{combined_ms:.3f} ms of {command_ms:.1f} ms command wall "
+        f"({share:.2%})"
+    )
+    assert dataflow_ms > 0.0, "lint.dataflow span not recorded"
+    assert units_ms > 0.0, "lint.units span not recorded"
+    assert share <= MAX_SHARE, (
+        f"dataflow+units passes add {share:.1%} to lint wall time "
+        f"(limit {MAX_SHARE:.0%})"
+    )
+
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    else:  # ran standalone; seed the envelope
+        data = {
+            "bench": "synth_runtime",
+            "version": package_version(),
+            "python": platform.python_version(),
+            "cases": {},
+        }
+    data["dataflow"] = {
+        "dataflow_span_ms": round(dataflow_ms, 3),
+        "units_span_ms": round(units_ms, 3),
+        "combined_span_ms": round(combined_ms, 3),
+        "lint_command_wall_ms": round(command_ms, 3),
+        "share_of_command": round(share, 4),
+        "max_share": MAX_SHARE,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"  merged dataflow overhead into {BENCH_JSON.name}")

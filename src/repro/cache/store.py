@@ -44,7 +44,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from ..obs.spans import count as metric_count
 from ..resilience.faults import fault_point
@@ -155,7 +155,7 @@ class DiskCache:
     is deterministic by contract), so last-write-wins is safe.
     """
 
-    def __init__(self, root: os.PathLike):
+    def __init__(self, root: Union[str, os.PathLike[str]]):
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -240,7 +240,7 @@ class ResultCache:
 
     def __init__(
         self,
-        disk_dir: Optional[os.PathLike] = None,
+        disk_dir: Optional[Union[str, os.PathLike[str]]] = None,
         max_entries: int = 4096,
         kb: Optional[str] = None,
     ):
@@ -398,9 +398,9 @@ def cache_scope(cache: Optional[ResultCache]) -> Iterator[Optional[ResultCache]]
         _ACTIVE.reset(token)
 
 
-def cache_from_env(env: Optional[Dict[str, str]] = None) -> Optional[ResultCache]:
+def cache_from_env(env: Optional[Mapping[str, str]] = None) -> Optional[ResultCache]:
     """A disk-backed cache when ``REPRO_CACHE_DIR`` is set, else None."""
-    environ = env if env is not None else os.environ
+    environ: Mapping[str, str] = env if env is not None else os.environ
     directory = environ.get(CACHE_DIR_ENV, "").strip()
     if not directory:
         return None
@@ -410,9 +410,9 @@ def cache_from_env(env: Optional[Dict[str, str]] = None) -> Optional[ResultCache
 def memoize(
     namespace: str,
     key: str,
-    compute,
+    compute: Callable[[], Any],
     cache: Optional[ResultCache] = None,
-):
+) -> Any:
     """``cache.get`` or ``compute()``-then-``put`` in one call.
 
     Uses the ambient cache when ``cache`` is None; with no cache active

@@ -307,6 +307,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--testcase, or every built-in case with --self-check",
     )
     lint.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="whole-plan dataflow pass (FLOW7xx) over every registered "
+        "topology template: per-step effect summaries, reaching "
+        "definitions and liveness over the plan CFG with rule restart "
+        "edges",
+    )
+    lint.add_argument(
+        "--units",
+        action="store_true",
+        help="dimensional analysis pass (DIM8xx) over every registered "
+        "template: propagate V/A/s/m exponent vectors through the plan "
+        "arithmetic and flag incompatible equations",
+    )
+    lint.add_argument(
         "--corner",
         type=float,
         default=0.05,
@@ -368,6 +383,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="structural topology analysis of the synthesized schematic "
         "(--testcase / spec flags) or a parsed deck (--netlist): "
         "recognized blocks, constraints, TOPO6xx diagnostics",
+    )
+    analyze.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="plan dataflow report for every registered topology "
+        "template: per-step effect summaries, rule restart edges, and "
+        "the FLOW7xx + DIM8xx findings (static; needs no spec)",
     )
     analyze.add_argument(
         "--format",
@@ -651,13 +673,23 @@ def _cmd_lint(args) -> int:
         bool(args.testcase),
         args.self_check,
         args.feasibility and spec_flags_given,
+        args.dataflow,
+        args.units,
     ]
     if not any(targets):
         raise ReproError(
             "nothing to lint: give a netlist file, --testcase, --self-check, "
-            "or --feasibility with specification flags"
+            "--dataflow, --units, or --feasibility with specification flags"
         )
     report = LintReport()
+    if args.dataflow:
+        from .lint import lint_dataflow
+
+        report.extend(lint_dataflow(select=select, ignore=ignore))
+    if args.units:
+        from .lint import lint_units
+
+        report.extend(lint_units(select=select, ignore=ignore))
     if args.feasibility:
         from .lint import lint_feasibility
 
@@ -769,9 +801,85 @@ def _cmd_lint(args) -> int:
     return report.exit_code()
 
 
+def _analyze_dataflow(args) -> int:
+    import json
+
+    from .lint import LintReport, build_cfg, lint_dataflow, lint_units
+    from .lint.kblint import DEFAULT_PRESETS
+    from .opamp.designer import OPAMP_CATALOG
+
+    report = LintReport()
+    report.extend(lint_dataflow())
+    report.extend(lint_units())
+    templates = []
+    for template in OPAMP_CATALOG:
+        plan = template.build_plan()
+        rules = list(template.build_rules())
+        preset = DEFAULT_PRESETS.get(template.block_type, frozenset())
+        cfg = build_cfg(plan, rules, preset=preset)
+        summaries = plan.effect_summaries()
+        templates.append((template, plan, cfg, summaries))
+    if args.format == "json":
+        payload = {
+            "templates": [
+                {
+                    "template": f"{t.block_type}/{t.style}",
+                    "steps": [s.to_dict() for s in summaries.values()],
+                    "restart_edges": [
+                        {
+                            "rule": e.rule,
+                            "source": plan.steps[e.source].name,
+                            "target": plan.steps[e.target].name,
+                            "recovery": e.recovery,
+                        }
+                        for e in cfg.restart_edges
+                    ],
+                }
+                for t, plan, cfg, summaries in templates
+            ],
+            "diagnostics": [d.to_dict() for d in report],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return report.exit_code()
+    for t, plan, cfg, summaries in templates:
+        print(f"== {t.block_type}/{t.style} ({len(plan)} steps, "
+              f"{len(cfg.rules)} rules) ==")
+        for summary in summaries.values():
+            parts = []
+            if summary.reads:
+                parts.append("reads " + ", ".join(summary.reads))
+            if summary.writes:
+                parts.append("writes " + ", ".join(summary.writes))
+            if summary.choices_written:
+                parts.append("chooses " + ", ".join(summary.choices_written))
+            if summary.emits:
+                parts.append("emits " + ", ".join(summary.emits))
+            if summary.pure:
+                parts.append("pure")
+            print(f"  {summary.name}: {'; '.join(parts) or '-'}")
+        by_rule = {}
+        for edge in cfg.restart_edges:
+            key = (edge.rule, edge.target, edge.recovery)
+            by_rule.setdefault(key, []).append(plan.steps[edge.source].name)
+        for (rule, target, recovery), sources in sorted(by_rule.items()):
+            kind = "recovery" if recovery else "monitor"
+            print(
+                f"  rule {rule} ({kind}): restart -> "
+                f"{plan.steps[target].name} after {', '.join(sources)}"
+            )
+        print()
+    if len(report):
+        print(report.render_text())
+    else:
+        print("dataflow + units: clean, no diagnostics")
+    return report.exit_code()
+
+
 def _cmd_analyze(args) -> int:
     from .lint import lint_feasibility, render_analysis
 
+    if args.dataflow:
+        return _analyze_dataflow(args)
     process = _process_from_args(args)
     if args.topology:
         import json

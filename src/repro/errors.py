@@ -122,6 +122,34 @@ class PlanError(ReproError, RuntimeError):
     names, rule referencing an unknown step)."""
 
 
+class DesignError(PlanError):
+    """A plan step (or rule) read a design variable that was never set.
+
+    Subclasses :class:`PlanError` so existing handlers keep working --
+    in particular the rule-condition probe in the plan executor, which
+    treats a ``PlanError`` from a condition as "rule not applicable".
+
+    Attributes:
+        variable: the missing design-variable name.
+        step: the plan step in flight when the read happened (``""``
+            outside plan execution).
+        suggestions: near-miss variable names that *are* set, for the
+            classic set/get typo.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        variable: str = "",
+        step: str = "",
+        suggestions=(),
+    ):
+        super().__init__(message)
+        self.variable = variable
+        self.step = step
+        self.suggestions = tuple(suggestions)
+
+
 class LintError(ReproError, RuntimeError):
     """Static analysis refused an input (ERC errors in strict mode, a
     malformed checker registration, or a failed knowledge-base self-check).

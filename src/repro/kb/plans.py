@@ -12,10 +12,14 @@ exactly the mechanism in the paper.
 from __future__ import annotations
 
 import copy
+import difflib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional
 
-from ..errors import PlanError, SynthesisError
+from ..errors import DesignError, PlanError, SynthesisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint -> kb)
+    from ..lint.dataflow import EffectSummary
 from ..obs.spans import NULL_SPAN, NullSpan, current_tracer
 from ..obs.spans import count as metric_count
 from ..obs.spans import span as obs_span
@@ -58,6 +62,10 @@ class DesignState:
         self.budget = budget
         self.vars: Dict[str, Any] = {}
         self.choices: Dict[str, str] = {}
+        #: Name of the plan step currently executing over this state
+        #: (maintained by :class:`PlanExecutor`); makes a missing-variable
+        #: :class:`~repro.errors.DesignError` name the step in flight.
+        self.current_step: str = ""
 
     # ------------------------------------------------------------------
     def set(self, name: str, value: Any) -> None:
@@ -67,7 +75,20 @@ class DesignState:
         try:
             return self.vars[name]
         except KeyError:
-            raise PlanError(f"design variable {name!r} has not been set") from None
+            suggestions = difflib.get_close_matches(name, sorted(self.vars), n=3)
+            message = f"design variable {name!r} has not been set"
+            if self.current_step:
+                message += f" (read by step {self.current_step!r})"
+            if suggestions:
+                message += "; did you mean " + ", ".join(
+                    repr(s) for s in suggestions
+                ) + "?"
+            raise DesignError(
+                message,
+                variable=name,
+                step=self.current_step,
+                suggestions=suggestions,
+            ) from None
 
     def get_or(self, name: str, default: Any) -> Any:
         return self.vars.get(name, default)
@@ -152,6 +173,20 @@ class Plan:
     def __iter__(self) -> Iterator[PlanStep]:
         return iter(self.steps)
 
+    def effect_summaries(self) -> "Dict[str, EffectSummary]":
+        """Static per-step effect summaries, keyed by step name.
+
+        Derived by AST analysis (:mod:`repro.lint.dataflow`) without
+        executing any step.  A summary records the design variables the
+        step reads/writes, the style slots it chooses, the sub-block
+        designers it invokes, and whether the step is *pure* (writes
+        nothing) -- the contract batch caching and compositional style
+        generation reason about.
+        """
+        from ..lint.dataflow import plan_effect_summaries  # local: avoid cycle
+
+        return plan_effect_summaries(self)
+
 
 class PlanExecutor:
     """Runs a plan with rule-based patching (the paper's Figure 3 loop).
@@ -226,6 +261,7 @@ class PlanExecutor:
             step = self.plan.steps[index]
             if state.budget is not None:
                 state.budget.check(block=block, step=step.name)
+            state.current_step = step.name
             fault_point("plan.step")
             try:
                 # The step body is written out twice so the

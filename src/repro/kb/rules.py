@@ -116,6 +116,20 @@ class Rule:
     def describe(self, state: "DesignState") -> str:
         return self.description or self.name
 
+    def trigger_steps(self, step_names: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The plan steps after which this rule can fire, given the
+        plan's step names in order.
+
+        A *recovery* rule fires when one of its ``on_failure_steps``
+        raises (or any step, when unscoped); a *monitor* rule is offered
+        the state after every successful step.  This is the set of
+        control-flow-graph source nodes for the rule's restart edges,
+        used by the dataflow pass (:mod:`repro.lint.dataflow`).
+        """
+        if self.on_failure and self.on_failure_steps is not None:
+            return tuple(s for s in step_names if s in self.on_failure_steps)
+        return tuple(step_names)
+
     def __repr__(self) -> str:
         kind = "recovery" if self.on_failure else "monitor"
         return f"Rule({self.name!r}, {kind}, max_firings={self.max_firings})"

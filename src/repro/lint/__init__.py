@@ -17,7 +17,19 @@ Two passes ship with the package:
   graph (:mod:`repro.lint.topology`): motif matching, symmetry /
   matching constraint derivation, and the ``TOPO6xx`` checkers
   (asymmetric pairs, inconsistent mirror ratios, unrecognized
-  clusters, shared tails).
+  clusters, shared tails);
+* **Dataflow** -- whole-plan dataflow over per-step effect summaries
+  (:mod:`repro.lint.dataflow`): the actual control-flow graph with
+  rule restart edges, MAY-reaching definitions and liveness, powering
+  the ``FLOW7xx`` checkers (read-before-write, dead writes, orphaned
+  rule patches, definition-skipping restarts, unconsumed choices);
+* **Units** -- dimensional abstract interpretation of plan arithmetic
+  (:mod:`repro.lint.units`): exponent vectors over V/A/s/m seeded from
+  spec and process tables, propagated through the equations, powering
+  the ``DIM8xx`` checkers (incompatible additions, wrong-dimension
+  stores, dimensioned transcendentals, implausible exponents).  The
+  mutation oracle (:mod:`repro.lint.oracle`) keeps both passes honest
+  in CI.
 
 Entry points:
 
@@ -30,6 +42,9 @@ Entry points:
   :func:`render_analysis` for interval feasibility;
 * :func:`analyze_topology` / :func:`lint_topology` for structural
   recognition and the TOPO6xx checks;
+* :func:`lint_dataflow` / :func:`lint_units` for the whole-plan
+  dataflow and dimensional passes (and
+  :func:`~repro.lint.oracle.run_mutation_oracle` for the self-check);
 * the ``repro lint`` / ``repro analyze`` CLI subcommands wrap all of
   the above.
 
@@ -87,6 +102,23 @@ from .motifs import (
     TopologyView,
     recognize_blocks,
 )
+from .dataflow import (
+    FLOW_REGISTRY,
+    DataflowContext,
+    EffectSummary,
+    PlanCFG,
+    RecordingDesignState,
+    build_cfg,
+    lint_dataflow,
+    lint_plan_dataflow,
+    lint_template_dataflow,
+    live_variables,
+    plan_effect_summaries,
+    reaching_definitions,
+    record_effects,
+    rule_effect_summary,
+)
+from .oracle import MUTATIONS, Mutation, MutationResult, run_mutation_oracle
 from .registry import ERC_REGISTRY, KB_REGISTRY, Checker, CheckerRegistry
 from .topology import (
     TOPO_REGISTRY,
@@ -94,6 +126,16 @@ from .topology import (
     TopologyContext,
     analyze_topology,
     lint_topology,
+)
+from .units import (
+    ATTR_DIMENSIONS,
+    DIM_REGISTRY,
+    SPEC_DIMENSIONS,
+    VAR_DIMENSIONS,
+    DimContext,
+    analyze_template_dimensions,
+    lint_template_units,
+    lint_units,
 )
 
 __all__ = [
@@ -144,4 +186,30 @@ __all__ = [
     "TopologyContext",
     "analyze_topology",
     "lint_topology",
+    "FLOW_REGISTRY",
+    "DIM_REGISTRY",
+    "DataflowContext",
+    "DimContext",
+    "EffectSummary",
+    "PlanCFG",
+    "RecordingDesignState",
+    "build_cfg",
+    "reaching_definitions",
+    "live_variables",
+    "plan_effect_summaries",
+    "rule_effect_summary",
+    "record_effects",
+    "lint_dataflow",
+    "lint_plan_dataflow",
+    "lint_template_dataflow",
+    "lint_units",
+    "lint_template_units",
+    "analyze_template_dimensions",
+    "SPEC_DIMENSIONS",
+    "ATTR_DIMENSIONS",
+    "VAR_DIMENSIONS",
+    "Mutation",
+    "MutationResult",
+    "MUTATIONS",
+    "run_mutation_oracle",
 ]

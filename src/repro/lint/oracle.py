@@ -1,0 +1,322 @@
+"""Self-check oracle for the dataflow and dimensional passes.
+
+A static analysis that reports nothing is indistinguishable from one
+that checks nothing.  This module keeps the FLOW7xx / DIM8xx checkers
+honest with a two-sided oracle:
+
+* the bundled knowledge base must lint **clean** (zero findings from
+  both passes, every registered style);
+* a set of **seeded mutations** -- small, deliberately broken plans,
+  each modelling one real authoring mistake -- must each be caught with
+  the exact expected diagnostic code.
+
+CI runs :func:`main` (``python -m repro.lint.oracle``); a missed
+mutation or a dirty KB fails the build.  The mutant step functions live
+at module level because the analyses are AST-based and need real,
+importable source.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..kb.plans import DesignState, Plan, PlanStep
+from ..kb.rules import Restart, Rule
+from ..kb.templates import TopologyTemplate
+from .dataflow import lint_template_dataflow
+from .diagnostics import LintReport
+from .units import lint_template_units
+
+__all__ = ["Mutation", "MutationResult", "MUTATIONS", "run_mutation_oracle", "main"]
+
+_PRESET = frozenset({"opamp_spec", "trace"})
+
+
+# ----------------------------------------------------------------------
+# Mutant building blocks (module level: the AST analyses need source)
+# ----------------------------------------------------------------------
+def _seed_budgets(state: DesignState) -> None:
+    spec = state.spec
+    state.set("cload", spec.load_capacitance)
+    state.set("gbw", spec.unity_gain_hz)
+    state.set("gain_target", spec.gain_db)
+
+
+def _derive_gm(state: DesignState) -> None:
+    state.set("gm1", 6.2832 * state.get("gbw") * state.get("cload"))
+
+
+def _consume_gm(state: DesignState) -> None:
+    state.set("i_branch", state.get("gm1") * state.get("vov1"))
+
+
+def _set_vov(state: DesignState) -> None:
+    state.set("vov1", 0.2)
+
+
+def _double_write_a(state: DesignState) -> None:
+    state.set("scratch", 1.0)
+
+
+def _double_write_b(state: DesignState) -> None:
+    state.set("scratch", 2.0)
+
+
+def _choose_styles(state: DesignState) -> None:
+    state.choose("load_mirrorr", "cascode")  # typo'd slot: consumed nowhere
+
+
+def _finish(state: DesignState) -> None:
+    state.set("performance", {"gm1": state.get("gm1")})
+
+
+def _unit_swapped(state: DesignState) -> None:
+    # Adds a capacitance to a frequency: the classic transposed-operand
+    # equation typo the dimensional domain exists to catch.
+    state.set("pole_est", state.get("cload") + state.get("gbw"))
+
+
+def _wrong_store(state: DesignState) -> None:
+    # Stores a transconductance (A/V) into cc, documented as farads.
+    state.set("cc", 6.2832 * state.get("gbw") * state.get("cload"))
+
+
+def _patch_orphan(state: DesignState) -> Restart:
+    state.set("gm_bump", 1.5)  # nothing downstream reads gm_bump
+    return Restart("derive_gm", "bump transconductance")
+
+
+def _monitor_cond(state: DesignState) -> bool:
+    return state.get_or("gain_target", 0.0) > 100.0
+
+
+def _monitor_jump(state: DesignState) -> Restart:
+    # Restarts *forward* past derive_gm, whose write the suffix needs.
+    return Restart("consume_gm", "skip ahead")
+
+
+def _template(
+    name: str,
+    steps: List[PlanStep],
+    rules: Optional[List[Rule]] = None,
+    sub_blocks: Tuple[Tuple[str, str], ...] = (),
+) -> TopologyTemplate:
+    plan = Plan(name, steps)
+    rule_list = list(rules or [])
+    return TopologyTemplate(
+        block_type="opamp",
+        style=name,
+        build_plan=lambda: plan,
+        build_rules=lambda: list(rule_list),
+        sub_blocks=sub_blocks,
+    )
+
+
+# ----------------------------------------------------------------------
+# The mutation catalogue
+# ----------------------------------------------------------------------
+def _mutant_removed_write() -> TopologyTemplate:
+    """A refactor dropped the step that defines vov1."""
+    return _template(
+        "removed_write",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("derive_gm", _derive_gm),
+            PlanStep("consume_gm", _consume_gm),  # reads vov1: never set
+        ],
+    )
+
+
+def _mutant_reordered_steps() -> TopologyTemplate:
+    """Two dependent steps were swapped during an edit."""
+    return _template(
+        "reordered_steps",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("consume_gm", _consume_gm),  # runs before its producer
+            PlanStep("derive_gm", _derive_gm),
+            PlanStep("set_vov", _set_vov),
+        ],
+    )
+
+
+def _mutant_dead_double_write() -> TopologyTemplate:
+    """A scratch variable is written twice and never read."""
+    return _template(
+        "dead_double_write",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("write_a", _double_write_a),
+            PlanStep("write_b", _double_write_b),
+        ],
+    )
+
+
+def _mutant_orphaned_patch() -> TopologyTemplate:
+    """A recovery rule patches a variable the resumed steps ignore."""
+    return _template(
+        "orphaned_patch",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("derive_gm", _derive_gm),
+            PlanStep("set_vov", _set_vov),
+            PlanStep("consume_gm", _consume_gm),
+        ],
+        rules=[
+            Rule(
+                "bump_gm",
+                condition=lambda state: True,
+                action=_patch_orphan,
+                on_failure=True,
+                on_failure_steps=("consume_gm",),
+            )
+        ],
+    )
+
+
+def _mutant_forward_restart() -> TopologyTemplate:
+    """A monitor rule restarts forward, skipping the gm definition."""
+    return _template(
+        "forward_restart",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("set_vov", _set_vov),
+            PlanStep("derive_gm", _derive_gm),
+            PlanStep("consume_gm", _consume_gm),
+        ],
+        rules=[Rule("skip_ahead", _monitor_cond, _monitor_jump)],
+    )
+
+
+def _mutant_unconsumed_choice() -> TopologyTemplate:
+    """A style choice lands in a typo'd slot nothing consumes."""
+    return _template(
+        "unconsumed_choice",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("choose_styles", _choose_styles),
+        ],
+        sub_blocks=(("load_mirror", "current_mirror"),),
+    )
+
+
+def _mutant_unit_swapped() -> TopologyTemplate:
+    """An equation adds operands of different dimensions."""
+    return _template(
+        "unit_swapped",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("estimate_pole", _unit_swapped),
+        ],
+    )
+
+
+def _mutant_wrong_store() -> TopologyTemplate:
+    """An equation stores the wrong quantity into a documented variable."""
+    return _template(
+        "wrong_store",
+        [
+            PlanStep("seed", _seed_budgets),
+            PlanStep("compensate", _wrong_store),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded defect: a template factory plus the code that must
+    fire on it."""
+
+    name: str
+    expected_code: str
+    build: Callable[[], TopologyTemplate]
+    description: str
+
+
+MUTATIONS: Tuple[Mutation, ...] = (
+    Mutation("removed-write", "FLOW701", _mutant_removed_write,
+             "a refactor dropped the defining step"),
+    Mutation("reordered-steps", "FLOW701", _mutant_reordered_steps,
+             "dependent steps swapped"),
+    Mutation("dead-double-write", "FLOW702", _mutant_dead_double_write,
+             "scratch variable written twice, read never"),
+    Mutation("orphaned-rule-patch", "FLOW703", _mutant_orphaned_patch,
+             "rule patches a variable the restart ignores"),
+    Mutation("forward-restart-skip", "FLOW704", _mutant_forward_restart,
+             "monitor rule jumps past the only definition"),
+    Mutation("unconsumed-choice", "FLOW705", _mutant_unconsumed_choice,
+             "style choice in a typo'd slot"),
+    Mutation("unit-swapped-equation", "DIM801", _mutant_unit_swapped,
+             "adds a capacitance to a frequency"),
+    Mutation("wrong-store-dimension", "DIM802", _mutant_wrong_store,
+             "stores A/V into the farad variable cc"),
+)
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of linting one mutation."""
+
+    mutation: Mutation
+    found_codes: Tuple[str, ...]
+
+    @property
+    def caught(self) -> bool:
+        return self.mutation.expected_code in self.found_codes
+
+
+def _lint_mutant(template: TopologyTemplate) -> LintReport:
+    report = LintReport()
+    report.extend(lint_template_dataflow(template, preset=_PRESET))
+    report.extend(lint_template_units(template))
+    return report
+
+
+def run_mutation_oracle() -> List[MutationResult]:
+    """Lint every seeded mutation with both passes and report which
+    expected codes fired."""
+    results: List[MutationResult] = []
+    for mutation in MUTATIONS:
+        report = _lint_mutant(mutation.build())
+        codes = tuple(sorted({d.code for d in report}))
+        results.append(MutationResult(mutation=mutation, found_codes=codes))
+    return results
+
+
+def main() -> int:
+    """CI entry point: the bundled KB must be clean AND every seeded
+    mutation must be caught with its expected code."""
+    from .dataflow import lint_dataflow
+    from .units import lint_units
+
+    failures = 0
+    kb_report = LintReport()
+    kb_report.extend(lint_dataflow())
+    kb_report.extend(lint_units())
+    if len(kb_report):
+        failures += 1
+        print("FAIL: bundled knowledge base is not clean:")
+        print(kb_report.render_text())
+    else:
+        print("ok: bundled knowledge base is clean (FLOW7xx/DIM8xx)")
+    for result in run_mutation_oracle():
+        mutation = result.mutation
+        if result.caught:
+            print(
+                f"ok: mutation {mutation.name!r} caught by "
+                f"{mutation.expected_code} (found: {', '.join(result.found_codes)})"
+            )
+        else:
+            failures += 1
+            print(
+                f"FAIL: mutation {mutation.name!r} ({mutation.description}) "
+                f"expected {mutation.expected_code}, found: "
+                f"{', '.join(result.found_codes) or 'nothing'}"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,12 +19,67 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from fractions import Fraction
 from typing import Dict, Iterator, Tuple
 
 from ..errors import TechnologyError
+from ..units import (
+    AMPERE,
+    DIMENSIONLESS,
+    FARAD,
+    METER,
+    SECOND,
+    VOLT,
+    Dim,
+)
 
 #: Permittivity of SiO2, F/m (3.9 * eps0).
 EPS_OX = 3.9 * 8.854e-12
+
+#: Physical dimension of every :class:`DeviceParams` field (and derived
+#: accessor), seeding the lint dimensional domain
+#: (:mod:`repro.lint.units`).  Scale conventions follow the field
+#: docstrings: a value stored in a scaled unit (``lambda_a`` divides a
+#: length *in microns*) carries the dimension of the unscaled quantity,
+#: since pure scale factors are dimensionless.
+PARAMETER_DIMENSIONS: Dict[str, Dim] = {
+    "vto": VOLT,
+    "vth_magnitude": VOLT,
+    "kp": AMPERE / VOLT**2,
+    "gamma": VOLT ** Fraction(1, 2),
+    "phi": VOLT,
+    "pb": VOLT,
+    # lambda(L) = lambda_a / (L in um) + lambda_b, both sides 1/V:
+    # lambda_a therefore carries um/V = m/V (the 1e6 is a scale factor).
+    "lambda_a": METER / VOLT,
+    "lambda_b": DIMENSIONLESS / VOLT,
+    "mobility": METER**2 / (VOLT * SECOND),  # stored in cm^2/V-s
+    "cj": FARAD / METER**2,
+    "cjsw": FARAD / METER,
+    "cgdo": FARAD / METER,
+    "cgso": FARAD / METER,
+    "cgbo": FARAD / METER,
+    "kf": VOLT**2 * FARAD,
+    "avt": VOLT * METER,
+    # DeviceParams methods / derived quantities.
+    "lambda_at": DIMENSIONLESS / VOLT,
+    "length_for_lambda": METER,
+    "beta": AMPERE / VOLT**2,
+    "sigma_vth": VOLT,
+}
+
+#: Physical dimension of every :class:`ProcessParameters` field and
+#: derived property (same contract as :data:`PARAMETER_DIMENSIONS`).
+PROCESS_DIMENSIONS: Dict[str, Dim] = {
+    "min_width": METER,
+    "min_length": METER,
+    "min_drain_width": METER,
+    "vdd": VOLT,
+    "vss": VOLT,
+    "tox": METER,
+    "supply_span": VOLT,
+    "cox": FARAD / METER**2,
+}
 
 
 @dataclass(frozen=True)

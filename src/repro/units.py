@@ -15,12 +15,29 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Union
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple, Union
 
 from .errors import UnitError
 
 __all__ = [
+    "Dim",
+    "DIMENSIONLESS",
+    "VOLT",
+    "AMPERE",
+    "SECOND",
+    "METER",
+    "HERTZ",
+    "FARAD",
+    "OHM",
+    "SIEMENS",
+    "WATT",
+    "JOULE",
+    "COULOMB",
+    "UNIT_DIMENSIONS",
     "parse_quantity",
+    "parse_quantity_tagged",
     "format_quantity",
     "db",
     "undb",
@@ -30,6 +47,133 @@ __all__ = [
     "radians",
     "parallel",
 ]
+
+_FractionLike = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A physical dimension as an exponent vector over the electrical
+    base set (V, A, s, m).
+
+    The lint dimensional domain (:mod:`repro.lint.units`) composes these
+    through plan arithmetic; exponents are :class:`~fractions.Fraction`
+    so square roots stay exact (input noise carries ``V * s^(1/2)``).
+
+    The base is volts/amps rather than SI kg-m-s-A because every
+    quantity the synthesis plans manipulate is electrical: this keeps
+    gm at ``A/V`` instead of an opaque ``kg^-1 m^-2 s^3 A^2``.
+    """
+
+    v: Fraction = Fraction(0)
+    a: Fraction = Fraction(0)
+    s: Fraction = Fraction(0)
+    m: Fraction = Fraction(0)
+
+    @staticmethod
+    def of(
+        v: _FractionLike = 0,
+        a: _FractionLike = 0,
+        s: _FractionLike = 0,
+        m: _FractionLike = 0,
+    ) -> "Dim":
+        return Dim(Fraction(v), Fraction(a), Fraction(s), Fraction(m))
+
+    # -- algebra -------------------------------------------------------
+    def __mul__(self, other: "Dim") -> "Dim":
+        return Dim(
+            self.v + other.v, self.a + other.a, self.s + other.s, self.m + other.m
+        )
+
+    def __truediv__(self, other: "Dim") -> "Dim":
+        return Dim(
+            self.v - other.v, self.a - other.a, self.s - other.s, self.m - other.m
+        )
+
+    def __pow__(self, exponent: Union[int, float, Fraction]) -> "Dim":
+        try:
+            factor = Fraction(exponent).limit_denominator(12)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            raise UnitError(f"cannot raise a dimension to the power {exponent!r}")
+        return Dim(
+            self.v * factor, self.a * factor, self.s * factor, self.m * factor
+        )
+
+    def sqrt(self) -> "Dim":
+        return self ** Fraction(1, 2)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not (self.v or self.a or self.s or self.m)
+
+    def exponents(self) -> Tuple[Fraction, Fraction, Fraction, Fraction]:
+        return (self.v, self.a, self.s, self.m)
+
+    def __str__(self) -> str:
+        if self.is_dimensionless:
+            return "1"
+        parts = []
+        for symbol, exp in zip("VAsm", self.exponents()):
+            if exp == 0:
+                continue
+            if exp == 1:
+                parts.append(symbol)
+            else:
+                parts.append(f"{symbol}^{exp}")
+        return "*".join(parts)
+
+
+#: The base and common derived electrical dimensions.
+DIMENSIONLESS = Dim.of()
+VOLT = Dim.of(v=1)
+AMPERE = Dim.of(a=1)
+SECOND = Dim.of(s=1)
+METER = Dim.of(m=1)
+HERTZ = DIMENSIONLESS / SECOND
+COULOMB = AMPERE * SECOND
+FARAD = COULOMB / VOLT
+OHM = VOLT / AMPERE
+SIEMENS = AMPERE / VOLT
+WATT = VOLT * AMPERE
+JOULE = WATT * SECOND
+
+#: Unit symbols recognised as trailing tags by
+#: :func:`parse_quantity_tagged`.  Keys are matched case-sensitively
+#: first, then case-insensitively when unambiguous ("hz" -> Hz).
+UNIT_DIMENSIONS: Dict[str, Dim] = {
+    "V": VOLT,
+    "A": AMPERE,
+    "s": SECOND,
+    "sec": SECOND,
+    "m": METER,
+    "Hz": HERTZ,
+    "F": FARAD,
+    "Ohm": OHM,
+    "ohm": OHM,
+    "R": OHM,
+    "S": SIEMENS,
+    "W": WATT,
+    "J": JOULE,
+    "C": COULOMB,
+}
+
+_UNIT_DIMENSIONS_FOLDED: Dict[str, Dim] = {}
+for _symbol, _dim in UNIT_DIMENSIONS.items():
+    _folded = _symbol.lower()
+    if _folded in _UNIT_DIMENSIONS_FOLDED and _UNIT_DIMENSIONS_FOLDED[_folded] != _dim:
+        _UNIT_DIMENSIONS_FOLDED[_folded] = None  # type: ignore[assignment]
+    else:
+        _UNIT_DIMENSIONS_FOLDED[_folded] = _dim
+
+
+def _unit_dimension(tag: str) -> Optional[Dim]:
+    """Dimension of a trailing unit tag, or None when unknown/ambiguous."""
+    if not tag:
+        return None
+    exact = UNIT_DIMENSIONS.get(tag)
+    if exact is not None:
+        return exact
+    return _UNIT_DIMENSIONS_FOLDED.get(tag.lower())
 
 # Longest suffixes must be matched first ("MEG" before "M").
 _SUFFIXES = [
@@ -121,6 +265,43 @@ def parse_quantity(text: Union[str, float, int]) -> float:
     if tail.isalpha():
         return value
     raise UnitError(f"malformed quantity: {text!r}")
+
+
+def parse_quantity_tagged(
+    text: Union[str, float, int]
+) -> Tuple[float, Optional[Dim]]:
+    """Parse a quantity and, when the trailing unit is recognised, its
+    physical dimension.
+
+    The numeric value is always *identical* to :func:`parse_quantity`
+    (same suffix rules, same error cases); the second element is the
+    :class:`Dim` of the trailing unit tag, or None when the string has
+    no tag or an unrecognised one::
+
+        >>> parse_quantity_tagged("10pF")
+        (1e-11, Dim(...))   # FARAD
+        >>> parse_quantity_tagged("1.5u")
+        (1.5e-06, None)
+
+    Note the SPICE ambiguity is inherited deliberately: ``"1A"`` is the
+    *atto* suffix (1e-18, no tag), not one ampere, because the value
+    contract with :func:`parse_quantity` wins over unit guessing.
+    """
+    value = parse_quantity(text)
+    if not isinstance(text, str):
+        return value, None
+    match = _NUMBER_RE.match(text)
+    assert match is not None  # parse_quantity accepted it
+    tail = match.group(2)
+    if not tail:
+        return value, None
+    if tail == "%":
+        return value, DIMENSIONLESS
+    upper = tail.upper()
+    for suffix, _scale in _SUFFIXES:
+        if upper.startswith(suffix):
+            return value, _unit_dimension(tail[len(suffix):])
+    return value, _unit_dimension(tail)
 
 
 def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:

@@ -77,3 +77,11 @@ class TestExamples:
         assert "[internal]" in out
         assert "well under 100 ms" in out
         assert "block='opamp'" in out
+
+    def test_plan_audit(self, capsys):
+        out = run_example("plan_audit", capsys)
+        assert "Per-step effect summaries" in out
+        assert "restart edges" in out
+        assert "0 finding(s)" in out
+        assert "FLOW701" in out
+        assert "DIM801" in out

@@ -355,3 +355,67 @@ class TestTrace:
         b.note("y", "two")
         a.extend(b)
         assert len(a) == 2
+
+
+class TestDesignError:
+    """Regression tests for the structured missing-variable error."""
+
+    def test_missing_raises_design_error_subclass(self):
+        from repro.errors import DesignError
+
+        with pytest.raises(DesignError) as excinfo:
+            make_state().get("nothing")
+        err = excinfo.value
+        assert isinstance(err, PlanError)  # existing handlers keep working
+        assert err.variable == "nothing"
+        assert err.step == ""
+        assert err.suggestions == ()
+
+    def test_near_miss_suggestions(self):
+        from repro.errors import DesignError
+
+        state = make_state()
+        state.set("bias_current", 10e-6)
+        state.set("gm1", 1e-4)
+        with pytest.raises(DesignError) as excinfo:
+            state.get("bias_curent")  # classic set/get typo
+        err = excinfo.value
+        assert "bias_current" in err.suggestions
+        assert "did you mean" in str(err)
+
+    def test_step_in_flight_recorded(self):
+        from repro.errors import DesignError
+
+        state = make_state()
+        state.current_step = "partition"
+        with pytest.raises(DesignError) as excinfo:
+            state.get("missing")
+        err = excinfo.value
+        assert err.step == "partition"
+        assert "partition" in str(err)
+
+    def test_executor_sets_current_step(self):
+        from repro.errors import DesignError
+
+        def reads_unset(state):
+            state.get("never_set")
+
+        plan = Plan("p", [PlanStep("lonely", reads_unset)])
+        with pytest.raises(DesignError) as excinfo:
+            PlanExecutor(plan, []).execute(make_state())
+        err = excinfo.value
+        assert err.variable == "never_set"
+        assert err.step == "lonely"
+
+    def test_condition_probe_still_treated_as_not_applicable(self):
+        """A rule condition reading an unset variable must still mean
+        "rule not applicable", not a crash (DesignError is a PlanError)."""
+        ran = []
+
+        def condition(state):
+            return state.get("not_there") > 0
+
+        rule = Rule("probe", condition, lambda s: None)
+        plan = Plan("p", [PlanStep("a", lambda s: ran.append(True))])
+        PlanExecutor(plan, [rule]).execute(make_state())
+        assert ran == [True]

@@ -1,0 +1,217 @@
+"""Tests for the dimension algebra and the DIM8xx dimensional pass.
+
+Property tests pin the exponent-vector algebra of :class:`repro.units.Dim`
+and the value contract of :func:`parse_quantity_tagged`; the checker
+tests drive the abstract interpreter over seeded mutant plans (defined
+at module level -- the analysis is AST-based and needs real source).
+"""
+
+from fractions import Fraction
+from math import log, log10
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.plans import DesignState, PlanStep
+from repro.lint import lint_template_units, lint_units
+from repro.lint.oracle import (
+    MUTATIONS,
+    _mutant_unit_swapped,
+    _mutant_wrong_store,
+    _template,
+)
+from repro.units import (
+    AMPERE,
+    DIMENSIONLESS,
+    FARAD,
+    HERTZ,
+    OHM,
+    SIEMENS,
+    VOLT,
+    Dim,
+    UnitError,
+    parse_quantity,
+    parse_quantity_tagged,
+)
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+_exponents = st.fractions(
+    min_value=-4, max_value=4, max_denominator=4
+)
+_dims = st.builds(Dim, _exponents, _exponents, _exponents, _exponents)
+_int_powers = st.integers(min_value=-3, max_value=3)
+
+
+# ----------------------------------------------------------------------
+# Dimension algebra properties
+# ----------------------------------------------------------------------
+class TestDimAlgebra:
+    @given(a=_dims, b=_dims)
+    def test_mul_adds_exponent_vectors(self, a, b):
+        product = a * b
+        assert product.exponents() == tuple(
+            x + y for x, y in zip(a.exponents(), b.exponents())
+        )
+
+    @given(a=_dims, b=_dims)
+    def test_div_subtracts_exponent_vectors(self, a, b):
+        quotient = a / b
+        assert quotient.exponents() == tuple(
+            x - y for x, y in zip(a.exponents(), b.exponents())
+        )
+
+    @given(a=_dims, k=_int_powers)
+    def test_pow_scales_exponent_vector(self, a, k):
+        assert (a ** k).exponents() == tuple(
+            x * k for x in a.exponents()
+        )
+
+    @given(a=_dims)
+    def test_mul_identity_and_inverse(self, a):
+        assert a * DIMENSIONLESS == a
+        assert a / a == DIMENSIONLESS
+
+    @given(a=_dims, b=_dims)
+    def test_mul_commutes_and_cancels(self, a, b):
+        assert a * b == b * a
+        assert (a * b) / b == a
+
+    @given(a=_dims)
+    def test_sqrt_is_exact_half_power(self, a):
+        root = a.sqrt()
+        assert root * root == a
+        assert root == a ** Fraction(1, 2)
+
+    def test_derived_units_compose(self):
+        assert SIEMENS * OHM == DIMENSIONLESS
+        assert VOLT / OHM == AMPERE
+        assert FARAD * VOLT / AMPERE == DIMENSIONLESS / HERTZ
+        assert str(VOLT / (VOLT * VOLT)) == "V^-1"
+
+    def test_pow_rejects_pathological_exponent(self):
+        with pytest.raises(UnitError):
+            VOLT ** float("nan")
+
+
+# ----------------------------------------------------------------------
+# parse_quantity_tagged: value contract + dimension tags
+# ----------------------------------------------------------------------
+_VALUES = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=1e-3,
+    max_value=1e3,
+)
+_SUFFIX_STRINGS = st.sampled_from(
+    ["", "k", "K", "m", "u", "n", "p", "MEG", "G", "T"]
+)
+_UNIT_TAGS = st.sampled_from(["", "V", "Hz", "F", "Ohm", "W", "J", "S"])
+
+
+class TestParseQuantityTagged:
+    @given(value=_VALUES, suffix=_SUFFIX_STRINGS, unit=_UNIT_TAGS)
+    def test_value_identical_to_parse_quantity(self, value, suffix, unit):
+        text = f"{value!r}{suffix}{unit}"
+        parsed, _dim = parse_quantity_tagged(text)
+        assert parsed == parse_quantity(text)
+
+    @given(value=_VALUES)
+    def test_numbers_pass_through_untagged(self, value):
+        parsed, dim = parse_quantity_tagged(value)
+        assert parsed == value
+        assert dim is None
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10pF", FARAD),
+            ("5mV", VOLT),
+            ("2kOhm", OHM),
+            ("1MEGHz", HERTZ),
+            ("3uS", SIEMENS),
+            ("1.5u", None),  # suffix only, no tag
+            ("42", None),
+            ("7xyz", None),  # unknown tag
+        ],
+    )
+    def test_dimension_tags(self, text, expected):
+        _value, dim = parse_quantity_tagged(text)
+        assert dim == expected
+
+    def test_spice_ambiguity_favours_suffix(self):
+        # "1A" is atto (1e-18), not one ampere: the value contract with
+        # parse_quantity wins over unit guessing.
+        value, dim = parse_quantity_tagged("1A")
+        assert value == pytest.approx(1e-18)
+        assert dim is None
+
+
+# ----------------------------------------------------------------------
+# DIM checkers over seeded mutants (module-level: AST needs source)
+# ----------------------------------------------------------------------
+def _seed(state: DesignState) -> None:
+    state.set("cload", state.spec.load_capacitance)
+    state.set("gbw", state.spec.unity_gain_hz)
+
+
+def _log_of_frequency(state: DesignState) -> None:
+    state.set("octaves", log(state.get("gbw")))
+
+
+def _log10_normalised(state: DesignState) -> None:
+    state.set("decades", log10(state.get("gbw") / state.get("gbw")))
+
+
+def _fifth_power(state: DesignState) -> None:
+    state.set("weird", state.get("cload") ** 5)
+
+
+def _clamp_mixed(state: DesignState) -> None:
+    # min/max across provenances is a legitimate clamp, never DIM801.
+    state.set("i_floor", max(state.get("gbw") * state.get("cload"), 1e-9))
+
+
+class TestDimCheckers:
+    def _codes(self, steps):
+        template = _template("t", [PlanStep("seed", _seed), *steps])
+        return {d.code for d in lint_template_units(template)}
+
+    def test_unit_swapped_equation_fires_dim801(self):
+        report = lint_template_units(_mutant_unit_swapped())
+        assert "DIM801" in {d.code for d in report}
+
+    def test_wrong_store_fires_dim802(self):
+        report = lint_template_units(_mutant_wrong_store())
+        assert "DIM802" in {d.code for d in report}
+
+    def test_dimensioned_transcendental_fires_dim803(self):
+        codes = self._codes([PlanStep("octaves", _log_of_frequency)])
+        assert "DIM803" in codes
+
+    def test_normalised_transcendental_is_clean(self):
+        codes = self._codes([PlanStep("decades", _log10_normalised)])
+        assert "DIM803" not in codes
+
+    def test_suspicious_exponent_fires_dim804(self):
+        codes = self._codes([PlanStep("weird", _fifth_power)])
+        assert "DIM804" in codes
+
+    def test_clamp_across_provenances_is_clean(self):
+        codes = self._codes([PlanStep("clamp", _clamp_mixed)])
+        assert codes == set()
+
+    def test_bundled_kb_is_clean(self):
+        report = lint_units()
+        assert len(report) == 0, report.render_text()
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [m for m in MUTATIONS if m.expected_code.startswith("DIM")],
+        ids=lambda m: m.name,
+    )
+    def test_dim_mutations_caught(self, mutation):
+        report = lint_template_units(mutation.build())
+        assert mutation.expected_code in {d.code for d in report}
