@@ -1,0 +1,181 @@
+"""Serving benchmark: request latency overhead and backpressure.
+
+Two robustness claims ride on ``repro.serve`` and both are recorded
+here, merged into ``BENCH_synth.json`` under a ``"serve"`` key
+(alongside the batch and runtime sections) for the CI perf artifact:
+
+* **Latency overhead** -- one synthesis job through the whole serving
+  stack (HTTP framing, admission, queue, supervisor) versus the bare
+  engine call.  The served records must stay byte-identical to the
+  engine's (modulo volatile keys), and the per-request overhead must
+  stay a small constant, not a multiple of the work.
+* **Backpressure** -- a single worker behind a small queue under a
+  burst of concurrent batch grids.  Overflowing requests must be
+  *rejected*, fast and structured (429 + ``retry_after_ms``), while
+  every admitted job still completes; rejection must cost far less
+  than service.
+"""
+
+import concurrent.futures
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.batch import VOLATILE_KEYS, build_tasks, run_batch
+from repro.cli import package_version
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+
+# ``index`` is positional: 0..n-1 within the bare grid, always 0 for a
+# single-job /synthesize request.  Everything synthesized must match.
+_STRIP = tuple(VOLATILE_KEYS) + ("request_id", "index")
+
+
+def _canon(record):
+    return json.dumps(
+        {k: v for k, v in record.items() if k not in _STRIP},
+        sort_keys=True,
+    )
+
+
+def test_serve_latency_overhead(once, benchmark):
+    """The serving stack adds bounded overhead per request."""
+    specs = [
+        (f"case-{name}", spec)
+        for name, spec in sorted(paper_test_cases().items())
+    ]
+    tasks = build_tasks(specs, CMOS_5UM, corners=("typical",))
+
+    def _bare():
+        start = time.perf_counter()
+        results = sorted(run_batch(tasks, jobs=1), key=lambda r: r.index)
+        return time.perf_counter() - start, results
+
+    bare_s, bare = once(benchmark, _bare)
+
+    with ServerHandle(ServeConfig(mode="thread", workers=1)) as handle:
+        client = ServeClient(handle.host, handle.port, timeout_s=120.0)
+        client.synthesize(testcase="A")  # warm the dispatch path
+        served = []
+        start = time.perf_counter()
+        for label, _ in specs:
+            response = client.synthesize(testcase=label.replace("case-", ""))
+            assert response.ok, response.body
+            served.append(response.body)
+        served_s = time.perf_counter() - start
+
+    # Same bytes through the wire as through the engine.
+    assert [_canon(r) for r in served] == [_canon(r.record) for r in bare]
+
+    n = len(tasks)
+    bare_ms = bare_s * 1e3 / n
+    served_ms = served_s * 1e3 / n
+    overhead_ms = served_ms - bare_ms
+    print()
+    print(
+        f"  latency: bare {bare_ms:6.1f} ms/req  "
+        f"served {served_ms:6.1f} ms/req  overhead {overhead_ms:+5.1f} ms"
+    )
+    # The stack may not turn milliseconds of work into hundreds.
+    assert served_ms < bare_ms * 10 + 100.0, (
+        f"serving overhead out of bounds: {bare_ms:.1f} -> {served_ms:.1f} ms"
+    )
+
+    _merge_bench_section(
+        "latency",
+        {
+            "requests": n,
+            "bare_ms_per_req": round(bare_ms, 3),
+            "served_ms_per_req": round(served_ms, 3),
+            "overhead_ms_per_req": round(overhead_ms, 3),
+        },
+    )
+
+
+def test_serve_backpressure():
+    """A full queue rejects fast and structured; admitted work finishes."""
+    grid = {
+        "base": {
+            "gain_db": 60.0, "unity_gain_hz": 1e6,
+            "phase_margin_deg": 60.0, "slew_rate": 2e6,
+            "load_capacitance": 1e-11, "output_swing": 3.0,
+        },
+        "sweeps": {"gain_db": "55:62:1"},  # 8 tasks per grid
+    }
+    config = ServeConfig(mode="thread", workers=1, queue_depth=8)
+    with ServerHandle(config) as handle:
+        client = ServeClient(handle.host, handle.port, timeout_s=120.0)
+        client.synthesize(testcase="A")  # teach the EWMA a real service time
+
+        def _burst(_):
+            start = time.perf_counter()
+            response = client.post("/batch", grid)
+            return (time.perf_counter() - start) * 1e3, response
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+            outcomes = list(pool.map(_burst, range(6)))
+
+        accepted = [(ms, r) for ms, r in outcomes if r.status == 200]
+        rejected = [(ms, r) for ms, r in outcomes if r.status == 429]
+        assert len(accepted) + len(rejected) == len(outcomes), [
+            r.status for _, r in outcomes
+        ]
+        assert accepted, "burst starved completely"
+        assert rejected, "queue_depth=8 absorbed 48 concurrent jobs"
+        for _, response in rejected:
+            assert response.error_code == "queue_overflow"
+            assert response.retry_after_ms is not None
+            assert response.retry_after_ms > 0
+        # Every admitted job completed with a real record.
+        for _, response in accepted:
+            assert len(response.lines) == 8
+            assert all(line.get("ok") for line in response.lines)
+        # The server outlived the burst.
+        assert client.healthz().status == 200
+
+        reject_ms = min(ms for ms, _ in rejected)
+        accept_ms = max(ms for ms, _ in accepted)
+        hint_ms = rejected[0][1].retry_after_ms
+        print()
+        print(
+            f"  backpressure: {len(accepted)} grids accepted "
+            f"(slowest {accept_ms:7.1f} ms), {len(rejected)} rejected "
+            f"(fastest {reject_ms:5.1f} ms, hint {hint_ms:.0f} ms)"
+        )
+        # Rejection must be cheap: far under the cost of being served.
+        assert reject_ms < accept_ms, "rejecting cost as much as serving"
+
+    _merge_bench_section(
+        "backpressure",
+        {
+            "burst_grids": len(outcomes),
+            "jobs_per_grid": 8,
+            "queue_depth": 8,
+            "accepted": len(accepted),
+            "rejected": len(rejected),
+            "slowest_accept_ms": round(accept_ms, 3),
+            "fastest_reject_ms": round(reject_ms, 3),
+            "retry_after_hint_ms": round(hint_ms, 3),
+        },
+    )
+
+
+def _merge_bench_section(section, payload):
+    """Fold a serve measurement into BENCH_synth.json in place."""
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    else:  # serve bench ran first; seed the envelope
+        data = {
+            "bench": "synth_runtime",
+            "version": package_version(),
+            "python": platform.python_version(),
+            "cases": {},
+        }
+    data.setdefault("serve", {})[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,103 @@
+"""Serving: a synthesis service, a sweep, and a JSONL stream.
+
+Run:
+    python examples/serve_client.py
+
+Boots the HTTP/JSON service in-process (``ServerHandle`` on a
+background thread, the same server ``repro serve`` runs), then walks
+the client side of the contract:
+
+1. liveness and readiness probes;
+2. one synthesize call, and a structured refusal (the service answers
+   bad input with a JSON error envelope, never a bare 500);
+3. a deadline the queue cannot meet, rejected up front with the
+   service's own latency estimate;
+4. a gain-sweep batch streamed back record-by-record as JSONL;
+5. the metrics snapshot and a graceful drain.
+
+Equivalent CLI (against ``repro serve --port 8080 --workers 2``):
+    curl -s localhost:8080/healthz
+    curl -s -d '{"testcase": "A", "corner": "slow"}' localhost:8080/synthesize
+    curl -s -d '{"base": {...spec fields...}, "sweeps": {"gain_db": "55:75:10"}}' \
+        localhost:8080/batch
+"""
+
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+
+def main() -> None:
+    config = ServeConfig(mode="thread", workers=2, queue_depth=32)
+    with ServerHandle(config) as server:
+        client = ServeClient(server.host, server.port)
+        print(f"serving at http://{server.address}")
+
+        # 1. Probes: /healthz answers as long as the process lives;
+        # /readyz only while the server will accept new work.
+        health = client.healthz()
+        ready = client.readyz()
+        print(f"healthz {health.status} {health.body}")
+        print(f"readyz  {ready.status}")
+
+        # 2. One synthesis job; the record is byte-identical to what
+        # `repro batch` would produce for the same task.
+        done = client.synthesize(testcase="A", corner="slow")
+        record = done.body
+        status = record["style"] if record["ok"] else "INFEASIBLE"
+        print(
+            f"synthesize A@slow -> {status} "
+            f"(attempts={record['attempts']}, {record['wall_ms']:.1f} ms)"
+        )
+
+        # ...and a structured refusal: bad input never drops the
+        # connection, it answers with an error envelope.
+        refused = client.synthesize(testcase="A", process="unobtainium-1um")
+        print(
+            f"structured refusal: HTTP {refused.status} "
+            f"code={refused.error_code!r}"
+        )
+        print(f"  message: {refused.error['message']}")
+
+        # 3. Deadline admission: a deadline the queue can't meet is
+        # rejected *before* it costs a worker anything, carrying the
+        # service's own estimate of how long the job would have taken.
+        hopeless = client.synthesize(testcase="A", deadline_ms=0.001)
+        print(
+            f"unmeetable deadline: HTTP {hopeless.status} "
+            f"code={hopeless.error_code!r} "
+            f"(estimated {hopeless.error['estimated_ms']:.1f} ms)"
+        )
+
+        # 4. A sweep batch, streamed back as JSONL in grid order.
+        sweep = {
+            "base": {
+                "gain_db": 60.0, "unity_gain_hz": 1e6,
+                "phase_margin_deg": 60.0, "slew_rate": 2e6,
+                "load_capacitance": 1e-11, "output_swing": 3.0,
+            },
+            "sweeps": {"gain_db": "55:75:10"},
+            "corners": ["typical", "slow"],
+        }
+        print("batch sweep (gain_db=55:75:10 x typical,slow):")
+        for line in client.stream("/batch", sweep):
+            status = line["style"] if line.get("ok") else "INFEASIBLE"
+            print(f"  [{line['index']:2d}] {line['label']:32s} {status}")
+
+        # 5. Metrics, then a graceful drain: in-flight work finishes,
+        # queued work gets structured cancellations, exit is clean.
+        snapshot = client.metrics().body
+        jobs_ok = snapshot["metrics"]["counters"].get("serve.jobs{status=ok}", 0)
+        print(
+            f"metrics: {jobs_ok} jobs ok, "
+            f"queue depth {snapshot['queue']['depth']}, "
+            f"pool {snapshot['pool']['mode']} x{snapshot['pool']['workers']}"
+        )
+        summary = server.drain(reason="example")
+        print(
+            f"drained: clean={summary['clean']} "
+            f"cancelled_queued={summary['cancelled_queued']} "
+            f"in {summary['drain_ms']:.0f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

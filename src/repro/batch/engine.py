@@ -294,9 +294,12 @@ class BatchResult:
         return json.dumps(self.record, sort_keys=True)
 
 
-def _absorb(record: Dict[str, Any]) -> None:
-    """Parent-side bookkeeping for one finished record: merge the
-    worker's metrics snapshot into the ambient tracer and count it."""
+def _absorb(record: Dict[str, Any], attempts: int = 1) -> None:
+    """Parent-side bookkeeping for one finished record: stamp the
+    attempt count (workers can't know how often they were resubmitted),
+    merge the worker's metrics snapshot into the ambient tracer and
+    count it."""
+    record["attempts"] = attempts
     tracer = current_tracer()
     if tracer is not None and record.get("metrics"):
         tracer.metrics.merge_snapshot(record["metrics"])
@@ -336,7 +339,7 @@ def run_batch(
                         record = _error_record(task, exc, attempts)
                         break
                     metric_count("batch.retries")
-            _absorb(record)
+            _absorb(record, attempts)
             yield BatchResult(task=task, record=record, attempts=attempts)
         return
 
@@ -365,12 +368,18 @@ def run_batch(
                     for hurt_task, hurt_attempts in casualties:
                         if hurt_attempts > retries:
                             record = _error_record(hurt_task, exc, hurt_attempts)
-                            _absorb(record)
+                            _absorb(record, hurt_attempts)
                             yield BatchResult(hurt_task, record, hurt_attempts)
                         else:
                             metric_count("batch.retries")
+                            metric_count("batch.resubmitted")
                             submit(hurt_task, hurt_attempts + 1)
-                    continue
+                    # The rest of `done` are poisoned futures from the
+                    # dead pool -- their tasks are already among the
+                    # resubmitted casualties, so touching them again
+                    # would double-count (and KeyError on the cleared
+                    # pending map).  Go back to wait() on the new pool.
+                    break
                 except Exception as exc:  # noqa: BLE001 - worker containment
                     if attempts > retries:
                         record = _error_record(task, exc, attempts)
@@ -378,7 +387,7 @@ def run_batch(
                         metric_count("batch.retries")
                         submit(task, attempts + 1)
                         continue
-                _absorb(record)
+                _absorb(record, attempts)
                 yield BatchResult(task=task, record=record, attempts=attempts)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)

@@ -40,7 +40,12 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
+
+try:  # advisory file locking is POSIX-only; Windows degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -146,13 +151,47 @@ class MemoryCache:
             return len(self._entries)
 
 
+@contextmanager
+def _shard_lock(directory: Path) -> Iterator[None]:
+    """Advisory exclusive lock on one cache shard directory.
+
+    Serializes *writers* (readers never lock: ``os.replace`` keeps
+    reads atomic), which makes two guarantees cheap: any ``*.tmp.*``
+    file observed while holding the lock belongs to a dead writer and
+    may be reclaimed, and publication order on one key is total.  On
+    platforms without :mod:`fcntl` -- or when the lock file itself
+    cannot be opened -- writers fall back to plain atomic-replace,
+    which still never exposes a torn entry.
+    """
+    if fcntl is None:
+        yield
+        return
+    try:
+        handle = open(directory / ".lock", "a+")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        with suppress(OSError):
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+
 class DiskCache:
     """One JSON file per entry under ``root/<namespace>/<aa>/<key>.json``.
 
-    Writes are atomic (temp file + ``os.replace``), so concurrent batch
-    workers sharing a directory can only ever observe complete entries;
-    two workers racing on the same key write identical bytes (the cache
-    is deterministic by contract), so last-write-wins is safe.
+    Writes are atomic and durable: the record is written to a
+    process-private temp file, fsync'd, then published with
+    ``os.replace`` under a per-shard advisory lock
+    (:func:`_shard_lock`), so concurrent batch workers sharing a
+    directory can only ever observe complete entries -- a reader sees
+    the old bytes or the new bytes, never a prefix.  Two workers racing
+    on the same key write identical bytes (the cache is deterministic
+    by contract), so last-write-wins is safe; the digest check in
+    :class:`ResultCache` backstops even a torn write surviving a crash.
     """
 
     def __init__(self, root: Union[str, os.PathLike[str]]):
@@ -192,8 +231,18 @@ class DiskCache:
         )
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            tmp.write_text(record, encoding="utf-8")
-            os.replace(tmp, path)
+            with _shard_lock(path.parent):
+                # Any other tmp file for this key belongs to a writer
+                # that died mid-put (the lock excludes live ones).
+                for stale in path.parent.glob(f"{path.stem}.tmp.*"):
+                    if stale != tmp:
+                        with suppress(OSError):
+                            stale.unlink()
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(record)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
         except OSError:
             # A full or read-only disk degrades to "no disk layer".
             try:

@@ -35,7 +35,11 @@ equivalent.  Commands:
   axes and ``--corners``, or a ``--grid`` JSON file), run it on
   ``--jobs`` worker processes with optional result caching
   (``--cache`` / ``--cache-dir``), and emit one JSON record per task
-  (JSONL, grid order -- byte-identical for any ``--jobs``).
+  (JSONL, grid order -- byte-identical for any ``--jobs``);
+* ``serve``      -- long-lived HTTP/JSON service over the same
+  machinery: bounded admission with structured backpressure, deadline
+  admission control, supervised worker pools, honest ``/healthz`` /
+  ``/readyz`` / ``/metrics``, and graceful SIGTERM drain.
 
 All quantity arguments accept SPICE suffixes (``10p``, ``2MEG``...).
 """
@@ -548,6 +552,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="write JSONL records here (default: stdout)",
     )
     _add_process_arguments(batch)
+
+    # serve --------------------------------------------------------------
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON synthesis service",
+        description="Serve synthesize/batch/lint/analyze over HTTP/JSON "
+        "with bounded admission (structured 429 backpressure, deadline "
+        "admission control), worker supervision (stalled or dead pools "
+        "are replaced under the service), honest /healthz and /readyz, "
+        "/metrics, and graceful drain on SIGTERM/SIGINT (exit 0 when "
+        "every in-flight request settled inside the drain deadline).",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default: 0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker pool width (default: 1)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["process", "thread"],
+        default="process",
+        help="worker isolation: process pool (default) or in-process "
+        "threads (deterministic, for tests and demos)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded admission queue depth (default: 64); beyond it "
+        "requests get a structured 429 with a retry-after hint",
+    )
+    serve.add_argument(
+        "--drain-deadline-ms",
+        type=float,
+        default=10_000.0,
+        metavar="MS",
+        help="how long SIGTERM waits for in-flight work (default: 10000)",
+    )
+    serve.add_argument(
+        "--job-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-job stall timeout; a job past it gets a structured "
+        "worker_stall error and the pool is replaced (default: none)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="resubmissions for a job whose worker died (default: 1)",
+    )
+    serve.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="worker liveness probe period (process mode; default: off)",
+    )
+    serve.add_argument(
+        "--cache",
+        action="store_true",
+        help="share a warm result cache across served jobs "
+        "(add --cache-dir to persist)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk cache directory for served jobs (implies --cache)",
+    )
 
     return parser
 
@@ -1070,6 +1157,25 @@ def _cmd_batch(args) -> int:
     return 0 if ok == len(results) else 3
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        mode=args.mode,
+        queue_depth=args.queue_depth,
+        drain_deadline_ms=args.drain_deadline_ms,
+        job_timeout_ms=args.job_timeout_ms,
+        retries=args.retries,
+        heartbeat_s=args.heartbeat_s,
+        use_cache=bool(args.cache or args.cache_dir),
+        cache_dir=args.cache_dir,
+    )
+    return run_server(config)
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "design": _cmd_synthesize,  # alias
@@ -1081,6 +1187,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "stats": _cmd_stats,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
 }
 
 

@@ -103,6 +103,80 @@ class FaultInjected(ReproError, RuntimeError):
         self.site = site
 
 
+class ServeError(ReproError, RuntimeError):
+    """A request was refused (or abandoned) by the synthesis service.
+
+    Every refusal carries a stable machine-readable ``code`` (the wire
+    protocol's ``error.code`` field) so clients can branch on it
+    without parsing messages, plus an optional ``retry_after_ms`` hint
+    for refusals that are expected to clear (queue pressure, drain).
+
+    Codes in use: ``bad_request``, ``not_found``, ``payload_too_large``,
+    ``queue_overflow``, ``deadline_unmeetable``, ``deadline_expired``,
+    ``draining``, ``cancelled``, ``worker_stall``, ``worker_error``,
+    ``internal``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "internal",
+        retry_after_ms=None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+class QueueOverflow(ServeError):
+    """The service's bounded request queue is at capacity.
+
+    Backpressure, not failure: the request was never admitted, so
+    retrying after ``retry_after_ms`` is always safe.
+
+    Attributes:
+        depth: queue depth observed at admission time.
+        max_depth: the configured bound it exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        depth: int = 0,
+        max_depth: int = 0,
+        retry_after_ms=None,
+    ):
+        super().__init__(message, code="queue_overflow", retry_after_ms=retry_after_ms)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class AdmissionRejected(ServeError):
+    """A request's deadline cannot be met, so it was refused at admission.
+
+    Raised *before* any work starts: the queue's service-time estimate
+    says the request would blow its own deadline, so refusing it now is
+    strictly cheaper than burning a worker to produce a late answer.
+
+    Attributes:
+        deadline_ms: the client-supplied deadline.
+        estimated_ms: the queue's completion estimate that exceeded it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_ms: float = 0.0,
+        estimated_ms: float = 0.0,
+        retry_after_ms=None,
+    ):
+        super().__init__(
+            message, code="deadline_unmeetable", retry_after_ms=retry_after_ms
+        )
+        self.deadline_ms = deadline_ms
+        self.estimated_ms = estimated_ms
+
+
 class SynthesisError(ReproError, RuntimeError):
     """A design plan could not meet its specification.
 

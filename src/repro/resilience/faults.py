@@ -355,6 +355,31 @@ register_fault_site(
     "batch worker entry: the worker dies before running its task "
     "(exercises the batch engine's requeue/retry path)",
 )
+def _client_disconnect_fault() -> BaseException:
+    return ConnectionResetError("injected fault: client went away mid-response")
+
+
+register_fault_site(
+    "serve.queue_overflow",
+    "serve admission: the bounded request queue reports itself full "
+    "even when it is not (exercises structured 429 backpressure: the "
+    "client must get a retry-after hint, never a hang)",
+    kind="nan",
+)
+register_fault_site(
+    "serve.worker_stall",
+    "serve dispatch: the job's worker wedges before doing any work "
+    "(exercises supervisor containment: structured worker_stall error "
+    "plus pool replacement, never a hung request)",
+    kind="nan",
+)
+register_fault_site(
+    "serve.client_disconnect",
+    "serve response write: the client connection drops mid-stream "
+    "(exercises per-connection isolation: the server abandons that "
+    "response and keeps serving everyone else)",
+    make_error=_client_disconnect_fault,
+)
 register_fault_site(
     "budget.clock",
     "budget clock skew: wall-clock jumps forward by skew_ms "

@@ -1,0 +1,53 @@
+"""The synthesis service: a long-lived asyncio HTTP/JSON front end.
+
+``repro serve`` turns the batch machinery into a server engineered for
+failure first: bounded admission with structured backpressure
+(:mod:`repro.serve.queue`), deadline admission control, worker
+supervision with automatic pool replacement
+(:mod:`repro.serve.supervisor`), honest health/readiness, per-request
+failure isolation, and graceful signal-driven drain
+(:mod:`repro.serve.server`).  The wire protocol -- plain HTTP/1.1 with
+JSON bodies and JSONL streams, zero new dependencies -- lives in
+:mod:`repro.serve.protocol`; :mod:`repro.serve.client` is the matching
+stdlib client.
+
+Quick start::
+
+    from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+    with ServerHandle(ServeConfig(mode="thread")) as handle:
+        client = ServeClient(handle.host, handle.port)
+        result = client.synthesize(testcase="A")
+        assert result.ok and result.body["ok"]
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient, ServeResponse
+from .protocol import (
+    HttpRequest,
+    error_body,
+    failure_code,
+    parse_spec_payload,
+    status_for_code,
+)
+from .queue import AdmissionQueue, QueuedJob
+from .server import ReproServer, ServeConfig, ServerHandle, run_server
+from .supervisor import WorkerSupervisor
+
+__all__ = [
+    "AdmissionQueue",
+    "HttpRequest",
+    "QueuedJob",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeResponse",
+    "ServerHandle",
+    "WorkerSupervisor",
+    "error_body",
+    "failure_code",
+    "parse_spec_payload",
+    "run_server",
+    "status_for_code",
+]

@@ -1,0 +1,122 @@
+"""Worker-side job functions: module-level, picklable, self-contained.
+
+Every request kind the service accepts maps to one function here.  The
+process pool pickles these by reference, so they must stay module level
+and take only plain-JSON-or-dataclass arguments; the thread-mode
+supervisor calls the very same functions, which is what keeps inline
+chaos tests and real pooled serving on one code path.
+
+Synthesis jobs reuse the batch engine's worker
+(:func:`repro.batch.engine._run_task` via :func:`run_synth_task`)
+verbatim: a served record is byte-identical to the record ``repro
+batch`` would write for the same task, so golden batch expectations
+hold for the service for free.  Lint/analyze jobs return the familiar
+diagnostics JSON of ``repro lint --format json``.
+
+Failure contract: these functions *contain* everything they can --
+synthesis failures are already records with ``ok: false`` -- and let
+only infrastructure faults escape (a dead worker, an injected
+``worker.crash``), which the supervisor treats as pool casualties.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from ..batch.grid import BatchTask
+
+__all__ = ["run_synth_task", "run_lint_job", "run_analyze_job", "ping"]
+
+
+def ping(token: int) -> int:
+    """Supervisor heartbeat probe: proves a worker is alive and honest."""
+    return token
+
+
+def run_synth_task(task: BatchTask) -> Dict[str, Any]:
+    """One synthesis task through the batch worker (record out)."""
+    from ..batch.engine import _run_task
+
+    return _run_task(task)
+
+
+def run_lint_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """ERC-lint a SPICE deck carried in the request body."""
+    started = time.perf_counter()
+    from ..lint import lint_spice_deck
+    from ..process import builtin_processes
+
+    netlist = payload.get("netlist")
+    name = str(payload.get("name", "request"))
+    process_name = str(payload.get("process", "generic-5um"))
+    process = builtin_processes().get(process_name)
+    report = lint_spice_deck(str(netlist), process=process, name=name)
+    return {
+        "ok": report.exit_code() == 0,
+        "exit_code": report.exit_code(),
+        "diagnostics": [d.to_dict() for d in report],
+        "wall_ms": (time.perf_counter() - started) * 1e3,
+        "worker": os.getpid(),
+    }
+
+
+def run_analyze_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Interval-feasibility analysis for a spec carried in the body."""
+    started = time.perf_counter()
+    from ..lint import lint_feasibility
+    from ..process import builtin_processes
+    from .protocol import parse_spec_payload
+
+    label, spec = parse_spec_payload(dict(payload.get("spec") or {}))
+    corner = float(payload.get("corner", 0.05))
+    process_name = str(payload.get("process", "generic-5um"))
+    process = builtin_processes().get(process_name)
+    report = lint_feasibility(spec, process=process, corner=corner)
+    return {
+        "ok": report.exit_code() == 0,
+        "label": label,
+        "exit_code": report.exit_code(),
+        "diagnostics": [d.to_dict() for d in report],
+        "wall_ms": (time.perf_counter() - started) * 1e3,
+        "worker": os.getpid(),
+    }
+
+
+def job_callable(kind: str) -> Any:
+    """The worker function for a queue-job kind."""
+    return {
+        "synth": run_synth_task,
+        "lint": run_lint_job,
+        "analyze": run_analyze_job,
+    }[kind]
+
+
+def make_synth_task(
+    index: int,
+    label: str,
+    spec: Any,
+    process: Any,
+    corner: str = "typical",
+    verify: bool = False,
+    precheck: bool = False,
+    budget_wall_ms: Optional[float] = None,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    observe: bool = False,
+) -> BatchTask:
+    """A served synthesis task (one point of a request's grid)."""
+    return BatchTask(
+        index=index,
+        label=label,
+        spec=spec,
+        process=process,
+        corner=corner,
+        verify=verify,
+        precheck=precheck,
+        budget_wall_ms=budget_wall_ms,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        observe=observe,
+    )

@@ -1,0 +1,250 @@
+"""Worker supervision: the pool is cattle, the request is sacred.
+
+The supervisor owns the executor the service runs jobs on and treats
+every infrastructure failure as routine:
+
+* **worker death** -- a :class:`BrokenProcessPool` (or a worker raising
+  on the way down, e.g. the ``worker.crash`` chaos site) replaces the
+  pool and **resubmits** the job up to ``retries`` times before the
+  request degrades to a structured ``worker_error``;
+* **worker stall** -- a job that exceeds ``job_timeout_ms`` (or the
+  deterministic ``serve.worker_stall`` chaos site) is abandoned with a
+  structured ``worker_stall`` error and the pool is replaced, because a
+  wedged worker poisons every job queued behind it;
+* **heartbeats** -- an optional background probe submits
+  :func:`~repro.serve.jobs.ping` through the real pool on a period;
+  a missed heartbeat forces a replacement *before* user jobs pile up
+  behind the corpse;
+* **honest readiness** -- :attr:`rebuilding` is True from the moment a
+  pool is condemned until its replacement answers a ping, and the
+  server's ``/readyz`` reports exactly that.
+
+Two execution modes share this one code path: ``mode="process"`` is
+production (real isolation, real ``BrokenProcessPool``); ``mode=
+"thread"`` runs the same job functions in-process, which keeps chaos
+tests deterministic (the :func:`~repro.resilience.inject` context
+manager reaches the job) and examples cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ServeError
+from ..obs.metrics import MetricsRegistry
+from ..resilience.faults import fault_point
+from .jobs import ping
+
+__all__ = ["WorkerSupervisor"]
+
+#: Seconds a heartbeat probe may take before the pool is condemned.
+_HEARTBEAT_TIMEOUT_S = 5.0
+
+
+class WorkerSupervisor:
+    """Owns the executor; contains worker death, stalls, and rebuilds.
+
+    Args:
+        workers: pool width (>= 1).
+        mode: ``"process"`` (ProcessPoolExecutor) or ``"thread"``
+            (ThreadPoolExecutor running the same job functions
+            in-process -- deterministic for tests, cheap for examples).
+        job_timeout_ms: wall clock after which a running job is
+            declared stalled (None = never).
+        retries: resubmissions for a job whose worker died.
+        metrics: registry for supervision counters/gauges (the server's
+            tracer registry; a private one when omitted).
+        heartbeat_s: period of the liveness probe (None = disabled;
+            process mode only).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        mode: str = "process",
+        job_timeout_ms: Optional[float] = None,
+        retries: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        heartbeat_s: Optional[float] = None,
+    ):
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown supervisor mode {mode!r}")
+        self.workers = max(1, workers)
+        self.mode = mode
+        self.job_timeout_ms = job_timeout_ms
+        self.retries = max(0, retries)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.heartbeat_s = heartbeat_s if mode == "process" else None
+        self._executor: Optional[Executor] = None
+        self._rebuilding = False
+        self._generation = 0
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
+        self._ping_token = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._executor is None:
+            self._executor = self._make_executor()
+            self._generation += 1
+        if self.heartbeat_s is not None and self._heartbeat_task is None:
+            self._heartbeat_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop()
+            )
+
+    def stop(self, wait: bool = False) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self._executor is not None:
+            self._shutdown(self._executor, wait=wait)
+            self._executor = None
+
+    @property
+    def rebuilding(self) -> bool:
+        """True between condemning a pool and its replacement passing
+        a liveness ping -- the window ``/readyz`` must report."""
+        return self._rebuilding
+
+    @property
+    def generation(self) -> int:
+        """How many pools have been built (1 = the original)."""
+        return self._generation
+
+    def _make_executor(self) -> Executor:
+        if self.mode == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @staticmethod
+    def _shutdown(executor: Executor, wait: bool) -> None:
+        try:
+            executor.shutdown(wait=wait, cancel_futures=True)
+        except TypeError:  # pragma: no cover - py<3.9 signature
+            executor.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Pool replacement
+    # ------------------------------------------------------------------
+    async def _rebuild(self, reason: str) -> None:
+        """Condemn the current pool and bring up a replacement."""
+        self._rebuilding = True
+        self.metrics.set_gauge("serve.pool_rebuilding", 1)
+        self.metrics.inc("serve.pool_rebuilds", reason=reason)
+        old, self._executor = self._executor, None
+        if old is not None:
+            self._shutdown(old, wait=False)
+        self._executor = self._make_executor()
+        self._generation += 1
+        try:
+            if self.mode == "process":
+                # The pool is not "ready" until a real worker answers.
+                self._ping_token += 1
+                answer = await asyncio.wait_for(
+                    asyncio.wrap_future(
+                        self._executor.submit(ping, self._ping_token)
+                    ),
+                    timeout=_HEARTBEAT_TIMEOUT_S,
+                )
+                if answer != self._ping_token:  # pragma: no cover - paranoia
+                    raise ServeError("replacement pool returned a stale ping")
+        finally:
+            self._rebuilding = False
+            self.metrics.set_gauge("serve.pool_rebuilding", 0)
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodic liveness probe; a silent pool is replaced."""
+        assert self.heartbeat_s is not None
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            executor = self._executor
+            if executor is None or self._rebuilding:
+                continue
+            self._ping_token += 1
+            try:
+                await asyncio.wait_for(
+                    asyncio.wrap_future(executor.submit(ping, self._ping_token)),
+                    timeout=_HEARTBEAT_TIMEOUT_S,
+                )
+                self.metrics.inc("serve.heartbeats", status="ok")
+            except (Exception, asyncio.TimeoutError):  # noqa: BLE001
+                self.metrics.inc("serve.heartbeats", status="missed")
+                await self._rebuild("heartbeat")
+
+    # ------------------------------------------------------------------
+    # The one public verb
+    # ------------------------------------------------------------------
+    async def run(
+        self, fn: Callable[[Any], Dict[str, Any]], arg: Any
+    ) -> Tuple[Dict[str, Any], int]:
+        """Run one job; returns ``(record, attempts)``.
+
+        Raises :class:`~repro.errors.ServeError` (``worker_stall`` /
+        ``worker_error``) once containment is exhausted; never lets a
+        raw worker exception or a dead pool escape to the caller.
+        """
+        if self._executor is None:
+            self.start()
+        if fault_point("serve.worker_stall") is not None:
+            # Value-kind chaos fault: the worker wedged before starting.
+            self.metrics.inc("serve.worker_stalls")
+            await self._rebuild("stall")
+            raise ServeError(
+                "worker stalled before starting the job (injected); the "
+                "pool was replaced -- retry the request",
+                code="worker_stall",
+                retry_after_ms=self.job_timeout_ms or 100.0,
+            )
+        timeout_s = (
+            self.job_timeout_ms / 1e3 if self.job_timeout_ms is not None else None
+        )
+        attempts = 0
+        while True:
+            attempts += 1
+            executor = self._executor
+            assert executor is not None
+            future: "Future[Dict[str, Any]]" = executor.submit(fn, arg)
+            try:
+                record = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=timeout_s
+                )
+                return record, attempts
+            except asyncio.TimeoutError:
+                future.cancel()
+                self.metrics.inc("serve.worker_stalls")
+                await self._rebuild("stall")
+                raise ServeError(
+                    f"job stalled past its {self.job_timeout_ms:g} ms "
+                    "timeout; the pool was replaced -- retry the request",
+                    code="worker_stall",
+                    retry_after_ms=self.job_timeout_ms,
+                ) from None
+            except BrokenProcessPool as exc:
+                await self._rebuild("broken_pool")
+                if attempts > self.retries:
+                    raise ServeError(
+                        f"worker died {attempts} time(s) running this job: "
+                        f"{exc}",
+                        code="worker_error",
+                    ) from exc
+                self.metrics.inc("serve.job_retries", reason="broken_pool")
+            except asyncio.CancelledError:
+                future.cancel()
+                raise
+            except Exception as exc:  # noqa: BLE001 - worker containment
+                # The job function itself raised (jobs contain synthesis
+                # failures, so this is infrastructure: an injected
+                # worker.crash, an unpicklable record, a real bug).
+                if attempts > self.retries:
+                    raise ServeError(
+                        f"job failed after {attempts} attempt(s): "
+                        f"{type(exc).__name__}: {exc}",
+                        code="worker_error",
+                    ) from exc
+                self.metrics.inc("serve.job_retries", reason="worker_raise")

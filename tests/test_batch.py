@@ -274,6 +274,86 @@ class TestWorkerCrashContainment:
         assert [r.ok for r in results] == [True, True, True]
         assert [r.attempts for r in results] == [1, 2, 1]
 
+    def test_clean_records_are_stamped_with_attempts(self):
+        [result] = list(run_batch([self._task()], jobs=1, retries=1))
+        assert result.record["attempts"] == 1
+        assert "attempts" not in result.canonical()
+
+    def test_broken_pool_resubmits_and_stamps_attempts(self, monkeypatch):
+        """The BrokenProcessPool path directly: the first pool dies on
+        its first result, the replacement finishes every casualty, and
+        each record carries the true attempt count."""
+        from concurrent.futures import Future
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.batch import engine
+
+        pools = []
+
+        class FlakyPool:
+            """Pool #1 breaks every future; replacements run inline."""
+
+            def __init__(self, max_workers=None):
+                pools.append(self)
+                self.broken = len(pools) == 1
+
+            def submit(self, fn, *args):
+                future = Future()
+                if self.broken:
+                    future.set_exception(BrokenProcessPool("worker died"))
+                else:
+                    future.set_result(fn(*args))
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", FlakyPool)
+        tasks = build_tasks(
+            [("a", SPEC_A), ("b", CASES["B"])], CMOS_5UM
+        )
+        tracer = Tracer()
+        with tracer.activate():
+            results = sorted(
+                run_batch(tasks, jobs=2, retries=1), key=lambda r: r.index
+            )
+        assert len(pools) == 2, "the dead pool was not replaced"
+        assert [r.ok for r in results] == [True, True]
+        # Every task rode the broken pool once, then succeeded: the
+        # resubmission must show up in the record *and* the metrics.
+        assert [r.attempts for r in results] == [2, 2]
+        assert [r.record["attempts"] for r in results] == [2, 2]
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters.get("batch.resubmitted") == 2
+        assert counters.get("batch.retries") == 2
+
+    def test_broken_pool_exhausts_retries_to_error_records(self, monkeypatch):
+        from concurrent.futures import Future
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.batch import engine
+
+        class AlwaysBrokenPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def submit(self, fn, *args):
+                future = Future()
+                future.set_exception(BrokenProcessPool("worker died"))
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", AlwaysBrokenPool)
+        [result] = list(run_batch([self._task()], jobs=2, retries=2))
+        assert not result.ok
+        assert result.attempts == 3
+        assert result.record["attempts"] == 3
+        assert result.record["failures"][0]["kind"] == "worker"
+
 
 class TestObservability:
     def test_worker_metrics_merge_into_ambient_tracer(self):

@@ -6,6 +6,7 @@ the payload byte-exactly; anything suspicious (KB mismatch, digest
 mismatch, unreadable file) must degrade to a recompute and be counted.
 """
 
+import hashlib
 import json
 import os
 
@@ -169,3 +170,70 @@ class TestAmbientScope:
 
         assert memoize("t", KEY, compute) == 1
         assert memoize("t", KEY, compute) == 2
+
+
+def _hammer_key(root: str, payload_value: int, rounds: int) -> None:
+    """Worker for the concurrent-writer test: re-publish one key."""
+    cache = ResultCache(disk_dir=root, kb="race-kb")
+    for _ in range(rounds):
+        cache.put("race", KEY, {"who": payload_value, "blob": "x" * 2048})
+
+
+class TestConcurrentWriters:
+    """Two processes writing the same key never expose a torn entry."""
+
+    def test_no_torn_entries_under_concurrent_writers(self, tmp_path):
+        import multiprocessing
+
+        rounds = 60
+        writers = [
+            multiprocessing.Process(
+                target=_hammer_key, args=(str(tmp_path), who, rounds)
+            )
+            for who in (1, 2)
+        ]
+        for proc in writers:
+            proc.start()
+        probe = ResultCache(disk_dir=tmp_path, kb="race-kb")
+        assert probe.disk is not None
+        raw_path = probe.disk._path("race", KEY)
+        observed = 0
+        try:
+            while any(proc.is_alive() for proc in writers):
+                try:
+                    raw = raw_path.read_bytes()
+                except OSError:
+                    continue
+                # Every observed byte string must be one complete
+                # record: parseable, and carrying a digest that matches
+                # its own payload (what ResultCache verifies on read).
+                entry = json.loads(raw.decode("utf-8"))
+                assert entry["kb"] == "race-kb"
+                payload_json = json.dumps(
+                    entry["payload"], sort_keys=True, separators=(",", ":")
+                )
+                digest = hashlib.sha256(payload_json.encode("utf-8")).hexdigest()
+                assert entry["sha256"] == digest, "torn/mixed entry on disk"
+                assert entry["payload"]["who"] in (1, 2)
+                observed += 1
+        finally:
+            for proc in writers:
+                proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in writers)
+        assert observed > 0, "reader never saw a published entry"
+        # The final state is a digest-verified hit for one writer...
+        final = ResultCache(disk_dir=tmp_path, kb="race-kb").get("race", KEY)
+        assert final is not None and final["who"] in (1, 2)
+        # ...and no temp debris survives the race.
+        assert not list(raw_path.parent.glob("*.tmp.*"))
+
+    def test_stale_tmp_from_dead_writer_is_reclaimed(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path, kb="race-kb")
+        assert cache.disk is not None
+        path = cache.disk._path("race", KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stale = path.with_suffix(".tmp.99999999")
+        stale.write_text('{"kb": "race-kb", "pay', encoding="utf-8")
+        cache.put("race", KEY, {"who": 3})
+        assert not stale.exists()
+        assert cache.get("race", KEY) == {"who": 3}

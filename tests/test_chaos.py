@@ -58,6 +58,9 @@ class TestRegistry:
             "plan.rule",
             "plan.step",
             "selection.candidate",
+            "serve.client_disconnect",
+            "serve.queue_overflow",
+            "serve.worker_stall",
             "worker.crash",
         }
         assert list(iter_chaos_sites()) == ALL_SITES

@@ -85,3 +85,12 @@ class TestExamples:
         assert "0 finding(s)" in out
         assert "FLOW701" in out
         assert "DIM801" in out
+
+    def test_serve_client(self, capsys):
+        out = run_example("serve_client", capsys)
+        assert "healthz 200" in out
+        assert "synthesize A@slow" in out
+        assert "code='bad_request'" in out
+        assert "code='deadline_unmeetable'" in out
+        assert "[ 5] gain_db=75@slow" in out  # grid order held
+        assert "drained: clean=True" in out

@@ -1,0 +1,659 @@
+"""Serve layer contract: protocol shapes, bounded admission, worker
+supervision, chaos containment, and graceful drain.
+
+The acceptance bar this file holds the service to:
+
+* every refusal is the one structured error envelope (stable ``code``,
+  taxonomy ``kind``, ``retry_after_ms`` where retrying helps);
+* each serve fault site (``serve.queue_overflow``,
+  ``serve.worker_stall``, ``serve.client_disconnect``) plus
+  ``worker.crash`` is contained to the affected request: ``/healthz``
+  keeps answering and the next request's record is **byte-identical**
+  to a fault-free run;
+* drain settles every admitted request -- finished records for
+  in-flight work, structured ``cancelled`` errors for queued work --
+  inside the drain deadline, and the process exits 0.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import VOLATILE_KEYS, build_tasks, run_batch
+from repro.errors import AdmissionRejected, QueueOverflow, ServeError
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+from repro.resilience.faults import inject
+from repro.serve import (
+    AdmissionQueue,
+    ServeClient,
+    ServeConfig,
+    ServerHandle,
+    error_body,
+    parse_spec_payload,
+    status_for_code,
+)
+
+SRC = str(Path(__file__).parent.parent / "src")
+
+#: Volatile keys to strip when comparing a served record to a batch
+#: record (the serve layer adds request routing context on top of the
+#: engine's own volatile keys).
+SERVE_VOLATILE = tuple(VOLATILE_KEYS) + ("request_id",)
+
+
+def canon(record):
+    return {k: v for k, v in record.items() if k not in SERVE_VOLATILE}
+
+
+def thread_config(**overrides):
+    options = dict(mode="thread", workers=1, queue_depth=8)
+    options.update(overrides)
+    return ServeConfig(**options)
+
+
+# ----------------------------------------------------------------------
+# Protocol shapes (no server needed)
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_error_codes_map_to_http_statuses(self):
+        assert status_for_code("queue_overflow") == 429
+        assert status_for_code("deadline_unmeetable") == 429
+        assert status_for_code("draining") == 503
+        assert status_for_code("worker_stall") == 503
+        assert status_for_code("worker_error") == 500
+        assert status_for_code("bad_request") == 400
+        assert status_for_code("not_found") == 404
+        assert status_for_code("payload_too_large") == 413
+        assert status_for_code("never_heard_of_it") == 500
+
+    def test_error_envelope_shape(self):
+        body = error_body(
+            "queue_overflow", "full", request_id="r1",
+            retry_after_ms=12.5, depth=8,
+        )
+        assert body["ok"] is False
+        assert body["request_id"] == "r1"
+        assert body["error"]["code"] == "queue_overflow"
+        assert body["error"]["kind"] == "capacity"
+        assert body["error"]["retry_after_ms"] == 12.5
+        assert body["error"]["depth"] == 8
+
+    def test_spec_payload_from_testcase(self):
+        label, spec = parse_spec_payload({"testcase": "A"})
+        assert label == "case-A"
+        assert spec == paper_test_cases()["A"]
+
+    def test_spec_payload_accepts_suffix_strings(self):
+        _, spec = parse_spec_payload(
+            {
+                "gain": 60,
+                "ugf": "1MEG",
+                "slew": "2MEG",
+                "load": "10p",
+                "swing": 3.0,
+            }
+        )
+        assert spec.unity_gain_hz == pytest.approx(1e6)
+        assert spec.load_capacitance == pytest.approx(1e-11)
+        assert spec.phase_margin_deg == 60.0  # defaulted
+
+    def test_spec_payload_refuses_unknown_fields(self):
+        with pytest.raises(ServeError) as err:
+            parse_spec_payload({"gian_db": 60})
+        assert err.value.code == "bad_request"
+        assert "gian_db" in str(err.value)
+
+    def test_spec_payload_refuses_incomplete_spec(self):
+        with pytest.raises(ServeError, match="missing"):
+            parse_spec_payload({"gain": 60})
+
+
+# ----------------------------------------------------------------------
+# Admission queue semantics
+# ----------------------------------------------------------------------
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmissionQueue:
+    def test_overflow_is_structured_with_retry_hint(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=2, workers=1)
+            queue.admit("synth", 1, "r1")
+            queue.admit("synth", 2, "r2")
+            with pytest.raises(QueueOverflow) as err:
+                queue.admit("synth", 3, "r3")
+            return err.value
+
+        exc = run_async(scenario())
+        assert exc.code == "queue_overflow"
+        assert exc.depth == 2 and exc.max_depth == 2
+        assert exc.retry_after_ms > 0
+
+    def test_batch_admission_is_atomic_over_the_grid(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=3, workers=1)
+            # A 4-job request must be refused before admitting anything.
+            with pytest.raises(QueueOverflow):
+                queue.admit("synth", 0, "r1", jobs_in_request=4)
+            assert queue.depth == 0
+            # A 3-job request fits, admitted one by one.
+            for i in range(3):
+                queue.admit(
+                    "synth", i, "r2",
+                    jobs_in_request=3, jobs_ahead_in_request=i,
+                )
+            return queue.depth
+
+        assert run_async(scenario()) == 3
+
+    def test_unmeetable_deadline_rejected_at_admission(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, workers=1)
+            queue.observe_service_ms(50.0)
+            with pytest.raises(AdmissionRejected) as err:
+                queue.admit("synth", 1, "r1", deadline_ms=1.0)
+            return err.value
+
+        exc = run_async(scenario())
+        assert exc.code == "deadline_unmeetable"
+        assert exc.estimated_ms > exc.deadline_ms
+
+    def test_priority_then_fifo_order(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, workers=1)
+            queue.admit("synth", "low-1", "r1", priority=20)
+            queue.admit("synth", "high", "r2", priority=1)
+            queue.admit("synth", "low-2", "r3", priority=20)
+            return [(await queue.get()).payload for _ in range(3)]
+
+        assert run_async(scenario()) == ["high", "low-1", "low-2"]
+
+    def test_deadline_expired_in_queue_is_failed_not_dispatched(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, workers=1)
+            for _ in range(40):  # teach it jobs are near-instant...
+                queue.observe_service_ms(0.0)
+            # ...so a tight deadline passes admission, then expires.
+            expired = queue.admit("synth", 1, "r1", deadline_ms=5.0)
+            fresh = queue.admit("synth", 2, "r2")
+            await asyncio.sleep(0.02)
+            job = await queue.get()
+            assert job is fresh
+            with pytest.raises(ServeError) as err:
+                await expired.future
+            return err.value.code
+
+        assert run_async(scenario()) == "deadline_expired"
+
+    def test_drain_cancels_queued_and_refuses_new(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, workers=1)
+            job = queue.admit("synth", 1, "r1")
+            assert queue.drain() == 1
+            with pytest.raises(ServeError) as admit_err:
+                queue.admit("synth", 2, "r2")
+            with pytest.raises(ServeError) as job_err:
+                await job.future
+            return admit_err.value.code, job_err.value.code
+
+        assert run_async(scenario()) == ("draining", "cancelled")
+
+
+# ----------------------------------------------------------------------
+# The server end to end (thread mode: deterministic, in-process)
+# ----------------------------------------------------------------------
+class TestServerBasics:
+    def test_health_ready_and_a_full_request_cycle(self):
+        with ServerHandle(thread_config(workers=2)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            health = client.healthz()
+            assert health.status == 200 and health.body["status"] == "ok"
+            ready = client.readyz()
+            assert ready.status == 200 and ready.body["ready"] is True
+
+            result = client.synthesize(testcase="A")
+            assert result.status == 200
+            assert result.body["ok"] is True
+            assert result.body["label"] == "case-A"
+            assert result.body["attempts"] == 1
+            assert result.body["request_id"]
+
+            linted = client.lint("M1 out in 0 0 nmos W=10u L=2u\n.end")
+            assert linted.status == 200
+            assert linted.body["diagnostics"]
+
+            analyzed = client.analyze({"testcase": "B"})
+            assert analyzed.status == 200 and analyzed.body["ok"] is True
+
+            metrics = client.metrics()
+            counters = metrics.body["metrics"]["counters"]
+            gauges = metrics.body["metrics"]["gauges"]
+            assert counters["serve.requests{endpoint=synthesize}"] == 1
+            assert "serve.queue_depth" in gauges
+            assert "serve.in_flight" in gauges
+            summary = handle.drain(reason="test")
+        assert summary["clean"] is True
+
+    def test_spec_fields_with_spice_suffixes(self):
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            result = client.synthesize(
+                spec={
+                    "gain": 60, "ugf": "1MEG", "slew": "2MEG",
+                    "load": "10p", "swing": 3.0,
+                }
+            )
+            assert result.status == 200 and result.body["ok"] is True
+
+    def test_structured_refusals(self):
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            cases = [
+                (client.get("/nope"), 404, "not_found"),
+                (client.post("/synthesize", {}), 400, "bad_request"),
+                (
+                    client.post("/synthesize", {"spec": {"gian_db": 6}}),
+                    400,
+                    "bad_request",
+                ),
+                (
+                    client.post(
+                        "/synthesize", {"testcase": "A", "process": "wat"}
+                    ),
+                    400,
+                    "bad_request",
+                ),
+                (
+                    client.post("/batch", {"sweeps": {"gain_db": [60]}}),
+                    400,
+                    "bad_request",
+                ),
+                (client.post("/lint", {}), 400, "bad_request"),
+            ]
+            for response, status, code in cases:
+                assert response.status == status, response.body
+                assert response.error_code == code
+                assert response.body["ok"] is False
+            # And after all that abuse, the service still works.
+            assert client.synthesize(testcase="A").body["ok"] is True
+
+    def test_oversized_body_is_refused_structurally(self):
+        from repro.serve.protocol import MAX_BODY_BYTES
+
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            huge = {"netlist": "x" * (MAX_BODY_BYTES + 1)}
+            response = client.post("/lint", huge)
+            assert response.status == 413
+            assert response.error_code == "payload_too_large"
+
+    def test_malformed_http_gets_a_structured_400(self):
+        with ServerHandle(thread_config()) as handle:
+            with socket.create_connection(
+                (handle.host, handle.port), timeout=10
+            ) as sock:
+                sock.sendall(b"NONSENSE\r\n\r\n")
+                raw = sock.makefile("rb").read()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            body = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+            assert body["error"]["code"] == "bad_request"
+
+    def test_batch_streams_grid_order_and_matches_engine_records(self):
+        grid = {
+            "testcases": ["A", "B"],
+            "corners": ["typical", "slow"],
+        }
+        with ServerHandle(thread_config(workers=2, queue_depth=16)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            served = client.batch(**grid)
+            assert served.status == 200
+        assert [line["index"] for line in served.lines] == [0, 1, 2, 3]
+        # Byte-identical to what the batch engine writes for this grid.
+        cases = paper_test_cases()
+        tasks = build_tasks(
+            [("case-A", cases["A"]), ("case-B", cases["B"])],
+            CMOS_5UM,
+            corners=("typical", "slow"),
+        )
+        direct = sorted(run_batch(tasks, jobs=1), key=lambda r: r.index)
+        for line, result in zip(served.lines, direct):
+            assert json.dumps(canon(line), sort_keys=True) == json.dumps(
+                canon(result.record), sort_keys=True
+            )
+
+    def test_deadline_unmeetable_is_rejected_up_front(self):
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            # Teach the queue a service-time estimate, then ask for the
+            # impossible.
+            assert client.synthesize(testcase="A").ok
+            response = client.synthesize(testcase="A", deadline_ms=0.01)
+            assert response.status == 429
+            assert response.error_code in ("deadline_unmeetable",)
+            assert response.retry_after_ms is not None
+
+
+# ----------------------------------------------------------------------
+# Chaos containment: every serve fault site, plus worker.crash
+# ----------------------------------------------------------------------
+class TestChaosContainment:
+    def _fault_free_record(self):
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            record = client.synthesize(testcase="A").body
+            handle.drain()
+        return canon(record)
+
+    def test_queue_overflow_fault_contained(self):
+        baseline = self._fault_free_record()
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with inject("serve.queue_overflow") as injector:
+                refused = client.synthesize(testcase="A")
+                assert refused.status == 429
+                assert refused.error_code == "queue_overflow"
+                assert refused.retry_after_ms > 0
+                # Liveness is untouched while the fault is armed.
+                assert client.healthz().status == 200
+            assert injector.fired_sites() == ["serve.queue_overflow"]
+            # The next request is byte-identical to a fault-free run.
+            after = client.synthesize(testcase="A")
+            assert canon(after.body) == baseline
+            metrics = client.metrics().body["metrics"]["counters"]
+            assert (
+                metrics["serve.admission_rejected{reason=queue_overflow}"] == 1
+            )
+
+    def test_worker_stall_fault_contained_and_pool_replaced(self):
+        baseline = self._fault_free_record()
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with inject("serve.worker_stall") as injector:
+                stalled = client.synthesize(testcase="A")
+                assert stalled.status == 503
+                assert stalled.error_code == "worker_stall"
+                assert client.healthz().status == 200
+            assert injector.fired_sites() == ["serve.worker_stall"]
+            after = client.synthesize(testcase="A")
+            assert canon(after.body) == baseline
+            metrics = client.metrics().body
+            assert metrics["pool"]["generation"] == 2  # replaced once
+            counters = metrics["metrics"]["counters"]
+            assert counters["serve.worker_stalls"] == 1
+            assert counters["serve.pool_rebuilds{reason=stall}"] == 1
+
+    def test_client_disconnect_fault_contained(self):
+        baseline = self._fault_free_record()
+        with ServerHandle(thread_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with inject("serve.client_disconnect"):
+                # The injected disconnect severs this response mid-write;
+                # the client sees a dropped connection, nobody else does.
+                with pytest.raises(Exception):
+                    client.synthesize(testcase="A")
+            assert client.healthz().status == 200
+            after = client.synthesize(testcase="A")
+            assert canon(after.body) == baseline
+            counters = client.metrics().body["metrics"]["counters"]
+            assert counters["serve.client_disconnects"] == 1
+
+    def test_worker_crash_retried_to_success(self):
+        baseline = self._fault_free_record()
+        with ServerHandle(thread_config(retries=1)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with inject("worker.crash") as injector:
+                result = client.synthesize(testcase="A")
+            assert injector.fired_sites() == ["worker.crash"]
+            assert result.status == 200
+            assert result.body["ok"] is True
+            assert result.body["attempts"] == 2  # crashed once, retried
+            assert canon(result.body) == baseline
+            counters = client.metrics().body["metrics"]["counters"]
+            assert counters["serve.job_retries{reason=worker_raise}"] == 1
+
+    def test_worker_crash_exhausts_retries_to_structured_error(self):
+        with ServerHandle(thread_config(retries=1)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with inject("worker.crash", times=-1):
+                result = client.synthesize(testcase="A")
+                assert result.status == 500
+                assert result.error_code == "worker_error"
+                assert client.healthz().status == 200
+
+    def test_repro_faults_all_survivable(self, monkeypatch):
+        """The chaos-CI configuration: every registered site armed.
+        Each request either succeeds or returns the structured
+        envelope; liveness never flinches; drain stays clean."""
+        monkeypatch.setenv("REPRO_FAULTS", "all")
+        with ServerHandle(thread_config(queue_depth=16)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            outcomes = []
+            for _ in range(6):
+                assert client.healthz().status == 200
+                try:
+                    response = client.synthesize(testcase="A")
+                except Exception:
+                    outcomes.append("disconnected")  # injected hangup
+                    continue
+                if response.ok:
+                    assert response.body["ok"] in (True, False)
+                    outcomes.append("record")
+                else:
+                    assert response.error_code, response.body
+                    assert response.body["ok"] is False
+                    outcomes.append(response.error_code)
+            assert client.healthz().status == 200
+            assert client.metrics().status == 200
+            summary = handle.drain(reason="chaos")
+        assert summary["clean"] is True
+        # The armed sites must actually have bitten at least once.
+        assert any(o != "record" for o in outcomes), outcomes
+        # And the service must have kept answering regardless.
+        assert "record" in outcomes, outcomes
+
+
+# ----------------------------------------------------------------------
+# Graceful drain (in-process)
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_drain_settles_every_admitted_job(self):
+        grid = {
+            "base": {
+                "gain_db": 60.0, "unity_gain_hz": 1e6,
+                "phase_margin_deg": 60.0, "slew_rate": 2e6,
+                "load_capacitance": 1e-11, "output_swing": 3.0,
+            },
+            "sweeps": {"gain_db": "54:74:1"},  # 21 tasks
+        }
+        with ServerHandle(
+            thread_config(workers=1, queue_depth=64)
+        ) as handle:
+            client = ServeClient(handle.host, handle.port, timeout_s=120.0)
+            lines = []
+            stream_done = threading.Event()
+
+            def consume():
+                try:
+                    for line in client.stream("/batch", grid):
+                        lines.append(line)
+                finally:
+                    stream_done.set()
+
+            consumer = threading.Thread(target=consume, daemon=True)
+            consumer.start()
+            # Let the stream produce at least one finished record...
+            deadline = time.monotonic() + 60
+            while not lines and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert lines, "stream produced nothing before drain"
+            # ...then drain mid-request.
+            summary = handle.drain(reason="test", deadline_ms=30_000)
+            assert stream_done.wait(timeout=30)
+        assert summary["clean"] is True
+        assert summary["cancelled_queued"] > 0
+        # Every grid point got exactly one answer, in order.
+        assert len(lines) == 21
+        finished = [line for line in lines if line.get("ok")]
+        cancelled = [
+            line
+            for line in lines
+            if line.get("error", {}).get("code") == "cancelled"
+        ]
+        assert finished and cancelled
+        assert len(finished) + len(cancelled) == 21
+
+    def test_draining_server_stays_live_but_not_ready(self, monkeypatch):
+        """Hold the drain window open with a deliberately slow
+        in-flight job, then verify the contract inside it: /healthz
+        200, /readyz 503 draining, new work structurally refused, and
+        the in-flight request still completing."""
+        import repro.serve.server as server_module
+
+        real = server_module.job_callable
+
+        def slow_job_callable(kind):
+            fn = real(kind)
+            if kind != "lint":
+                return fn
+
+            def slow(payload):
+                time.sleep(1.5)
+                return fn(payload)
+
+            return slow
+
+        monkeypatch.setattr(server_module, "job_callable", slow_job_callable)
+        with ServerHandle(thread_config(workers=1)) as handle:
+            client = ServeClient(handle.host, handle.port, timeout_s=120.0)
+            results = []
+            consumer = threading.Thread(
+                target=lambda: results.append(
+                    client.lint("M1 a b 0 0 nmos W=10u L=2u\n.end")
+                ),
+                daemon=True,
+            )
+            consumer.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:  # wait for it in flight
+                gauges = client.metrics().body["metrics"]["gauges"]
+                if gauges.get("serve.in_flight") == 1:
+                    break
+                time.sleep(0.01)
+            drainer = threading.Thread(
+                target=handle.drain, args=("test", 30_000), daemon=True
+            )
+            drainer.start()
+            saw_draining = False
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                health = client.healthz()
+                assert health.status == 200  # liveness never flinches
+                if health.body.get("draining"):
+                    saw_draining = True
+                    break
+                time.sleep(0.005)
+            assert saw_draining, "never observed the draining window"
+            ready = client.readyz()
+            assert ready.status == 503
+            assert ready.body["reason"] == "draining"
+            refused = client.synthesize(testcase="A")
+            assert refused.status == 503
+            assert refused.error_code == "draining"
+            drainer.join(timeout=60)
+            consumer.join(timeout=60)
+            assert not drainer.is_alive()
+            # The in-flight request was finished, not abandoned.
+            assert results and results[0].status == 200
+
+
+# ----------------------------------------------------------------------
+# Signal-driven drain (the real process, the real SIGTERM)
+# ----------------------------------------------------------------------
+class TestSignalDrain:
+    @pytest.mark.skipif(os.name != "posix", reason="POSIX signals")
+    def test_sigterm_drains_within_deadline_and_exits_zero(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_FAULTS", None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--mode", "thread", "--workers", "1",
+                "--drain-deadline-ms", "20000",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving on" in banner, banner
+            host_port = banner.split("serving on ", 1)[1].split(" ")[0]
+            host, port = host_port.split(":")
+
+            # A grid big enough to still be queued when SIGTERM lands.
+            grid = {
+                "base": {
+                    "gain_db": 60.0, "unity_gain_hz": 1e6,
+                    "phase_margin_deg": 60.0, "slew_rate": 2e6,
+                    "load_capacitance": 1e-11, "output_swing": 3.0,
+                },
+                "sweeps": {"gain_db": "50:77:1"},  # 28 tasks
+            }
+            body = json.dumps(grid).encode()
+            sock = socket.create_connection((host, int(port)), timeout=60)
+            sock.sendall(
+                b"POST /batch HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            reader = sock.makefile("rb")
+            reader.readline()  # status line
+            while reader.readline().strip():
+                pass  # headers
+            first = reader.readline()  # first streamed record
+            assert first.strip(), "no record streamed before SIGTERM"
+
+            started = time.monotonic()
+            proc.send_signal(signal.SIGTERM)
+            rest = reader.read()  # stream runs to completion
+            out, err = proc.communicate(timeout=30)
+            elapsed_ms = (time.monotonic() - started) * 1e3
+            sock.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode == 0, err
+        assert elapsed_ms < 20_000 + 10_000, "drain blew its deadline"
+        assert "drained (sigterm)" in out
+        lines = [
+            json.loads(line)
+            for line in (first + rest).decode().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 28, "a grid point was left unanswered"
+        finished = [line for line in lines if line.get("ok")]
+        cancelled = [
+            line
+            for line in lines
+            if line.get("error", {}).get("code") == "cancelled"
+        ]
+        # In-flight work completed; queued work got structured
+        # cancellations; nothing vanished.
+        assert finished and cancelled
+        assert len(finished) + len(cancelled) == 28
