@@ -1,0 +1,79 @@
+"""End-to-end telemetry: one trace id from a batch run to its log lines.
+
+Run:
+    python examples/telemetry_tail.py
+
+Mints a W3C-style trace context, runs a small verified batch under it,
+and then "tails" the structured log: every line the run emitted is a
+schema-valid JSON object, and the interesting ones carry the same
+``trace_id`` the batch results and the JSONL trace do.  The same
+mechanics correlate a ``repro serve`` request across the client, the
+queue, and the worker subprocess -- see docs/EXTENDING.md section 13.
+
+Equivalent shell setup for a real deployment:
+    REPRO_LOG=/var/log/repro.jsonl REPRO_LOG_LEVEL=debug repro serve ...
+"""
+
+from repro.batch import build_tasks, run_batch
+from repro.obs import Tracer
+from repro.obs.log import CollectingSink, validate_log_line
+from repro.obs.log import configure as log_configure
+from repro.obs.log import reset as log_reset
+from repro.obs.slo import histogram_quantile
+from repro.obs.telemetry import TraceContext, activate_trace
+from repro.opamp.testcases import SPEC_A, SPEC_B
+from repro.process import CMOS_5UM
+
+
+def main() -> None:
+    # In production REPRO_LOG=stderr|path does this from the
+    # environment; here we collect lines in-process to print them.
+    sink = CollectingSink()
+    log_configure(stream=sink, level="debug")
+
+    ctx = TraceContext.generate()
+    print(f"minted trace {ctx.trace_id} (traceparent {ctx.to_traceparent()})")
+
+    tracer = Tracer()
+    tasks = build_tasks(
+        [("A", SPEC_A), ("B", SPEC_B)], CMOS_5UM, observe=True, verify=True
+    )
+    with activate_trace(ctx), tracer.activate():
+        results = sorted(run_batch(tasks, jobs=1), key=lambda r: r.index)
+
+    # Every result record inherited the ambient trace.
+    for r in results:
+        rec = r.record
+        status = rec["style"] if rec["ok"] else "INFEASIBLE"
+        print(f"  [{r.index}] {r.label:24s} {status:12s} "
+              f"trace_id={rec['trace_id']}")
+        assert rec["trace_id"] == ctx.trace_id
+
+    # Tail the structured log: schema-valid lines, correlated by id.
+    lines = sink.records()
+    for line in lines:
+        assert validate_log_line(line) == [], line
+    correlated = [ln for ln in lines if ln.get("trace_id") == ctx.trace_id]
+    print(f"log tail: {len(lines)} schema-valid lines, "
+          f"{len(correlated)} correlated to the trace")
+    for line in correlated[-4:]:
+        print(f"  {line['level']:7s} {line['logger']}:{line['event']} "
+              f"span={line.get('span_id', '-')}")
+
+    # The latency histograms observed during the run feed `repro slo`
+    # and `repro stats`.
+    snap = tracer.metrics.snapshot()
+    hist = sorted(
+        k for k in snap["histograms"] if k.split("{", 1)[0].endswith("_ms")
+    )
+    print(f"latency histograms recorded: {len(hist)}")
+    for key in hist[:3]:
+        h = snap["histograms"][key]
+        p95 = histogram_quantile(h, 95)
+        print(f"  {key:40s} n={h['count']:<4d} p95<={p95:.3g} ms")
+
+    log_reset()
+
+
+if __name__ == "__main__":
+    main()

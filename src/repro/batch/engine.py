@@ -37,13 +37,15 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cache import ResultCache, cache_scope, content_key, process_key, spec_key
 from ..kb.specs import OpAmpSpec
 from ..obs import current_tracer
+from ..obs.log import get_logger
 from ..obs.spans import count as metric_count
+from ..obs.telemetry import TraceContext, activate_trace, current_trace_context
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget
 from ..resilience.faults import fault_point
@@ -58,9 +60,14 @@ __all__ = [
 ]
 
 #: Record keys that legitimately differ between runs (timings, process
-#: ids, cache status, metrics).  :meth:`BatchResult.canonical` strips
-#: them; everything else must be byte-stable.
-VOLATILE_KEYS: Tuple[str, ...] = ("wall_ms", "worker", "cache", "metrics", "attempts")
+#: ids, cache status, metrics, random trace ids).
+#: :meth:`BatchResult.canonical` strips them; everything else must be
+#: byte-stable.
+VOLATILE_KEYS: Tuple[str, ...] = (
+    "wall_ms", "worker", "cache", "metrics", "attempts", "trace_id",
+)
+
+_log = get_logger("batch")
 
 
 def default_jobs() -> int:
@@ -131,11 +138,27 @@ def _run_task(task: BatchTask) -> Dict[str, Any]:
     """Execute one task.  Module-level and self-contained: this is the
     function the process pool pickles by reference.
 
+    When the task carries a ``traceparent``, a child
+    :class:`~repro.obs.telemetry.TraceContext` is activated for the
+    whole execution -- the worker's log lines and the returned record's
+    ``trace_id`` correlate back to the originating request -- and the
+    record is stamped with the trace id (a volatile key).
+
     Returns a plain-JSON record.  Raises only for infrastructure
     failures (the ``worker.crash`` fault site, a genuinely broken
     interpreter); synthesis failures of every kind are *contained* in
     the record (``ok: false`` plus failure reports).
     """
+    parent = TraceContext.from_traceparent(task.traceparent)
+    if parent is None:
+        return _execute_task(task)
+    with activate_trace(parent.child()) as ctx:
+        record = _execute_task(task)
+        record["trace_id"] = ctx.trace_id
+        return record
+
+
+def _execute_task(task: BatchTask) -> Dict[str, Any]:
     fault_point("worker.crash")
     started = time.perf_counter()
     cache = _task_cache(task)
@@ -154,6 +177,14 @@ def _run_task(task: BatchTask) -> Dict[str, Any]:
             record["cache"] = "hit"
             record["wall_ms"] = (time.perf_counter() - started) * 1e3
             record["worker"] = os.getpid()
+            _log.info(
+                "batch.task_done",
+                label=task.label,
+                index=task.index,
+                ok=bool(record.get("ok")),
+                cache="hit",
+                wall_ms=round(record["wall_ms"], 3),
+            )
             return record
 
     # Lazy imports keep worker spin-up (and the grid-building parent)
@@ -219,12 +250,27 @@ def _run_task(task: BatchTask) -> Dict[str, Any]:
     record["cache"] = "miss" if cache is not None else "off"
     record["wall_ms"] = (time.perf_counter() - started) * 1e3
     record["worker"] = os.getpid()
+    _log.info(
+        "batch.task_done",
+        label=task.label,
+        index=task.index,
+        ok=bool(record.get("ok")),
+        cache=record["cache"],
+        wall_ms=round(record["wall_ms"], 3),
+    )
     return record
 
 
 def _error_record(task: BatchTask, exc: BaseException, attempts: int) -> Dict[str, Any]:
     """A task that exhausted its retries still yields a record."""
-    return {
+    _log.error(
+        "batch.task_failed",
+        label=task.label,
+        index=task.index,
+        attempts=attempts,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    record: Dict[str, Any] = {
         "index": task.index,
         "label": task.label,
         "corner": task.corner,
@@ -247,6 +293,10 @@ def _error_record(task: BatchTask, exc: BaseException, attempts: int) -> Dict[st
         "worker": os.getpid(),
         "attempts": attempts,
     }
+    parsed = TraceContext.from_traceparent(task.traceparent)
+    if parsed is not None:
+        record["trace_id"] = parsed.trace_id
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -325,7 +375,20 @@ def run_batch(
 
     Yields results in **completion order**; sort by ``result.index``
     (or use :func:`synthesize_many`) for grid order.
+
+    When a :class:`~repro.obs.telemetry.TraceContext` is ambient, every
+    task that does not already carry a ``traceparent`` is stamped with
+    a child of it, so worker-side records and log lines share the
+    batch's trace id across the process boundary.
     """
+    ambient = current_trace_context()
+    if ambient is not None:
+        tasks = [
+            task
+            if task.traceparent is not None
+            else replace(task, traceparent=ambient.child().to_traceparent())
+            for task in tasks
+        ]
     if jobs <= 1:
         for task in tasks:
             attempts = 0

@@ -101,6 +101,11 @@ class BatchTask:
     cache_dir: Optional[str] = None
     observe: bool = False
     collect_trace: bool = False
+    #: W3C traceparent linking this task back to the request/run that
+    #: spawned it (set by the serve layer or by ``run_batch`` when a
+    #: trace context is ambient).  Excluded from the cache key -- the
+    #: same spec under a different trace is still the same work.
+    traceparent: Optional[str] = None
 
 
 def _parse_values(text: str) -> List[float]:

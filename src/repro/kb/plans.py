@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import copy
 import difflib
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional
 
@@ -20,8 +21,10 @@ from ..errors import DesignError, PlanError, SynthesisError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (lint -> kb)
     from ..lint.dataflow import EffectSummary
+from ..obs.metrics import LATENCY_BUCKETS_MS
 from ..obs.spans import NULL_SPAN, NullSpan, current_tracer
 from ..obs.spans import count as metric_count
+from ..obs.spans import observe as metric_observe
 from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget
@@ -269,6 +272,7 @@ class PlanExecutor:
                 # enter/exit at all (a `with NULL_SPAN` per step was
                 # measurable across thousands of steps per run).
                 if observing:
+                    step_started = time.perf_counter()
                     with obs_span(
                         f"step:{step.name}", category="step", block=block
                     ):
@@ -279,6 +283,12 @@ class PlanExecutor:
                                 detail = step.action(state) or ""
                         else:
                             detail = step.action(state) or ""
+                    metric_observe(
+                        "plan.step_ms",
+                        (time.perf_counter() - step_started) * 1e3,
+                        bounds=LATENCY_BUCKETS_MS,
+                        block=block,
+                    )
                 elif state.budget is not None:
                     with state.budget.step_scope(step.name, block=block):
                         detail = step.action(state) or ""

@@ -31,14 +31,49 @@ from .events import TRACE_KIND_MARKERS, UNKNOWN_MARKER, known_kinds, marker_for
 from .export import (
     flame_text,
     iter_jsonl,
+    latency_table,
+    percentile,
     render_metrics,
+    render_prometheus,
     summarize_jsonl,
     to_chrome,
     to_chrome_json,
     to_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from .log import (
+    LOG_LEVELS,
+    LOG_SCHEMA,
+    CollectingSink,
+    StructLogger,
+    get_logger,
+    validate_log_line,
+)
+from .metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
 from .report import TRACE_FORMATS, RunReport
+from .slo import (
+    BenchDelta,
+    SloCheck,
+    SloTarget,
+    diff_bench,
+    evaluate_snapshot,
+    evaluate_trace,
+    histogram_quantile,
+    load_targets,
+)
+from .telemetry import (
+    TraceContext,
+    activate_trace,
+    current_trace_context,
+    current_trace_id,
+    ensure_trace_context,
+)
 from .spans import (
     NULL_SPAN,
     NullSpan,
@@ -70,8 +105,31 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "metric_key",
+    # telemetry
+    "TraceContext",
+    "activate_trace",
+    "current_trace_context",
+    "current_trace_id",
+    "ensure_trace_context",
+    # logging
+    "LOG_LEVELS",
+    "LOG_SCHEMA",
+    "CollectingSink",
+    "StructLogger",
+    "get_logger",
+    "validate_log_line",
+    # slo
+    "SloTarget",
+    "SloCheck",
+    "BenchDelta",
+    "load_targets",
+    "evaluate_trace",
+    "evaluate_snapshot",
+    "histogram_quantile",
+    "diff_bench",
     # events vocabulary
     "TRACE_KIND_MARKERS",
     "UNKNOWN_MARKER",
@@ -83,6 +141,9 @@ __all__ = [
     "to_chrome_json",
     "flame_text",
     "render_metrics",
+    "render_prometheus",
+    "latency_table",
+    "percentile",
     "summarize_jsonl",
     "iter_jsonl",
     # report

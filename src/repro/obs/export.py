@@ -35,6 +35,9 @@ __all__ = [
     "flame_text",
     "summarize_jsonl",
     "render_metrics",
+    "render_prometheus",
+    "latency_table",
+    "percentile",
     "iter_jsonl",
 ]
 
@@ -298,6 +301,8 @@ def summarize_jsonl(text: str) -> str:
         )
     out.write("\n")
     out.write(flame_text(spans))
+    out.write("\ntail latency (per span name):\n")
+    out.write(latency_table(spans))
     out.write("\n")
     out.write(render_metrics(metrics))
     return out.getvalue()
@@ -326,6 +331,183 @@ def render_metrics(snapshot: Mapping[str, Any]) -> str:
             out.write(
                 f"  {key:<44} n={h.get('count', 0)} sum={h.get('sum', 0)} "
                 f"min={h.get('min')} max={h.get('max')}\n"
+            )
+    return out.getvalue()
+
+
+def percentile(values: Sequence[float], pct: float) -> Optional[float]:
+    """Exact percentile with linear interpolation (None when empty).
+
+    ``pct`` is in [0, 100]; matches numpy's default ("linear") method
+    without importing numpy into the obs layer.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (max(0.0, min(100.0, pct)) / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def latency_table(spans: Sequence[Span]) -> str:
+    """Per-span-name tail-latency table: calls, p50/p95/p99, max, errors.
+
+    Rows sort by p99 descending (worst tail first), name as tiebreak,
+    so the table is deterministic for a deterministic trace.
+    """
+    if not spans:
+        return "(no spans recorded)\n"
+    durations: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for s in spans:
+        durations.setdefault(s.name, []).append(s.duration_ms)
+        if s.status == "error":
+            errors[s.name] = errors.get(s.name, 0) + 1
+    rows: List[Tuple[float, str, int, float, float, float, float]] = []
+    for name, values in durations.items():
+        p50 = percentile(values, 50.0) or 0.0
+        p95 = percentile(values, 95.0) or 0.0
+        p99 = percentile(values, 99.0) or 0.0
+        rows.append(
+            (p99, name, len(values), p50, p95, p99, max(values))
+        )
+    rows.sort(key=lambda r: (-r[0], r[1]))
+    out = io.StringIO()
+    out.write(
+        f"{'span':<40} {'calls':>6} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'p99 ms':>9} {'max ms':>9}\n"
+    )
+    for _, name, calls, p50, p95, p99, worst in rows:
+        label = name if len(name) <= 40 else name[:37] + "..."
+        suffix = f"  ({errors[name]} err)" if name in errors else ""
+        out.write(
+            f"{label:<40} {calls:>6} {p50:9.3f} {p95:9.3f} "
+            f"{p99:9.3f} {worst:9.3f}{suffix}\n"
+        )
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_:" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _prom_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_number(value: Any) -> str:
+    v = float(value)
+    if v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _split_key(key: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """``name{k=v,...}`` back into (name, [(k, v), ...])."""
+    if "{" not in key or not key.endswith("}"):
+        return key, []
+    name, _, inner = key.partition("{")
+    labels: List[Tuple[str, str]] = []
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels.append((k, v))
+    return name, labels
+
+
+def _prom_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{_prom_label_value(v)}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], namespace: str = "repro"
+) -> str:
+    """A metrics snapshot in Prometheus text exposition format 0.0.4.
+
+    Counters gain the conventional ``_total`` suffix; histograms expand
+    into cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+    ``_count`` (reconstructed from the snapshot's ``bounds`` ladder).
+    ``# HELP`` / ``# TYPE`` headers are emitted once per metric family;
+    output is deterministic (families and series sorted).
+    """
+    out = io.StringIO()
+    prefix = _prom_name(namespace) + "_" if namespace else ""
+
+    def family(section: Mapping[str, Any]) -> Dict[str, List[Tuple[str, Any]]]:
+        families: Dict[str, List[Tuple[str, Any]]] = {}
+        for key in sorted(section):
+            name, _ = _split_key(key)
+            families.setdefault(name, []).append((key, section[key]))
+        return families
+
+    counters = dict(snapshot.get("counters") or {})
+    for name, series in sorted(family(counters).items()):
+        metric = prefix + _prom_name(name) + "_total"
+        out.write(f"# HELP {metric} repro counter {name}\n")
+        out.write(f"# TYPE {metric} counter\n")
+        for key, value in series:
+            _, labels = _split_key(key)
+            out.write(f"{metric}{_prom_labels(labels)} {_prom_number(value)}\n")
+
+    gauges = dict(snapshot.get("gauges") or {})
+    for name, series in sorted(family(gauges).items()):
+        metric = prefix + _prom_name(name)
+        out.write(f"# HELP {metric} repro gauge {name}\n")
+        out.write(f"# TYPE {metric} gauge\n")
+        for key, value in series:
+            _, labels = _split_key(key)
+            out.write(f"{metric}{_prom_labels(labels)} {_prom_number(value)}\n")
+
+    histograms = dict(snapshot.get("histograms") or {})
+    for name, series in sorted(family(histograms).items()):
+        metric = prefix + _prom_name(name)
+        out.write(f"# HELP {metric} repro histogram {name}\n")
+        out.write(f"# TYPE {metric} histogram\n")
+        for key, snap in series:
+            _, labels = _split_key(key)
+            buckets = dict(snap.get("buckets") or {})
+            bounds = [float(b) for b in (snap.get("bounds") or [])]
+            cumulative = 0
+            for bound in bounds:
+                label = f"le_{int(bound) if bound.is_integer() else bound}"
+                cumulative += int(buckets.get(label, 0))
+                le = _prom_number(bound)
+                out.write(
+                    f"{metric}_bucket"
+                    f"{_prom_labels([*labels, ('le', le)])} {cumulative}\n"
+                )
+            total_count = int(snap.get("count", 0))
+            out.write(
+                f"{metric}_bucket"
+                f"{_prom_labels([*labels, ('le', '+Inf')])} {total_count}\n"
+            )
+            out.write(
+                f"{metric}_sum{_prom_labels(labels)} "
+                f"{_prom_number(snap.get('sum', 0))}\n"
+            )
+            out.write(
+                f"{metric}_count{_prom_labels(labels)} {total_count}\n"
             )
     return out.getvalue()
 

@@ -26,6 +26,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "metric_key",
 ]
@@ -37,6 +38,17 @@ Number = Union[int, float]
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
     1000.0, 2000.0, 5000.0,
+)
+
+#: Latency histogram bounds in milliseconds: a deterministic 1-2.5-5
+#: log-spaced ladder from 10 us to 10 s.  Shared by every ``*_ms``
+#: histogram (DC solve, retry rungs, plan steps, serve requests, queue
+#: wait) so worker snapshots merge bucket-for-bucket and Prometheus
+#: quantile queries see one consistent grid.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
 )
 
 
@@ -118,6 +130,9 @@ class Histogram:
             "sum": _jsonable(self.total),
             "min": _jsonable(self.minimum) if self.count else None,
             "max": _jsonable(self.maximum) if self.count else None,
+            # Full bound ladder (not only populated buckets): merging and
+            # the Prometheus exposition need the exact grid back.
+            "bounds": [_jsonable(b) for b in self.bounds],
             "buckets": buckets,
         }
 
@@ -168,8 +183,16 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: Number, **labels: str) -> None:
         self.gauge(name, **labels).set(value)
 
-    def observe(self, name: str, value: Number, **labels: str) -> None:
-        self.histogram(name, **labels).observe(value)
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> None:
+        """Record one observation (``bounds`` applies on first creation
+        of the series only -- an existing histogram keeps its grid)."""
+        self.histogram(name, bounds, **labels).observe(value)
 
     # ------------------------------------------------------------------
     # Queries
@@ -218,12 +241,17 @@ class MetricsRegistry:
 
         Counters add; gauges take the incoming value (last write wins,
         matching :class:`Gauge` semantics); histograms merge
-        count/sum/min/max and re-bin bucket counts by their labelled
-        upper bound (``le_X`` buckets land on the matching bound of the
-        local histogram, ``gt_X`` and unknown bounds overflow into the
-        final bucket).  Merging the empty snapshot is a no-op, and
-        ``a.merge_snapshot(b.snapshot())`` leaves ``a.snapshot()``
-        deterministic (keys re-sort on the way out).
+        count/sum/min/max and bucket counts.  A histogram key not yet
+        present locally is created with the *incoming* snapshot's
+        ``bounds`` ladder, so worker histograms with custom bounds
+        (e.g. :data:`LATENCY_BUCKETS_MS`) merge bucket-for-bucket with
+        no loss of resolution.  When a local histogram already exists
+        with a different grid, incoming ``le_X`` counts are re-binned
+        conservatively onto the first local bound >= X (``gt_X`` and
+        unknown bounds overflow into the final bucket).  Merging the
+        empty snapshot is a no-op, and ``a.merge_snapshot(b.snapshot())``
+        leaves ``a.snapshot()`` deterministic (keys re-sort on the way
+        out).
         """
         for key, value in (snapshot.get("counters") or {}).items():
             counter = self._counters.get(key)
@@ -236,9 +264,10 @@ class MetricsRegistry:
                 gauge = self._gauges[key] = Gauge()
             gauge.set(float(value))
         for key, snap in (snapshot.get("histograms") or {}).items():
+            incoming_bounds = snap.get("bounds")
             hist = self._histograms.get(key)
             if hist is None:
-                hist = self._histograms[key] = Histogram()
+                hist = self._histograms[key] = Histogram(incoming_bounds)
             count = int(snap.get("count", 0))
             if not count:
                 continue
@@ -248,12 +277,21 @@ class MetricsRegistry:
                 hist.minimum = min(hist.minimum, float(snap["min"]))
             if snap.get("max") is not None:
                 hist.maximum = max(hist.maximum, float(snap["max"]))
+            aligned = (
+                incoming_bounds is not None
+                and tuple(float(b) for b in incoming_bounds) == hist.bounds
+            )
+            bound_index = {float(b): i for i, b in enumerate(hist.bounds)}
             for label, n in (snap.get("buckets") or {}).items():
                 if label.startswith("le_"):
                     try:
                         bound = float(label[3:])
                     except ValueError:
                         bound = float("inf")
+                    exact = bound_index.get(bound) if aligned else None
+                    if exact is not None:
+                        hist.bucket_counts[exact] += int(n)
+                        continue
                     for i, local_bound in enumerate(hist.bounds):
                         if bound <= local_bound:
                             hist.bucket_counts[i] += int(n)

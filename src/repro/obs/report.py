@@ -17,7 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from .export import flame_text, render_metrics, to_chrome_json, to_jsonl
+from .export import (
+    flame_text,
+    latency_table,
+    render_metrics,
+    to_chrome_json,
+    to_jsonl,
+)
 from .spans import Span, Tracer
 
 __all__ = ["RunReport", "TRACE_FORMATS"]
@@ -128,6 +134,8 @@ class RunReport:
             lines.append(f"  meta {key}: {self.meta[key]}")
         lines.append("")
         lines.append(self.flame())
+        lines.append("tail latency (per span name):")
+        lines.append(latency_table(self.spans))
         lines.append(render_metrics(self.metrics))
         return "\n".join(lines)
 

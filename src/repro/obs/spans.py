@@ -37,7 +37,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from .metrics import MetricsRegistry, Number
 
@@ -330,11 +330,19 @@ def count(name: str, n: Number = 1, **labels: str) -> None:
         tracer.metrics.inc(name, n, **labels)
 
 
-def observe(name: str, value: Number, **labels: str) -> None:
-    """Record one histogram observation on the ambient metrics."""
+def observe(
+    name: str,
+    value: Number,
+    bounds: Optional[Sequence[float]] = None,
+    **labels: str,
+) -> None:
+    """Record one histogram observation on the ambient metrics.
+
+    ``bounds`` selects the bucket ladder if this call creates the
+    series (e.g. :data:`repro.obs.metrics.LATENCY_BUCKETS_MS`)."""
     tracer = _ACTIVE.get()
     if tracer is not None:
-        tracer.metrics.observe(name, value, **labels)
+        tracer.metrics.observe(name, value, bounds, **labels)
 
 
 def gauge(name: str, value: Number, **labels: str) -> None:

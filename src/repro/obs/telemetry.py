@@ -1,0 +1,175 @@
+"""W3C-style trace-context propagation across process boundaries.
+
+PR 4 gave each run an in-process :class:`~repro.obs.spans.Tracer`; PR 8
+gave the serve layer a per-connection ``request_id``.  Neither survives
+the hop into a :class:`~concurrent.futures.ProcessPoolExecutor` worker:
+the worker builds its own tracer with no causal link back to the
+request.  This module closes that gap with a minimal trace-context:
+
+* :class:`TraceContext` -- an immutable ``(trace_id, span_id, sampled)``
+  triple in W3C ``traceparent`` shape (32-hex trace id, 16-hex span
+  id).  Mint one per serve request or batch run
+  (:meth:`TraceContext.generate`), derive per-task children
+  (:meth:`TraceContext.child`), and serialize it across any boundary as
+  the single header-sized string ``00-<trace>-<span>-01``
+  (:meth:`TraceContext.to_traceparent` /
+  :meth:`TraceContext.from_traceparent`).
+* ambient activation -- :func:`activate_trace` installs a context on a
+  :class:`~contextvars.ContextVar` (the same pattern as
+  :meth:`repro.obs.spans.Tracer.activate` and
+  :meth:`repro.resilience.budget.Budget.active`), so log lines, run
+  reports and response envelopes pick the ids up via
+  :func:`current_trace_context` without threading arguments.
+
+Trace ids are random (``os.urandom``), hence **volatile**: anything
+carrying one into a determinism-checked record must list it in the
+relevant volatile-key set (``repro.batch.engine.VOLATILE_KEYS`` does).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "activate_trace",
+    "current_trace_context",
+    "current_trace_id",
+    "ensure_trace_context",
+]
+
+#: The only ``traceparent`` version this module emits or accepts.
+TRACEPARENT_VERSION = "00"
+
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(value: str, width: int) -> bool:
+    return (
+        len(value) == width
+        and set(value) <= _HEX
+        and value != "0" * width
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One W3C-shaped trace context: ``(trace_id, span_id, sampled)``.
+
+    ``trace_id`` names the whole request/run (32 lowercase hex chars);
+    ``span_id`` names the current hop within it (16 hex chars); the
+    ``sampled`` flag rides in the traceparent flags byte.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not _is_hex(self.trace_id, 32):
+            raise ValueError(f"invalid trace_id: {self.trace_id!r}")
+        if not _is_hex(self.span_id, 16):
+            raise ValueError(f"invalid span_id: {self.span_id!r}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, sampled: bool = True) -> "TraceContext":
+        """Mint a fresh root context (random ids, ``os.urandom``)."""
+        return cls(
+            trace_id=os.urandom(16).hex(),
+            span_id=os.urandom(8).hex(),
+            sampled=sampled,
+        )
+
+    def child(self) -> "TraceContext":
+        """A new hop in the same trace (fresh span id)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=os.urandom(8).hex(),
+            sampled=self.sampled,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-<flags>`` (W3C traceparent)."""
+        flags = "01" if self.sampled else "00"
+        return f"{TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a traceparent string; None on any malformation.
+
+        Lenient by design (a bad inbound header must never fail a
+        request): the caller falls back to :meth:`generate`.
+        """
+        if not header or not isinstance(header, str):
+            return None
+        parts = header.strip().lower().split("-")
+        if len(parts) != 4:
+            return None
+        version, trace_id, span_id, flags = parts
+        if version != TRACEPARENT_VERSION:
+            return None
+        if not (_is_hex(trace_id, 32) and _is_hex(span_id, 16)):
+            return None
+        if len(flags) != 2 or set(flags) - _HEX:
+            return None
+        try:
+            sampled = bool(int(flags, 16) & 0x01)
+        except ValueError:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+# ----------------------------------------------------------------------
+# Ambient propagation
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext`, if one is active."""
+    return _ACTIVE.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """Shorthand: the ambient trace id (None when no context)."""
+    ctx = _ACTIVE.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextmanager
+def activate_trace(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Install ``ctx`` as the ambient trace context for the block."""
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)
+
+
+def ensure_trace_context(
+    traceparent: Optional[str] = None,
+) -> TraceContext:
+    """Resolve the context for a new unit of work.
+
+    Priority: an explicit (valid) ``traceparent`` string, then the
+    ambient context (as a fresh child hop), then a brand-new root.
+    """
+    parsed = TraceContext.from_traceparent(traceparent)
+    if parsed is not None:
+        return parsed.child()
+    ambient = _ACTIVE.get()
+    if ambient is not None:
+        return ambient.child()
+    return TraceContext.generate()

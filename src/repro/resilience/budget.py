@@ -41,7 +41,10 @@ from dataclasses import dataclass
 from typing import Callable, ContextManager, Iterator, List, Optional
 
 from ..errors import BudgetExceeded
+from ..obs.log import get_logger
 from .faults import fault_point
+
+_log = get_logger("resilience")
 
 __all__ = ["Budget", "current_budget"]
 
@@ -155,6 +158,21 @@ class Budget:
             return True
         return False
 
+    def _trip(self, exc: BudgetExceeded) -> BudgetExceeded:
+        """Log the trip (with ambient trace context) before raising."""
+        _log.warning(
+            "budget.exceeded",
+            label=self.label,
+            scope=exc.scope,
+            block=exc.block,
+            step=exc.step,
+            elapsed_ms=round(exc.elapsed_ms, 3)
+            if exc.elapsed_ms is not None
+            else None,
+            limit_ms=exc.limit_ms,
+        )
+        return exc
+
     def check(self, block: str = "", step: str = "") -> None:
         """Raise :class:`BudgetExceeded` if any live limit has tripped."""
         if self._started is None:
@@ -162,7 +180,7 @@ class Budget:
         now = self._now_ms()
         elapsed = now - self._started
         if self.wall_ms is not None and elapsed > self.wall_ms:
-            raise BudgetExceeded(
+            raise self._trip(BudgetExceeded(
                 f"{self.label}: wall-clock budget exhausted "
                 f"({elapsed:.1f} ms > {self.wall_ms:g} ms limit) "
                 f"at {block or '?'}/{step or '?'}",
@@ -171,13 +189,13 @@ class Budget:
                 scope=self.label,
                 elapsed_ms=elapsed,
                 limit_ms=self.wall_ms,
-            )
+            ))
         for scope in self._scopes:
             if scope.limit_ms is None:
                 continue
             scoped = now - scope.started
             if scoped > scope.limit_ms:
-                raise BudgetExceeded(
+                raise self._trip(BudgetExceeded(
                     f"{self.label}: {scope.label} budget exhausted "
                     f"({scoped:.1f} ms > {scope.limit_ms:g} ms limit) "
                     f"at {block or '?'}/{step or '?'}",
@@ -186,12 +204,12 @@ class Budget:
                     scope=scope.label,
                     elapsed_ms=scoped,
                     limit_ms=scope.limit_ms,
-                )
+                ))
         if (
             self.newton_iterations is not None
             and self._iterations_used >= self.newton_iterations
         ):
-            raise BudgetExceeded(
+            raise self._trip(BudgetExceeded(
                 f"{self.label}: Newton iteration budget exhausted "
                 f"({self._iterations_used} >= {self.newton_iterations}) "
                 f"at {block or '?'}/{step or '?'}",
@@ -200,7 +218,7 @@ class Budget:
                 scope=f"{self.label}:newton",
                 elapsed_ms=elapsed,
                 limit_ms=None,
-            )
+            ))
 
     def charge_newton(self, n: int = 1, block: str = "", step: str = "newton") -> None:
         """Account ``n`` Newton iterations, then :meth:`check`.

@@ -29,8 +29,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
 
+from ..obs.log import get_logger
+from ..obs.metrics import LATENCY_BUCKETS_MS
 from ..obs.spans import count as _metric_count
+from ..obs.spans import observe as _metric_observe
 from ..obs.spans import span as _obs_span
+
+_log = get_logger("resilience")
 
 __all__ = ["Rung", "RungAttempt", "LadderTrace", "LadderExhausted", "RetryLadder"]
 
@@ -198,6 +203,7 @@ class RetryLadder:
                         exc.__cause__ = last_error
                     last_error = exc
                     iterations = int(getattr(exc, "iterations", 0) or 0)
+                    elapsed_ms = (self._clock() - began) * 1e3
                     trace.attempts.append(
                         RungAttempt(
                             rung=rung.name,
@@ -205,26 +211,47 @@ class RetryLadder:
                             ok=False,
                             error=str(exc),
                             iterations=iterations,
-                            elapsed_ms=(self._clock() - began) * 1e3,
+                            elapsed_ms=elapsed_ms,
                         )
                     )
                     _metric_count("ladder.attempts", rung=rung.name, outcome="failed")
+                    _metric_observe(
+                        "ladder.rung_ms",
+                        elapsed_ms,
+                        bounds=LATENCY_BUCKETS_MS,
+                        rung=rung.name,
+                    )
+                    _log.warning(
+                        "ladder.rung_failed",
+                        rung=rung.name,
+                        attempt=attempt,
+                        iterations=iterations,
+                        elapsed_ms=round(elapsed_ms, 3),
+                        error=str(exc),
+                    )
                     if iterations:
                         _metric_count(
                             "ladder.iterations", n=iterations, rung=rung.name
                         )
                     continue
                 iterations = int(getattr(result, "iterations", 0) or 0)
+                elapsed_ms = (self._clock() - began) * 1e3
                 trace.attempts.append(
                     RungAttempt(
                         rung=rung.name,
                         attempt=attempt,
                         ok=True,
                         iterations=iterations,
-                        elapsed_ms=(self._clock() - began) * 1e3,
+                        elapsed_ms=elapsed_ms,
                     )
                 )
                 _metric_count("ladder.attempts", rung=rung.name, outcome="ok")
+                _metric_observe(
+                    "ladder.rung_ms",
+                    elapsed_ms,
+                    bounds=LATENCY_BUCKETS_MS,
+                    rung=rung.name,
+                )
                 if iterations:
                     _metric_count("ladder.iterations", n=iterations, rung=rung.name)
                 return result, trace

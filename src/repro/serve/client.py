@@ -19,7 +19,33 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs.telemetry import current_trace_context
+
 __all__ = ["ServeClient", "ServeResponse"]
+
+
+def _trace_headers() -> Dict[str, str]:
+    """A ``traceparent`` header when the caller has an ambient trace
+    context, so the server joins the client's trace instead of minting
+    its own."""
+    ctx = current_trace_context()
+    if ctx is None:
+        return {}
+    return {"traceparent": ctx.child().to_traceparent()}
+
+
+def _truncated_stream_record(detail: str) -> Dict[str, Any]:
+    """The synthetic terminal record yielded when a JSONL stream dies
+    mid-read: same envelope shape as a server-side error line, so one
+    consumer loop handles both."""
+    return {
+        "ok": False,
+        "error": {
+            "code": "truncated_stream",
+            "kind": "transport",
+            "message": f"stream ended before completion: {detail}",
+        },
+    }
 
 
 @dataclass
@@ -89,7 +115,7 @@ class ServeClient:
         )
         try:
             body = None
-            headers = {}
+            headers = _trace_headers()
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -120,7 +146,14 @@ class ServeClient:
     def stream(
         self, path: str, payload: Dict[str, Any]
     ) -> Iterator[Dict[str, Any]]:
-        """POST and yield JSONL records as they arrive."""
+        """POST and yield JSONL records as they arrive.
+
+        A stream that dies mid-read -- the server vanishing, a reset
+        connection, a half-written trailing line -- terminates with one
+        synthetic ``truncated_stream`` error record instead of raising,
+        so consumers that act per record see a structured failure in
+        the same shape as any server-side error line.
+        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
@@ -128,7 +161,7 @@ class ServeClient:
             body = json.dumps(payload).encode("utf-8")
             conn.request(
                 "POST", path, body=body,
-                headers={"Content-Type": "application/json"},
+                headers={"Content-Type": "application/json", **_trace_headers()},
             )
             response = conn.getresponse()
             content_type = response.getheader("Content-Type", "")
@@ -139,7 +172,13 @@ class ServeClient:
                 return
             buffer = b""
             while True:
-                chunk = response.read(4096)
+                try:
+                    chunk = response.read(4096)
+                except (OSError, http.client.HTTPException) as exc:
+                    yield _truncated_stream_record(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    return
                 if not chunk:
                     break
                 buffer += chunk
@@ -148,7 +187,14 @@ class ServeClient:
                     if line.strip():
                         yield json.loads(line)
             if buffer.strip():
-                yield json.loads(buffer)
+                # A trailing fragment without its newline means the
+                # server died mid-line; the bytes cannot be a record.
+                try:
+                    yield json.loads(buffer)
+                except ValueError:
+                    yield _truncated_stream_record(
+                        f"{len(buffer)} byte partial trailing line"
+                    )
         finally:
             conn.close()
 

@@ -105,6 +105,7 @@ def make_synth_task(
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
     observe: bool = False,
+    traceparent: Optional[str] = None,
 ) -> BatchTask:
     """A served synthesis task (one point of a request's grid)."""
     return BatchTask(
@@ -119,4 +120,5 @@ def make_synth_task(
         use_cache=use_cache,
         cache_dir=cache_dir,
         observe=observe,
+        traceparent=traceparent,
     )

@@ -120,6 +120,7 @@ def error_body(
     code: str,
     message: str,
     request_id: str = "",
+    trace_id: str = "",
     retry_after_ms: Optional[float] = None,
     **extra: Any,
 ) -> Dict[str, Any]:
@@ -127,6 +128,9 @@ def error_body(
 
     Every refusal -- admission, drain, worker death, malformed input --
     is this shape, so a client needs exactly one error handler.
+    ``trace_id`` (when the server has an active trace context) lands at
+    the top level next to ``request_id``, so a refused request is as
+    correlatable as a served one.
     """
     error: Dict[str, Any] = {
         "code": code,
@@ -141,6 +145,8 @@ def error_body(
     body: Dict[str, Any] = {"ok": False, "error": error}
     if request_id:
         body["request_id"] = request_id
+    if trace_id:
+        body["trace_id"] = trace_id
     return body
 
 
@@ -397,7 +403,9 @@ def jsonl_line(record: Mapping[str, Any]) -> bytes:
     ).encode("utf-8")
 
 
-def serve_error_body(exc: ServeError, request_id: str = "") -> Dict[str, Any]:
+def serve_error_body(
+    exc: ServeError, request_id: str = "", trace_id: str = ""
+) -> Dict[str, Any]:
     """Envelope for a contained :class:`~repro.errors.ServeError`,
     harvesting the typed context subclasses carry."""
     extra: Dict[str, Any] = {}
@@ -409,6 +417,7 @@ def serve_error_body(exc: ServeError, request_id: str = "") -> Dict[str, Any]:
         exc.code,
         str(exc),
         request_id=request_id,
+        trace_id=trace_id,
         retry_after_ms=exc.retry_after_ms,
         **extra,
     )

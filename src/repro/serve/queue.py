@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -74,6 +75,9 @@ class QueuedJob:
     priority: int = 10
     deadline_ms: Optional[float] = None
     budget: Optional[Budget] = None
+    #: ``time.perf_counter()`` at admission; the dispatch side subtracts
+    #: it to observe the queue-wait latency histogram.
+    admitted_at: float = 0.0
 
     def fail(self, exc: ServeError) -> None:
         if not self.future.done():
@@ -190,6 +194,7 @@ class AdmissionQueue:
             priority=priority,
             deadline_ms=deadline_ms,
             budget=budget,
+            admitted_at=time.perf_counter(),
         )
         self._seq += 1
         heapq.heappush(self._heap, _HeapEntry(priority, self._seq, job))

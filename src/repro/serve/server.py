@@ -48,7 +48,16 @@ from typing import Any, Dict, List, Optional, Set
 
 from ..errors import ReproError, ServeError
 from ..obs import Tracer
-from ..obs.export import render_metrics
+from ..obs.export import render_metrics, render_prometheus
+from ..obs.log import bound as log_bound
+from ..obs.log import get_logger
+from ..obs.metrics import LATENCY_BUCKETS_MS
+from ..obs.telemetry import (
+    activate_trace,
+    current_trace_context,
+    current_trace_id,
+    ensure_trace_context,
+)
 from ..process import builtin_processes
 from ..resilience.faults import fault_point
 from .jobs import job_callable, make_synth_task
@@ -70,6 +79,8 @@ from .supervisor import WorkerSupervisor
 __all__ = ["ServeConfig", "ReproServer", "ServerHandle", "run_server"]
 
 _VALID_CORNERS = ("typical", "fast", "slow")
+
+_log = get_logger("serve")
 
 
 @dataclass
@@ -222,6 +233,14 @@ class ReproServer:
         self._idle.clear()
         self.metrics.set_gauge("serve.in_flight", self._in_flight)
         started = time.perf_counter()
+        if job.admitted_at:
+            # Admission-to-dispatch wait: the queueing half of latency
+            # that service-time histograms alone would hide.
+            self.metrics.observe(
+                "serve.queue_wait_ms",
+                (started - job.admitted_at) * 1e3,
+                bounds=LATENCY_BUCKETS_MS,
+            )
         status = "ok"
         try:
             payload = job.payload
@@ -273,8 +292,17 @@ class ReproServer:
         finally:
             elapsed_ms = (time.perf_counter() - started) * 1e3
             self.queue.observe_service_ms(elapsed_ms)
-            self.metrics.observe("serve.job_ms", elapsed_ms)
+            self.metrics.observe(
+                "serve.job_ms", elapsed_ms, bounds=LATENCY_BUCKETS_MS
+            )
             self.metrics.inc("serve.jobs", status=status)
+            _log.info(
+                "serve.job_done",
+                request_id=job.request_id,
+                kind=job.kind,
+                status=status,
+                wall_ms=round(elapsed_ms, 3),
+            )
             self._in_flight -= 1
             self.metrics.set_gauge("serve.in_flight", self._in_flight)
             if self._in_flight == 0:
@@ -307,6 +335,12 @@ class ReproServer:
             )
         except ServeError as exc:
             self.metrics.inc("serve.admission_rejected", reason=exc.code)
+            _log.warning(
+                "serve.admission_rejected",
+                request_id=request_id,
+                kind=kind,
+                reason=exc.code,
+            )
             raise
         self._update_queue_gauges()
         return job
@@ -328,6 +362,12 @@ class ReproServer:
                 request = await read_request(reader)
             except ServeError as exc:
                 self.metrics.inc("serve.requests", endpoint="malformed")
+                _log.warning(
+                    "serve.request_malformed",
+                    request_id=request_id,
+                    code=exc.code,
+                    error=str(exc),
+                )
                 # Swallow whatever the client is still sending (bounded)
                 # so it can finish writing and actually *read* the
                 # structured refusal instead of dying on a broken pipe.
@@ -336,7 +376,23 @@ class ReproServer:
                 return
             if request is None:
                 return
-            await self._route(request, writer, request_id)
+            # One trace context per request: continue the client's trace
+            # when it sent a valid ``traceparent`` header, start a fresh
+            # one otherwise.  Everything downstream -- handler logs,
+            # worker subprocesses, the response envelope -- correlates
+            # through this ambient context.
+            ctx = ensure_trace_context(request.headers.get("traceparent"))
+            with activate_trace(ctx), log_bound(request_id=request_id):
+                try:
+                    await self._route(request, writer, request_id)
+                except ServeError as exc:
+                    # Answer inside the trace scope so the error
+                    # envelope carries the request's trace_id.
+                    await self._respond_error(writer, exc, request_id)
+                except ReproError as exc:
+                    await self._respond_error(
+                        writer, _bad(f"{type(exc).__name__}: {exc}"), request_id
+                    )
         except ConnectionError:
             # The client hung up mid-response (or the injected
             # serve.client_disconnect fired).  Their loss is contained
@@ -380,7 +436,9 @@ class ReproServer:
                 writer,
                 render_response(
                     status,
-                    serve_error_body(exc, request_id),
+                    serve_error_body(
+                        exc, request_id, trace_id=current_trace_id() or ""
+                    ),
                     extra_headers=headers or None,
                 ),
                 guarded=False,
@@ -409,27 +467,58 @@ class ReproServer:
     ) -> None:
         endpoint = request.path.strip("/") or "root"
         self.metrics.inc("serve.requests", endpoint=endpoint)
+        _log.debug(
+            "serve.request", method=request.method, endpoint=endpoint
+        )
         route = (request.method, request.path)
-        if route == ("GET", "/healthz"):
-            await self._handle_healthz(writer)
-        elif route == ("GET", "/readyz"):
-            await self._handle_readyz(writer)
-        elif route == ("GET", "/metrics"):
-            await self._handle_metrics(request, writer)
-        elif route == ("POST", "/synthesize"):
-            await self._handle_synthesize(request, writer, request_id)
-        elif route == ("POST", "/batch"):
-            await self._handle_batch(request, writer, request_id)
-        elif route == ("POST", "/lint"):
-            await self._handle_simple(request, writer, request_id, kind="lint")
-        elif route == ("POST", "/analyze"):
-            await self._handle_simple(request, writer, request_id, kind="analyze")
-        else:
-            raise ServeError(
-                f"no route {request.method} {request.path}; have GET "
-                "/healthz /readyz /metrics and POST /synthesize /batch "
-                "/lint /analyze",
-                code="not_found",
+        started = time.perf_counter()
+        status = "ok"
+        try:
+            if route == ("GET", "/healthz"):
+                await self._handle_healthz(writer)
+            elif route == ("GET", "/readyz"):
+                await self._handle_readyz(writer)
+            elif route == ("GET", "/metrics"):
+                await self._handle_metrics(request, writer)
+            elif route == ("POST", "/synthesize"):
+                await self._handle_synthesize(request, writer, request_id)
+            elif route == ("POST", "/batch"):
+                await self._handle_batch(request, writer, request_id)
+            elif route == ("POST", "/lint"):
+                await self._handle_simple(request, writer, request_id, kind="lint")
+            elif route == ("POST", "/analyze"):
+                await self._handle_simple(
+                    request, writer, request_id, kind="analyze"
+                )
+            else:
+                raise ServeError(
+                    f"no route {request.method} {request.path}; have GET "
+                    "/healthz /readyz /metrics and POST /synthesize /batch "
+                    "/lint /analyze",
+                    code="not_found",
+                )
+        except ServeError as exc:
+            status = exc.code
+            raise
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            # End-to-end request latency: parse-to-last-byte, per
+            # endpoint, on the deterministic log-spaced bucket ladder.
+            self.metrics.observe(
+                "serve.request_ms",
+                elapsed_ms,
+                bounds=LATENCY_BUCKETS_MS,
+                endpoint=endpoint,
+            )
+            _log.info(
+                "serve.request_done",
+                method=request.method,
+                endpoint=endpoint,
+                status=status,
+                wall_ms=round(elapsed_ms, 3),
             )
 
     # -- control plane -------------------------------------------------
@@ -493,19 +582,35 @@ class ReproServer:
     ) -> None:
         payload = self._metrics_payload()
         self.metrics.inc("serve.responses", status="200")
-        if request.query.get("format") == "json":
+        fmt = request.query.get("format")
+        if fmt == "json":
             await self._send(writer, render_response(200, payload), guarded=False)
             return
-        queue = payload["queue"]
-        text = (
-            render_metrics(payload["metrics"])
-            + f"queue: depth={queue['depth']}/{queue['max_depth']} "
-            f"draining={queue['draining']} "
-            f"service_ms_ewma={queue['service_ms_ewma']}\n"
-        )
+        if fmt == "text":
+            # The legacy human rendering, kept for eyeballs.
+            queue = payload["queue"]
+            text = (
+                render_metrics(payload["metrics"])
+                + f"queue: depth={queue['depth']}/{queue['max_depth']} "
+                f"draining={queue['draining']} "
+                f"service_ms_ewma={queue['service_ms_ewma']}\n"
+            )
+            await self._send(
+                writer,
+                render_response(
+                    200, text, content_type="text/plain; charset=utf-8"
+                ),
+                guarded=False,
+            )
+            return
+        # Default: Prometheus text exposition, scrapeable as-is.
         await self._send(
             writer,
-            render_response(200, text, content_type="text/plain; charset=utf-8"),
+            render_response(
+                200,
+                render_prometheus(payload["metrics"]),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            ),
             guarded=False,
         )
 
@@ -573,17 +678,25 @@ class ReproServer:
         if corner != "typical":
             process = process.corner(corner)
             label = f"{label}@{corner}"
+        ctx = current_trace_context()
         task = make_synth_task(
             index=0,
             label=label,
             spec=spec,
             process=process,
             corner=corner,
+            traceparent=(
+                ctx.child().to_traceparent() if ctx is not None else None
+            ),
             **self._synth_options(payload),
         )
         job = self._admit("synth", task, request_id, **options)
         record = dict(await job.future)
         record["request_id"] = request_id
+        if ctx is not None:
+            # The worker stamps trace_id itself; setdefault keeps the
+            # envelope correlated even for cached/legacy records.
+            record.setdefault("trace_id", ctx.trace_id)
         self.metrics.inc("serve.responses", status="200")
         await self._send(writer, render_response(200, record))
 
@@ -603,6 +716,9 @@ class ReproServer:
         job = self._admit(kind, payload, request_id, **options)
         record = dict(await job.future)
         record["request_id"] = request_id
+        ctx = current_trace_context()
+        if ctx is not None:
+            record.setdefault("trace_id", ctx.trace_id)
         self.metrics.inc("serve.responses", status="200")
         await self._send(writer, render_response(200, record))
 
@@ -638,6 +754,14 @@ class ReproServer:
         tasks = grid_from_config(
             grid_config, process, **self._synth_options(payload)
         )
+        ctx = current_trace_context()
+        if ctx is not None:
+            # Every grid point gets its own child span id under the
+            # request's trace, serialized across the pool boundary.
+            tasks = [
+                replace(task, traceparent=ctx.child().to_traceparent())
+                for task in tasks
+            ]
         jobs: List[QueuedJob] = []
         admit_error: Optional[ServeError] = None
         for i, task in enumerate(tasks):
@@ -661,15 +785,20 @@ class ReproServer:
         self.metrics.inc("serve.responses", status="200")
         await self._send(writer, render_stream_head(200), guarded=False)
         try:
+            trace_id = ctx.trace_id if ctx is not None else ""
             for task, job in zip(tasks, jobs):
                 try:
                     record = dict(await job.future)
                     record["request_id"] = request_id
+                    if ctx is not None:
+                        record.setdefault("trace_id", ctx.trace_id)
                     line = jsonl_line(record)
                 except ServeError as exc:
                     line = jsonl_line(
                         {
-                            **serve_error_body(exc, request_id),
+                            **serve_error_body(
+                                exc, request_id, trace_id=trace_id
+                            ),
                             "index": task.index,
                             "label": task.label,
                         }
@@ -681,7 +810,9 @@ class ReproServer:
                         writer,
                         jsonl_line(
                             {
-                                **serve_error_body(admit_error, request_id),
+                                **serve_error_body(
+                                    admit_error, request_id, trace_id=trace_id
+                                ),
                                 "index": task.index,
                                 "label": task.label,
                             }
@@ -724,6 +855,13 @@ class ReproServer:
         )
         self.metrics.set_gauge("serve.draining", 1)
         self.metrics.inc("serve.drains", reason=reason)
+        _log.info(
+            "serve.drain_begin",
+            reason=reason,
+            deadline_ms=deadline,
+            in_flight=self._in_flight,
+            queued=self.queue.depth,
+        )
         cancelled = self.queue.drain()
         self.metrics.set_gauge("serve.drain_cancelled", cancelled)
         self._update_queue_gauges()
@@ -764,6 +902,7 @@ class ReproServer:
             "clean": self._drain_clean,
             "drain_ms": round(elapsed_ms, 3),
         }
+        _log.info("serve.drain_done", **self._drain_summary)
         self._drained.set()
         return dict(self._drain_summary)
 

@@ -34,9 +34,12 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import ServeError
+from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
 from ..resilience.faults import fault_point
 from .jobs import ping
+
+_log = get_logger("serve")
 
 __all__ = ["WorkerSupervisor"]
 
@@ -137,6 +140,12 @@ class WorkerSupervisor:
         self._rebuilding = True
         self.metrics.set_gauge("serve.pool_rebuilding", 1)
         self.metrics.inc("serve.pool_rebuilds", reason=reason)
+        _log.warning(
+            "serve.pool_rebuild",
+            reason=reason,
+            generation=self._generation,
+            mode=self.mode,
+        )
         old, self._executor = self._executor, None
         if old is not None:
             self._shutdown(old, wait=False)
@@ -175,6 +184,9 @@ class WorkerSupervisor:
                 self.metrics.inc("serve.heartbeats", status="ok")
             except (Exception, asyncio.TimeoutError):  # noqa: BLE001
                 self.metrics.inc("serve.heartbeats", status="missed")
+                _log.warning(
+                    "serve.heartbeat_missed", generation=self._generation
+                )
                 await self._rebuild("heartbeat")
 
     # ------------------------------------------------------------------
@@ -218,6 +230,11 @@ class WorkerSupervisor:
             except asyncio.TimeoutError:
                 future.cancel()
                 self.metrics.inc("serve.worker_stalls")
+                _log.warning(
+                    "serve.worker_stall",
+                    timeout_ms=self.job_timeout_ms,
+                    attempt=attempts,
+                )
                 await self._rebuild("stall")
                 raise ServeError(
                     f"job stalled past its {self.job_timeout_ms:g} ms "

@@ -33,6 +33,7 @@ in tests (see :mod:`repro.resilience.faults`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -43,6 +44,7 @@ from ..circuit.netlist import Circuit
 from ..devices.mosfet import MosfetOperatingPoint, Region
 from ..errors import ConvergenceError
 from ..kb.trace import DesignTrace
+from ..obs.metrics import LATENCY_BUCKETS_MS
 from ..obs.spans import count as metric_count
 from ..obs.spans import observe as metric_observe
 from ..obs.spans import span as obs_span
@@ -444,6 +446,7 @@ def operating_point(
         # its full cap away before the damped rung redoes the work, so
         # the cheap rung only pays for itself on warm starts.
         ladder = ladder.without("plain")
+    solve_started = time.perf_counter()
     with obs_span(
         f"dc:{circuit.name}", category="sim",
         block=block, nodes=system.n_nodes,
@@ -453,6 +456,12 @@ def operating_point(
         except ConvergenceError as exc:
             metric_count("dc.failures")
             metric_count("dc.newton.iterations", n=exc.iterations, rung="failed")
+            metric_observe(
+                "dc.solve_ms",
+                (time.perf_counter() - solve_started) * 1e3,
+                bounds=LATENCY_BUCKETS_MS,
+                status="failed",
+            )
             if trace is not None:
                 trace.ladder(block, exc.rung or "?", f"exhausted: {exc}")
             raise
@@ -464,6 +473,12 @@ def operating_point(
         # np.linalg.solve in the inner loop).
         metric_count("dc.lu_solves", n=total)
         metric_observe("dc.iterations_per_solve", total)
+        metric_observe(
+            "dc.solve_ms",
+            (time.perf_counter() - solve_started) * 1e3,
+            bounds=LATENCY_BUCKETS_MS,
+            status="ok",
+        )
         for attempt in ladder_trace.attempts:
             metric_count(
                 "dc.newton.iterations", n=attempt.iterations, rung=attempt.rung

@@ -65,12 +65,15 @@ sys.stdout.write(analysis.constraints.to_json())
 """
 
 
-def _run(script: str, seed: str, *argv: str) -> str:
+def _run(script: str, seed: str, *argv: str, extra_env=None) -> str:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     env["PYTHONHASHSEED"] = seed
     env.pop("REPRO_CACHE_DIR", None)
     env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_LOG", None)
+    if extra_env:
+        env.update(extra_env)
     proc = subprocess.run(
         [sys.executable, "-c", script, *argv],
         capture_output=True,
@@ -108,6 +111,27 @@ class TestHashSeedIndependence:
 
         outputs = [stable(_run(ANALYZE_SCRIPT, seed)) for seed in SEEDS]
         assert outputs[0] == outputs[1]
+
+    def test_structured_logging_does_not_perturb_output(self, tmp_path):
+        # Turning on structured logging must not change the produced
+        # record: log lines go to REPRO_LOG, stdout stays byte-identical
+        # to an unlogged run, across hash seeds.
+        plain = _run(RECORD_SCRIPT, "0", "A")
+        logged = []
+        for seed in SEEDS:
+            log_path = tmp_path / f"repro-{seed}.log"
+            logged.append(
+                _run(
+                    RECORD_SCRIPT,
+                    seed,
+                    "A",
+                    extra_env={
+                        "REPRO_LOG": str(log_path),
+                        "REPRO_LOG_LEVEL": "debug",
+                    },
+                )
+            )
+        assert logged[0] == logged[1] == plain
 
     @pytest.mark.parametrize("label", ["A", "C"])
     def test_topology_analysis_bytes(self, label):

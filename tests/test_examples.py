@@ -86,6 +86,15 @@ class TestExamples:
         assert "FLOW701" in out
         assert "DIM801" in out
 
+    def test_telemetry_tail(self, capsys):
+        out = run_example("telemetry_tail", capsys)
+        assert "minted trace " in out
+        assert "trace_id=" in out
+        assert "schema-valid lines" in out
+        assert "batch:batch.task_done" in out
+        assert "latency histograms recorded:" in out
+        assert "dc.solve_ms{status=ok}" in out
+
     def test_serve_client(self, capsys):
         out = run_example("serve_client", capsys)
         assert "healthz 200" in out

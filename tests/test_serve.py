@@ -657,3 +657,128 @@ class TestSignalDrain:
         # cancellations; nothing vanished.
         assert finished and cancelled
         assert len(finished) + len(cancelled) == 28
+
+
+class TestClientErrorPaths:
+    """ServeClient against misbehaving servers: malformed error
+    envelopes and streams that die mid-read must surface as structured
+    values, never exceptions."""
+
+    @staticmethod
+    def _one_shot_server(response_bytes, rst=False):
+        """A raw socket that answers one connection with exactly
+        ``response_bytes`` then closes (with an RST when ``rst``)."""
+        import struct
+
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()
+
+        def run():
+            conn, _ = server.accept()
+            try:
+                conn.settimeout(5.0)
+                try:
+                    # Drain the whole request (headers + declared body)
+                    # before answering, so a closing RST cannot race
+                    # the client's own send.
+                    import re
+
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(65536)
+                        if not chunk:
+                            break
+                        data += chunk
+                    head, _, body = data.partition(b"\r\n\r\n")
+                    match = re.search(rb"content-length:\s*(\d+)", head.lower())
+                    need = int(match.group(1)) if match else 0
+                    while len(body) < need:
+                        chunk = conn.recv(65536)
+                        if not chunk:
+                            break
+                        body += chunk
+                except OSError:
+                    pass
+                conn.sendall(response_bytes)
+                if rst:
+                    conn.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+            finally:
+                conn.close()
+                server.close()
+
+        threading.Thread(target=run, daemon=True).start()
+        return host, port
+
+    _NDJSON_HEAD = (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Connection: close\r\n\r\n"
+    )
+
+    def test_malformed_error_envelope_is_inspectable(self):
+        body = b"<html>gateway exploded</html>"
+        head = (
+            "HTTP/1.1 500 Internal Server Error\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        host, port = self._one_shot_server(head + body)
+        response = ServeClient(host, port, timeout_s=5.0).post("/synthesize", {})
+        assert response.status == 500 and not response.ok
+        # Not a JSON envelope at all: the accessors degrade to None
+        # instead of raising.
+        assert response.error is None
+        assert response.error_code is None
+        assert response.retry_after_ms is None
+
+    def test_error_block_of_wrong_type_is_none(self):
+        body = b'{"ok": false, "error": "just a string"}'
+        head = (
+            "HTTP/1.1 500 Internal Server Error\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        host, port = self._one_shot_server(head + body)
+        response = ServeClient(host, port, timeout_s=5.0).post("/synthesize", {})
+        assert response.status == 500
+        assert response.error is None and response.error_code is None
+
+    def test_stream_partial_trailing_line_yields_truncation_record(self):
+        payload = (
+            self._NDJSON_HEAD
+            + b'{"index": 0, "ok": true}\n'
+            + b'{"index": 1, "ok": fal'  # server died mid-line
+        )
+        host, port = self._one_shot_server(payload)
+        records = list(
+            ServeClient(host, port, timeout_s=5.0).stream("/batch", {})
+        )
+        assert records[0] == {"index": 0, "ok": True}
+        assert records[1]["ok"] is False
+        assert records[1]["error"]["code"] == "truncated_stream"
+        assert records[1]["error"]["kind"] == "transport"
+
+    def test_stream_connection_reset_yields_truncation_record(self):
+        payload = self._NDJSON_HEAD + b'{"index": 0, "ok": true}\n'
+        host, port = self._one_shot_server(payload, rst=True)
+        # Must not raise, and must terminate with a structured record.
+        records = list(
+            ServeClient(host, port, timeout_s=5.0).stream("/batch", {})
+        )
+        assert records, "stream yielded nothing"
+        last = records[-1]
+        if last.get("error"):
+            assert last["error"]["code"] == "truncated_stream"
+        else:
+            # The RST can race the last read on loopback; a fully
+            # delivered stream is also a legal outcome.
+            assert last == {"index": 0, "ok": True}

@@ -1,0 +1,401 @@
+"""End-to-end request telemetry: trace contexts, structured logging,
+cross-process propagation, and histogram snapshot merging.
+
+The headline test here is :class:`TestServeCorrelation`: one
+``trace_id`` minted by a client demonstrably flows through HTTP
+admission, the worker subprocess, and back out through the response
+envelope, the metrics endpoint, and every correlated log line.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import VOLATILE_KEYS, build_tasks, run_batch
+from repro.obs import log as obs_log
+from repro.obs.log import (
+    CollectingSink,
+    bound,
+    get_logger,
+    validate_log_line,
+)
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.telemetry import (
+    TraceContext,
+    activate_trace,
+    current_trace_context,
+    current_trace_id,
+    ensure_trace_context,
+)
+from repro.opamp.testcases import paper_test_cases
+from repro.process import CMOS_5UM
+
+
+@pytest.fixture()
+def log_sink():
+    """A collecting log sink installed for the test, torn down after."""
+    sink = CollectingSink()
+    obs_log.configure(stream=sink, level="debug")
+    yield sink
+    obs_log.reset()
+
+
+# ----------------------------------------------------------------------
+# Trace contexts
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_generate_is_well_formed(self):
+        ctx = TraceContext.generate()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        int(ctx.trace_id, 16)  # hex
+        int(ctx.span_id, 16)
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.generate()
+        header = ctx.to_traceparent()
+        assert header.startswith("00-")
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed == ctx
+
+    def test_child_keeps_trace_new_span(self):
+        parent = TraceContext.generate()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-zzzz-1234-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # unknown version
+        ],
+    )
+    def test_malformed_traceparent_is_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_invalid_ids_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="nope", span_id="b" * 16)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="a" * 32, span_id="short")
+
+    def test_activate_and_ambient(self):
+        assert current_trace_context() is None
+        ctx = TraceContext.generate()
+        with activate_trace(ctx) as active:
+            assert active is ctx
+            assert current_trace_context() is ctx
+            assert current_trace_id() == ctx.trace_id
+        assert current_trace_context() is None
+
+    def test_ensure_prefers_explicit_header(self):
+        parent = TraceContext.generate()
+        ctx = ensure_trace_context(parent.to_traceparent())
+        assert ctx.trace_id == parent.trace_id
+        assert ctx.span_id != parent.span_id
+
+    def test_ensure_falls_back_to_ambient_then_fresh(self):
+        ambient = TraceContext.generate()
+        with activate_trace(ambient):
+            ctx = ensure_trace_context(None)
+            assert ctx.trace_id == ambient.trace_id
+        fresh = ensure_trace_context(None)
+        assert fresh.trace_id != ambient.trace_id
+
+    def test_ensure_ignores_garbage_header(self):
+        ambient = TraceContext.generate()
+        with activate_trace(ambient):
+            ctx = ensure_trace_context("not-a-traceparent")
+            assert ctx.trace_id == ambient.trace_id
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+class TestStructuredLog:
+    def test_lines_are_schema_valid_json(self, log_sink):
+        log = get_logger("test")
+        log.info("unit.event", answer=42, label="x")
+        (record,) = log_sink.records()
+        assert validate_log_line(record) == []
+        assert record["event"] == "unit.event"
+        assert record["logger"] == "test"
+        assert record["answer"] == 42
+        assert record["pid"] == os.getpid()
+
+    def test_level_threshold(self):
+        sink = CollectingSink()
+        obs_log.configure(stream=sink, level="warning")
+        try:
+            log = get_logger("test")
+            log.debug("unit.debug")
+            log.info("unit.info")
+            log.warning("unit.warning")
+            log.error("unit.error")
+            events = [r["event"] for r in sink.records()]
+            assert events == ["unit.warning", "unit.error"]
+        finally:
+            obs_log.reset()
+
+    def test_disabled_by_default_after_reset(self):
+        obs_log.reset()
+        # No sink configured and no REPRO_LOG env: emit is a no-op.
+        assert os.environ.get("REPRO_LOG") is None
+        get_logger("test").info("unit.noop")  # must not raise
+
+    def test_trace_correlation_fields(self, log_sink):
+        ctx = TraceContext.generate()
+        with activate_trace(ctx):
+            get_logger("test").info("unit.correlated")
+        (record,) = log_sink.records()
+        assert record["trace_id"] == ctx.trace_id
+        assert record["span_id"] == ctx.span_id
+        assert validate_log_line(record) == []
+
+    def test_bound_fields_nest_and_unwind(self, log_sink):
+        log = get_logger("test")
+        with bound(request_id="r1", layer="outer"):
+            with bound(layer="inner"):
+                log.info("unit.nested")
+            log.info("unit.outer")
+        log.info("unit.unbound")
+        nested, outer, unbound = log_sink.records()
+        assert nested["request_id"] == "r1" and nested["layer"] == "inner"
+        assert outer["layer"] == "outer"
+        assert "request_id" not in unbound
+
+    def test_validate_rejects_malformed(self):
+        assert validate_log_line({"event": "x"})  # missing required
+        bad_level = {
+            "ts": 1.0,
+            "level": "loud",
+            "logger": "t",
+            "event": "x",
+            "pid": 1,
+        }
+        assert any("level" in p for p in validate_log_line(bad_level))
+        bad_trace = {
+            "ts": 1.0,
+            "level": "info",
+            "logger": "t",
+            "event": "x",
+            "pid": 1,
+            "trace_id": "xyz",
+        }
+        assert any("trace_id" in p for p in validate_log_line(bad_trace))
+
+
+# ----------------------------------------------------------------------
+# Histogram snapshot merging (multi-worker regression tests)
+# ----------------------------------------------------------------------
+class TestMergeSnapshotHistograms:
+    def _snapshot_for(self, values, bounds, **labels):
+        reg = MetricsRegistry()
+        for value in values:
+            reg.observe("lat_ms", value, bounds=bounds, **labels)
+        return reg.snapshot()
+
+    def test_merge_preserves_custom_bounds_exactly(self):
+        bounds = (0.1, 1.0, 10.0)
+        main = MetricsRegistry()
+        main.merge_snapshot(self._snapshot_for([0.05, 0.5, 5.0], bounds))
+        snap = main.snapshot()["histograms"]["lat_ms"]
+        assert snap["bounds"] == [0.1, 1, 10]
+        assert snap["buckets"] == {"le_0.1": 1, "le_1": 1, "le_10": 1}
+        assert snap["count"] == 3
+
+    def test_merge_multiple_worker_snapshots_sums(self):
+        bounds = LATENCY_BUCKETS_MS
+        main = MetricsRegistry()
+        workers = [
+            self._snapshot_for([0.3, 2.0], bounds),
+            self._snapshot_for([0.4], bounds),
+            self._snapshot_for([700.0, 20_000.0], bounds),
+        ]
+        for snap in workers:
+            main.merge_snapshot(snap)
+        merged = main.snapshot()["histograms"]["lat_ms"]
+        assert merged["count"] == 5
+        assert merged["sum"] == pytest.approx(0.3 + 2.0 + 0.4 + 700.0 + 20_000.0)
+        assert merged["buckets"]["le_0.5"] == 2
+        assert merged["buckets"]["le_2.5"] == 1
+        assert merged["buckets"]["le_1000"] == 1
+        assert merged["buckets"]["gt_10000"] == 1
+        # Bucket counts always cover the observation count.
+        assert sum(merged["buckets"].values()) == merged["count"]
+
+    def test_merge_keeps_label_keys_separate(self):
+        bounds = (1.0, 10.0)
+        main = MetricsRegistry()
+        main.merge_snapshot(self._snapshot_for([0.5], bounds, status="ok"))
+        main.merge_snapshot(self._snapshot_for([5.0], bounds, status="failed"))
+        main.merge_snapshot(self._snapshot_for([0.7], bounds, status="ok"))
+        hists = main.snapshot()["histograms"]
+        assert hists["lat_ms{status=ok}"]["count"] == 2
+        assert hists["lat_ms{status=ok}"]["buckets"] == {"le_1": 2}
+        assert hists["lat_ms{status=failed}"]["count"] == 1
+
+    def test_merge_into_existing_same_grid_is_exact(self):
+        bounds = (1.0, 10.0)
+        main = MetricsRegistry()
+        main.observe("lat_ms", 0.5, bounds=bounds)
+        main.merge_snapshot(self._snapshot_for([0.6, 20.0], bounds))
+        snap = main.snapshot()["histograms"]["lat_ms"]
+        assert snap["buckets"] == {"le_1": 2, "gt_10": 1}
+        assert snap["count"] == 3
+
+    def test_merge_mismatched_grid_rebins_conservatively(self):
+        main = MetricsRegistry()
+        main.observe("lat_ms", 0.5, bounds=(1.0, 10.0))
+        # A worker with a finer grid: counts land in the first local
+        # bound that covers them (never lost, never undercounted).
+        main.merge_snapshot(self._snapshot_for([0.2, 3.0], (0.25, 5.0)))
+        snap = main.snapshot()["histograms"]["lat_ms"]
+        assert snap["count"] == 3
+        assert sum(snap["buckets"].values()) == 3
+        assert snap["buckets"]["le_1"] == 2  # 0.5 local + 0.2 rebinned
+        assert snap["buckets"]["le_10"] == 1  # 3.0 rebinned
+
+    def test_batch_observe_merge_end_to_end(self):
+        # The real producer path: run_batch(observe) merges worker
+        # snapshots (whose histograms carry custom bucket ladders) into
+        # the ambient tracer's registry.
+        from repro.obs import Tracer
+
+        spec = paper_test_cases()["A"]
+        # verify=True drives the simulator, whose DC solves feed the
+        # dc.solve_ms histogram; plan steps feed plan.step_ms.
+        tasks = build_tasks(
+            [("case-A", spec)], CMOS_5UM, observe=True, verify=True
+        )
+        tracer = Tracer()
+        with tracer.activate():
+            list(run_batch(tasks, jobs=1))
+        hists = tracer.metrics.snapshot().get("histograms", {})
+        assert any(key.startswith("dc.solve_ms") for key in hists)
+        assert any(key.startswith("plan.step_ms") for key in hists)
+        for snap in hists.values():
+            assert sum(snap["buckets"].values()) == snap["count"]
+
+
+# ----------------------------------------------------------------------
+# Batch propagation across the pool boundary
+# ----------------------------------------------------------------------
+class TestBatchPropagation:
+    def test_inline_batch_inherits_ambient_trace(self):
+        spec = paper_test_cases()["A"]
+        tasks = build_tasks([("case-A", spec)], CMOS_5UM)
+        ctx = TraceContext.generate()
+        with activate_trace(ctx):
+            result = list(run_batch(tasks, jobs=1))
+        assert all(r.record.get("trace_id") == ctx.trace_id for r in result)
+
+    def test_no_ambient_trace_means_no_trace_id(self):
+        spec = paper_test_cases()["A"]
+        tasks = build_tasks([("case-A", spec)], CMOS_5UM)
+        result = list(run_batch(tasks, jobs=1))
+        assert all("trace_id" not in r.record for r in result)
+
+    def test_trace_id_is_volatile(self):
+        assert "trace_id" in VOLATILE_KEYS
+        spec = paper_test_cases()["A"]
+        tasks = build_tasks([("case-A", spec)], CMOS_5UM)
+        with activate_trace(TraceContext.generate()):
+            [traced] = list(run_batch(tasks, jobs=1))
+        [plain] = list(run_batch(tasks, jobs=1))
+        assert traced.canonical_json() == plain.canonical_json()
+
+    def test_subprocess_workers_inherit_trace(self):
+        spec = paper_test_cases()["A"]
+        tasks = build_tasks(
+            [("case-A", spec), ("case-A2", spec)], CMOS_5UM
+        )
+        ctx = TraceContext.generate()
+        with activate_trace(ctx):
+            result = list(run_batch(tasks, jobs=2))
+        for row in result:
+            assert row.record["trace_id"] == ctx.trace_id
+            # and the work really happened off-process
+            assert row.record["worker"] != os.getpid()
+
+
+# ----------------------------------------------------------------------
+# The acceptance test: one trace id, every surface
+# ----------------------------------------------------------------------
+class TestServeCorrelation:
+    def test_trace_id_flows_client_to_worker_and_back(self, tmp_path):
+        log_path = tmp_path / "serve.log"
+        os.environ["REPRO_LOG"] = str(log_path)
+        obs_log.reset()  # pick up the env config in-process too
+        try:
+            from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+            config = ServeConfig(mode="process", workers=1)
+            with ServerHandle(config) as handle:
+                client = ServeClient(handle.host, handle.port)
+                ctx = TraceContext.generate()
+                with activate_trace(ctx):
+                    response = client.synthesize(testcase="A", observe=True)
+                assert response.ok, response.body
+                # 1. the response envelope
+                assert response.body["trace_id"] == ctx.trace_id
+                # 2. the worker subprocess stamped the record itself
+                assert response.body["worker"] != os.getpid()
+                # 3. /metrics saw the request and the queue wait
+                metrics = client.metrics().body["metrics"]
+                hists = metrics["histograms"]
+                assert "serve.request_ms{endpoint=synthesize}" in hists
+                assert "serve.queue_wait_ms" in hists
+                prom = client.metrics(as_json=False).body
+                assert "# TYPE repro_serve_requests_total counter" in prom
+                assert "repro_serve_request_ms_bucket" in prom
+        finally:
+            del os.environ["REPRO_LOG"]
+            obs_log.reset()
+        # 4. the log: schema-valid lines from at least two processes
+        # (server + pool worker) carrying the same trace id.
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines, "no log lines emitted"
+        for record in lines:
+            assert validate_log_line(record) == [], record
+        correlated = [
+            r for r in lines if r.get("trace_id") == ctx.trace_id
+        ]
+        assert {r["event"] for r in correlated} >= {
+            "serve.request_done",
+            "batch.task_done",
+        }
+        assert len({r["pid"] for r in correlated}) >= 2
+
+    def test_error_envelope_carries_trace_id(self, log_sink):
+        from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+        with ServerHandle(ServeConfig(mode="thread")) as handle:
+            client = ServeClient(handle.host, handle.port)
+            ctx = TraceContext.generate()
+            with activate_trace(ctx):
+                response = client.get("/nope")
+            assert response.status == 404
+            assert response.body["trace_id"] == ctx.trace_id
+            assert response.error_code == "not_found"
+
+    def test_server_mints_trace_without_client_header(self):
+        from repro.serve import ServeClient, ServeConfig, ServerHandle
+
+        with ServerHandle(ServeConfig(mode="thread")) as handle:
+            client = ServeClient(handle.host, handle.port)
+            response = client.synthesize(testcase="A")
+            assert response.ok
+            trace_id = response.body.get("trace_id")
+            assert isinstance(trace_id, str) and len(trace_id) == 32
