@@ -16,6 +16,7 @@ models, providing
 
 from .mna import MnaSystem, OperatingPointResult
 from .dc import operating_point
+from .batched import stacked_operating_points
 from .ac import ACResult, ac_analysis
 from .noise import NoiseResult, noise_analysis
 from .op_report import op_report
@@ -35,6 +36,7 @@ __all__ = [
     "MnaSystem",
     "OperatingPointResult",
     "operating_point",
+    "stacked_operating_points",
     "ACResult",
     "ac_analysis",
     "NoiseResult",

@@ -1,0 +1,696 @@
+"""Vectorized array-oriented MNA assembly: the simulator's hot path.
+
+The scalar reference stampers in :mod:`repro.simulator.mna` walk
+``circuit.elements`` one device at a time and accumulate into dense
+matrices through Python closures.  That is the right *specification* --
+obvious, auditable, byte-for-byte pinned by the golden suite -- but it
+is O(elements) Python bytecode per Newton iteration and O(n^2) memory
+traffic per assembly.
+
+This module compiles a circuit's stamp pattern **once** per
+:class:`~repro.simulator.mna.MnaSystem` into a :class:`StampPlan`:
+
+* devices grouped by type into index/value arrays (resistor terminal
+  indices, MOSFET terminal indices, source rows...);
+* one global COO entry list per assembly kind (DC Jacobian, DC
+  residual, AC matrix) recorded in **exactly** the scalar stamping
+  order, so a single ``np.add.at`` scatter reproduces the reference
+  accumulation bit for bit (``np.add.at`` applies duplicate indices
+  sequentially in entry order);
+* a cached symbolic CSC layout (:class:`_SparsePattern`) -- computed
+  once and reused across every Newton iteration and every retry-ladder
+  rung that shares the system -- so large circuits factor with
+  ``scipy.sparse.linalg.splu`` instead of dense LU.
+
+Dispatch policy (see :meth:`MnaSystem.assemble_dc_system`):
+
+* ``REPRO_DENSE_ASSEMBLY=1`` forces the scalar reference path
+  everywhere -- the escape hatch the differential oracle and the
+  golden byte-identity suite run both backends through;
+* systems below :func:`sparse_threshold` unknowns (default 64, env
+  ``REPRO_SPARSE_THRESHOLD``) assemble vectorized-dense and solve with
+  ``np.linalg.solve`` -- bit-identical to the reference, so every
+  bundled op amp, golden record and cache key is unchanged;
+* larger systems (flattened hierarchies, foreign decks, meshes)
+  assemble straight into CSC and solve via ``splu``.
+
+:func:`solve_linear` gives both backends one error taxonomy: a SuperLU
+failure is re-raised as :class:`numpy.linalg.LinAlgError`, so the
+retry ladder's singular-Jacobian handling is backend-agnostic (chaos
+site ``dc.sparse`` injects exactly that failure).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from ..circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from ..errors import SimulationError
+from ..resilience.faults import fault_point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..devices.mosfet import MosfetModel, MosfetOperatingPoint
+    from .mna import MnaSystem
+
+__all__ = [
+    "DENSE_ASSEMBLY_ENV",
+    "SPARSE_THRESHOLD_ENV",
+    "DEFAULT_SPARSE_THRESHOLD",
+    "StampPlan",
+    "dense_assembly_forced",
+    "sparse_threshold",
+    "solve_linear",
+]
+
+#: Set to ``"1"`` to force the scalar reference assembly + dense LU
+#: everywhere (the differential-testing escape hatch).
+DENSE_ASSEMBLY_ENV = "REPRO_DENSE_ASSEMBLY"
+#: Unknown-count at which assembly/solves go sparse.
+SPARSE_THRESHOLD_ENV = "REPRO_SPARSE_THRESHOLD"
+DEFAULT_SPARSE_THRESHOLD = 64
+
+
+def dense_assembly_forced() -> bool:
+    """True when the legacy scalar-dense reference path is forced."""
+    return os.environ.get(DENSE_ASSEMBLY_ENV, "") == "1"
+
+
+def sparse_threshold() -> int:
+    """Unknown count at or above which the sparse backend engages."""
+    raw = os.environ.get(SPARSE_THRESHOLD_ENV, "")
+    try:
+        return int(raw) if raw else DEFAULT_SPARSE_THRESHOLD
+    except ValueError:
+        return DEFAULT_SPARSE_THRESHOLD
+
+
+def solve_linear(jacobian, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``jacobian @ delta = rhs`` under one error taxonomy.
+
+    Dense ndarray -> ``np.linalg.solve``; CSC matrix -> ``splu``.
+    SuperLU reports singularity as ``RuntimeError`` (and degenerate
+    inputs as ``ValueError``); both are translated to
+    :class:`numpy.linalg.LinAlgError` so callers -- ``newton_solve``,
+    the transient integrator, the AC sweep -- keep a single except
+    clause regardless of backend.
+    """
+    if sp.issparse(jacobian):
+        fault_point("dc.sparse")
+        try:
+            return splu(jacobian.tocsc()).solve(rhs)
+        except (RuntimeError, ValueError) as exc:
+            raise np.linalg.LinAlgError(
+                f"sparse LU factorization failed: {exc}"
+            ) from exc
+    return np.linalg.solve(jacobian, rhs)
+
+
+class _NodeGather:
+    """Vectorized ``volt()``: gather x[index] with ground (-1) -> 0.0."""
+
+    __slots__ = ("index", "mask")
+
+    def __init__(self, indices: Sequence[int]):
+        arr = np.asarray(indices, dtype=np.intp)
+        self.index = np.maximum(arr, 0)
+        self.mask = arr >= 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.where(self.mask, x[self.index], 0.0)
+
+
+class _EntryRecorder:
+    """COO entries in scalar-stamp order, tagged by value group.
+
+    ``positions(group)`` returns where a device group's values land in
+    the global entry list, so each group fills its slice of one flat
+    ``vals`` array and a single ordered ``np.add.at`` reproduces the
+    interleaved scalar accumulation exactly.
+    """
+
+    def __init__(self) -> None:
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._groups: List[int] = []
+
+    def add(self, group: int, row: int, col: int) -> None:
+        self._groups.append(group)
+        self._rows.append(row)
+        self._cols.append(col)
+
+    def finish(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows = np.asarray(self._rows, dtype=np.intp)
+        cols = np.asarray(self._cols, dtype=np.intp)
+        groups = np.asarray(self._groups, dtype=np.intp)
+        return rows, cols, groups
+
+
+class _SparsePattern:
+    """Symbolic CSC layout for one (rows, cols) entry pattern.
+
+    Built once, then every numeric assembly is a zero-fill plus one
+    ``np.add.at`` into the duplicate-summing slot map -- the
+    "symbolic factorization reuse" across Newton iterations and
+    retry-ladder rungs (which share the :class:`MnaSystem` and hence
+    this pattern).  The slot scatter preserves original entry order,
+    so duplicate summation stays bit-identical to the dense scatter.
+    """
+
+    __slots__ = ("slot", "nnz", "indices", "indptr", "shape")
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, size: int):
+        order = np.lexsort((rows, cols))
+        sorted_rows = rows[order]
+        sorted_cols = cols[order]
+        count = rows.size
+        fresh = np.ones(count, dtype=bool)
+        if count:
+            fresh[1:] = (sorted_rows[1:] != sorted_rows[:-1]) | (
+                sorted_cols[1:] != sorted_cols[:-1]
+            )
+        slot_sorted = np.cumsum(fresh) - 1
+        slot = np.empty(count, dtype=np.intp)
+        slot[order] = slot_sorted
+        self.slot = slot
+        self.nnz = int(slot_sorted[-1]) + 1 if count else 0
+        self.indices = sorted_rows[fresh].astype(np.int32)
+        col_counts = np.zeros(size + 1, dtype=np.int64)
+        np.add.at(col_counts, sorted_cols[fresh] + 1, 1)
+        self.indptr = np.cumsum(col_counts).astype(np.int32)
+        self.shape = (size, size)
+
+    def matrix(self, entry_values: np.ndarray) -> "sp.csc_matrix":
+        data = np.zeros(self.nnz, dtype=entry_values.dtype)
+        np.add.at(data, self.slot, entry_values)
+        return sp.csc_matrix(
+            (data, self.indices, self.indptr), shape=self.shape
+        )
+
+
+# Value groups for the DC Jacobian entry list.
+_JG_GMIN, _JG_RES, _JG_MOS, _JG_VS = range(4)
+# Value groups for the DC residual entry list.
+_FG_GMIN, _FG_RES, _FG_ISRC, _FG_MOS, _FG_VS = range(5)
+# Value groups for the AC matrix entry list (split into a static
+# conductance array, a static capacitance array, and the per-OP MOSFET
+# fills; entry value at omega is g + j*omega*c).
+_AG_STATIC, _AG_MOS_G, _AG_MOS_C = range(3)
+
+
+class StampPlan:
+    """Per-system compiled stamp pattern (see module docstring).
+
+    Index arrays are built once in ``__init__`` by replaying the exact
+    element walk of the scalar reference stampers; numeric assemblies
+    then only touch NumPy.  The AC layout is built lazily on first AC
+    assembly (DC solves never need it).
+    """
+
+    def __init__(self, system: "MnaSystem"):
+        self.system = system
+        self.size = system.size
+        self.n_nodes = system.n_nodes
+
+        index_of = system.index_of
+        jac = _EntryRecorder()
+        res = _EntryRecorder()
+
+        res_a: List[int] = []
+        res_b: List[int] = []
+        res_g: List[float] = []
+        isrc_p: List[int] = []
+        isrc_n: List[int] = []
+        isrc_dc: List[float] = []
+        mos_bind: List[Tuple[str, str, "MosfetModel"]] = []
+        mos_d: List[int] = []
+        mos_g: List[int] = []
+        mos_s: List[int] = []
+        mos_b: List[int] = []
+
+        # gmin shunt on every node comes first in the reference walk.
+        for i in range(self.n_nodes):
+            jac.add(_JG_GMIN, i, i)
+            res.add(_FG_GMIN, i, i)
+
+        for element in system.circuit.elements:
+            if isinstance(element, Resistor):
+                a = index_of(element.node_a)
+                b = index_of(element.node_b)
+                res_a.append(a)
+                res_b.append(b)
+                res_g.append(1.0 / element.resistance)
+                res.add(_FG_RES, a, a)
+                res.add(_FG_RES, b, b)
+                jac.add(_JG_RES, a, a)
+                jac.add(_JG_RES, a, b)
+                jac.add(_JG_RES, b, a)
+                jac.add(_JG_RES, b, b)
+            elif isinstance(element, Capacitor):
+                continue  # open at DC
+            elif isinstance(element, CurrentSource):
+                p = index_of(element.positive)
+                n = index_of(element.negative)
+                isrc_p.append(p)
+                isrc_n.append(n)
+                isrc_dc.append(element.dc)
+                res.add(_FG_ISRC, p, p)
+                res.add(_FG_ISRC, n, n)
+            elif isinstance(element, Mosfet):
+                key = element.name.lower()
+                mos_bind.append((key, element.name, system.models[key]))
+                d = index_of(element.drain)
+                g = index_of(element.gate)
+                s = index_of(element.source)
+                b = index_of(element.bulk)
+                mos_d.append(d)
+                mos_g.append(g)
+                mos_s.append(s)
+                mos_b.append(b)
+                res.add(_FG_MOS, d, d)
+                res.add(_FG_MOS, s, s)
+                jac.add(_JG_MOS, d, g)
+                jac.add(_JG_MOS, d, d)
+                jac.add(_JG_MOS, d, b)
+                jac.add(_JG_MOS, d, s)
+                jac.add(_JG_MOS, s, g)
+                jac.add(_JG_MOS, s, d)
+                jac.add(_JG_MOS, s, b)
+                jac.add(_JG_MOS, s, s)
+            elif isinstance(element, VoltageSource):
+                pass  # branch rows handled below
+            else:  # pragma: no cover
+                raise SimulationError(
+                    f"unsupported element {type(element).__name__}"
+                )
+
+        vs_p: List[int] = []
+        vs_n: List[int] = []
+        vs_row: List[int] = []
+        vs_dc: List[float] = []
+        for position, source in enumerate(system.vsources):
+            row = system.branch_index(position)
+            p = index_of(source.positive)
+            n = index_of(source.negative)
+            vs_p.append(p)
+            vs_n.append(n)
+            vs_row.append(row)
+            vs_dc.append(source.dc)
+            res.add(_FG_VS, p, p)
+            res.add(_FG_VS, n, n)
+            jac.add(_JG_VS, p, row)
+            jac.add(_JG_VS, n, row)
+            jac.add(_JG_VS, row, p)
+            jac.add(_JG_VS, row, n)
+
+        # --- resistor group -------------------------------------------
+        self.res_va = _NodeGather(res_a)
+        self.res_vb = _NodeGather(res_b)
+        self.res_g = np.asarray(res_g, dtype=float)
+        g = self.res_g
+        self.res_j_static = np.column_stack((g, -g, -g, g)).ravel()
+        # --- current sources ------------------------------------------
+        self.isrc_dc = np.asarray(isrc_dc, dtype=float)
+        # --- MOSFETs ---------------------------------------------------
+        self.mos_bind = mos_bind
+        self.mos_vd = _NodeGather(mos_d)
+        self.mos_vg = _NodeGather(mos_g)
+        self.mos_vs = _NodeGather(mos_s)
+        self.mos_vb = _NodeGather(mos_b)
+        # --- voltage sources ------------------------------------------
+        self.vs_vp = _NodeGather(vs_p)
+        self.vs_vn = _NodeGather(vs_n)
+        self.vs_rows = np.asarray(vs_row, dtype=np.intp)
+        self.vs_dc = np.asarray(vs_dc, dtype=float)
+        self.vs_j_static = np.tile(
+            np.array([1.0, -1.0, 1.0, -1.0]), len(vs_row)
+        )
+
+        # --- global entry lists ---------------------------------------
+        j_rows, j_cols, j_groups = jac.finish()
+        self.j_total = j_rows.size
+        self.jp_gmin = np.flatnonzero(j_groups == _JG_GMIN)
+        self.jp_res = np.flatnonzero(j_groups == _JG_RES)
+        self.jp_mos = np.flatnonzero(j_groups == _JG_MOS)
+        self.jp_vs = np.flatnonzero(j_groups == _JG_VS)
+        j_mask = (j_rows >= 0) & (j_cols >= 0)
+        self.j_mask = j_mask
+        self.j_rows_valid = j_rows[j_mask]
+        self.j_cols_valid = j_cols[j_mask]
+
+        f_rows, _f_cols, f_groups = res.finish()
+        self.f_total = f_rows.size
+        self.fp_gmin = np.flatnonzero(f_groups == _FG_GMIN)
+        self.fp_res = np.flatnonzero(f_groups == _FG_RES)
+        self.fp_isrc = np.flatnonzero(f_groups == _FG_ISRC)
+        self.fp_mos = np.flatnonzero(f_groups == _FG_MOS)
+        self.fp_vs = np.flatnonzero(f_groups == _FG_VS)
+        f_mask = f_rows >= 0
+        self.f_mask = f_mask
+        self.f_rows_valid = f_rows[f_mask]
+
+        self._dc_pattern: Optional[_SparsePattern] = None
+        self._ac_pattern: Optional[_SparsePattern] = None
+        self._ac_ready = False
+
+    # ------------------------------------------------------------------
+    # DC assembly
+    # ------------------------------------------------------------------
+    def _evaluate_mosfets(
+        self, x: np.ndarray
+    ) -> Tuple[
+        Dict[str, "MosfetOperatingPoint"],
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+    ]:
+        """Per-device model evaluation (kept scalar for bit-identity
+        with the reference path), results collected into arrays."""
+        ops: Dict[str, "MosfetOperatingPoint"] = {}
+        count = len(self.mos_bind)
+        ids = np.empty(count)
+        gm = np.empty(count)
+        gds = np.empty(count)
+        gmbs = np.empty(count)
+        if not count:
+            return ops, ids, gm, gds, gmbs
+        vd = self.mos_vd(x)
+        vg = self.mos_vg(x)
+        vs = self.mos_vs(x)
+        vb = self.mos_vb(x)
+        vgs = vg - vs
+        vds = vd - vs
+        vbs = vb - vs
+        for i, (key, _name, model) in enumerate(self.mos_bind):
+            op = model.evaluate(float(vgs[i]), float(vds[i]), float(vbs[i]))
+            ops[key] = op
+            ids[i] = op.ids
+            gm[i] = op.gm
+            gds[i] = op.gds
+            gmbs[i] = op.gmbs
+        return ops, ids, gm, gds, gmbs
+
+    def _dc_entry_values(
+        self,
+        x: np.ndarray,
+        gmin: float,
+        source_scale: float,
+        with_jacobian: bool = True,
+    ) -> Tuple[
+        np.ndarray, Optional[np.ndarray], Dict[str, "MosfetOperatingPoint"]
+    ]:
+        """Fill the flat residual/Jacobian entry-value arrays."""
+        ops, ids, gm, gds, gmbs = self._evaluate_mosfets(x)
+        f_vals = np.empty(self.f_total)
+        f_vals[self.fp_gmin] = gmin * x[: self.n_nodes]
+        gv = self.res_g * (self.res_va(x) - self.res_vb(x))
+        f_vals[self.fp_res] = np.column_stack((gv, -gv)).ravel()
+        inj = self.isrc_dc * source_scale
+        f_vals[self.fp_isrc] = np.column_stack((inj, -inj)).ravel()
+        f_vals[self.fp_mos] = np.column_stack((ids, -ids)).ravel()
+        i_branch = x[self.vs_rows]
+        f_vals[self.fp_vs] = np.column_stack((i_branch, -i_branch)).ravel()
+        if not with_jacobian:
+            return f_vals, None, ops
+        j_vals = np.empty(self.j_total)
+        j_vals[self.jp_gmin] = gmin
+        j_vals[self.jp_res] = self.res_j_static
+        g_s = -(gm + gds + gmbs)
+        j_vals[self.jp_mos] = np.column_stack(
+            (gm, gds, gmbs, g_s, -gm, -gds, -gmbs, -g_s)
+        ).ravel()
+        j_vals[self.jp_vs] = self.vs_j_static
+        return f_vals, j_vals, ops
+
+    def _residual_from(
+        self, f_vals: np.ndarray, x: np.ndarray, source_scale: float
+    ) -> np.ndarray:
+        residual = np.zeros(self.size)
+        np.add.at(residual, self.f_rows_valid, f_vals[self.f_mask])
+        if self.vs_rows.size:
+            # Branch equations are assigned, not accumulated.
+            residual[self.vs_rows] = (
+                self.vs_vp(x) - self.vs_vn(x) - self.vs_dc * source_scale
+            )
+        return residual
+
+    def assemble_dc_dense(
+        self, x: np.ndarray, gmin: float, source_scale: float
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, "MosfetOperatingPoint"]]:
+        """Vectorized dense assembly, bit-identical to the reference."""
+        f_vals, j_vals, ops = self._dc_entry_values(x, gmin, source_scale)
+        assert j_vals is not None
+        jacobian = np.zeros((self.size, self.size))
+        np.add.at(
+            jacobian,
+            (self.j_rows_valid, self.j_cols_valid),
+            j_vals[self.j_mask],
+        )
+        return self._residual_from(f_vals, x, source_scale), jacobian, ops
+
+    def assemble_dc_sparse(
+        self, x: np.ndarray, gmin: float, source_scale: float
+    ) -> Tuple[np.ndarray, "sp.csc_matrix", Dict[str, "MosfetOperatingPoint"]]:
+        """Assembly straight into the cached CSC pattern."""
+        f_vals, j_vals, ops = self._dc_entry_values(x, gmin, source_scale)
+        assert j_vals is not None
+        if self._dc_pattern is None:
+            self._dc_pattern = _SparsePattern(
+                self.j_rows_valid, self.j_cols_valid, self.size
+            )
+        jacobian = self._dc_pattern.matrix(j_vals[self.j_mask])
+        return self._residual_from(f_vals, x, source_scale), jacobian, ops
+
+    def assemble_dc_residual(
+        self, x: np.ndarray, gmin: float, source_scale: float
+    ) -> Tuple[np.ndarray, Dict[str, "MosfetOperatingPoint"]]:
+        """Residual + device ops only (the Newton convergence check)."""
+        f_vals, _, ops = self._dc_entry_values(
+            x, gmin, source_scale, with_jacobian=False
+        )
+        return self._residual_from(f_vals, x, source_scale), ops
+
+    # ------------------------------------------------------------------
+    # AC assembly
+    # ------------------------------------------------------------------
+    def _build_ac(self) -> None:
+        """Record the AC entry list (scalar ``assemble_ac`` walk order:
+        elements first, then voltage-source rows; each admittance stamp
+        is (a,a),(b,b),(a,b),(b,a))."""
+        system = self.system
+        index_of = system.index_of
+        rec = _EntryRecorder()
+        g_static: List[float] = []
+        c_static: List[float] = []
+
+        def stamp_admittance(group: int, a: int, b: int) -> None:
+            rec.add(group, a, a)
+            rec.add(group, b, b)
+            rec.add(group, a, b)
+            rec.add(group, b, a)
+
+        def push_static(g_value: float, c_value: float, count: int = 1) -> None:
+            g_static.extend([g_value, g_value, -g_value, -g_value] * count)
+            c_static.extend([c_value, c_value, -c_value, -c_value] * count)
+
+        isrc_rhs: List[Tuple[str, int, int, complex]] = []
+        for element in system.circuit.elements:
+            if isinstance(element, Resistor):
+                a = index_of(element.node_a)
+                b = index_of(element.node_b)
+                stamp_admittance(_AG_STATIC, a, b)
+                push_static(1.0 / element.resistance, 0.0)
+            elif isinstance(element, Capacitor):
+                a = index_of(element.node_a)
+                b = index_of(element.node_b)
+                stamp_admittance(_AG_STATIC, a, b)
+                push_static(0.0, element.capacitance)
+            elif isinstance(element, CurrentSource):
+                isrc_rhs.append(
+                    (
+                        element.name.lower(),
+                        index_of(element.positive),
+                        index_of(element.negative),
+                        element.ac,
+                    )
+                )
+            elif isinstance(element, Mosfet):
+                d = index_of(element.drain)
+                g = index_of(element.gate)
+                s = index_of(element.source)
+                b = index_of(element.bulk)
+                rec.add(_AG_MOS_G, d, g)
+                rec.add(_AG_MOS_G, d, d)
+                rec.add(_AG_MOS_G, d, b)
+                rec.add(_AG_MOS_G, d, s)
+                rec.add(_AG_MOS_G, s, g)
+                rec.add(_AG_MOS_G, s, d)
+                rec.add(_AG_MOS_G, s, b)
+                rec.add(_AG_MOS_G, s, s)
+                stamp_admittance(_AG_MOS_C, g, s)
+                stamp_admittance(_AG_MOS_C, g, d)
+                stamp_admittance(_AG_MOS_C, g, b)
+                stamp_admittance(_AG_MOS_C, b, d)
+                stamp_admittance(_AG_MOS_C, b, s)
+            elif isinstance(element, VoltageSource):
+                pass
+            else:  # pragma: no cover
+                raise SimulationError(
+                    f"unsupported element {type(element).__name__}"
+                )
+
+        vs_rhs: List[Tuple[str, int, complex]] = []
+        for position, source in enumerate(system.vsources):
+            row = system.branch_index(position)
+            p = index_of(source.positive)
+            n = index_of(source.negative)
+            rec.add(_AG_STATIC, p, row)
+            rec.add(_AG_STATIC, n, row)
+            rec.add(_AG_STATIC, row, p)
+            rec.add(_AG_STATIC, row, n)
+            g_static.extend([1.0, -1.0, 1.0, -1.0])
+            c_static.extend([0.0, 0.0, 0.0, 0.0])
+            vs_rhs.append((source.name.lower(), row, source.ac))
+
+        rows, cols, groups = rec.finish()
+        self.ac_total = rows.size
+        self.ac_g_base = np.zeros(self.ac_total)
+        self.ac_c_base = np.zeros(self.ac_total)
+        acp_static = np.flatnonzero(groups == _AG_STATIC)
+        self.ac_g_base[acp_static] = np.asarray(g_static, dtype=float)
+        self.ac_c_base[acp_static] = np.asarray(c_static, dtype=float)
+        self.acp_mos_g = np.flatnonzero(groups == _AG_MOS_G)
+        self.acp_mos_c = np.flatnonzero(groups == _AG_MOS_C)
+        mask = (rows >= 0) & (cols >= 0)
+        self.ac_mask = mask
+        self.ac_rows_valid = rows[mask]
+        self.ac_cols_valid = cols[mask]
+        self._isrc_rhs = isrc_rhs
+        self._vs_rhs = vs_rhs
+        self._ac_ready = True
+
+    def ac_entry_values(
+        self, device_ops: Dict[str, "MosfetOperatingPoint"]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Frequency-independent (conductance, capacitance) entry
+        arrays; the matrix entries at ``omega`` are ``g + 1j*omega*c``.
+        """
+        if not self._ac_ready:
+            self._build_ac()
+        g_vals = self.ac_g_base.copy()
+        c_vals = self.ac_c_base.copy()
+        count = len(self.mos_bind)
+        if count:
+            gm = np.empty(count)
+            gds = np.empty(count)
+            gmbs = np.empty(count)
+            cgs = np.empty(count)
+            cgd = np.empty(count)
+            cgb = np.empty(count)
+            cbd = np.empty(count)
+            cbs = np.empty(count)
+            for i, (key, name, _model) in enumerate(self.mos_bind):
+                op = device_ops.get(key)
+                if op is None:
+                    raise SimulationError(
+                        f"device {name} missing from operating point"
+                    )
+                gm[i] = op.gm
+                gds[i] = op.gds
+                gmbs[i] = op.gmbs
+                cgs[i] = op.cgs
+                cgd[i] = op.cgd
+                cgb[i] = op.cgb
+                cbd[i] = op.cbd
+                cbs[i] = op.cbs
+            g_s = -(gm + gds + gmbs)
+            g_vals[self.acp_mos_g] = np.column_stack(
+                (gm, gds, gmbs, g_s, -gm, -gds, -gmbs, -g_s)
+            ).ravel()
+            c_vals[self.acp_mos_c] = np.column_stack(
+                (
+                    cgs, cgs, -cgs, -cgs,
+                    cgd, cgd, -cgd, -cgd,
+                    cgb, cgb, -cgb, -cgb,
+                    cbd, cbd, -cbd, -cbd,
+                    cbs, cbs, -cbs, -cbs,
+                )
+            ).ravel()
+        return g_vals, c_vals
+
+    def ac_rhs(self, overrides: Dict[str, complex]) -> np.ndarray:
+        """Excitation vector (frequency-independent)."""
+        if not self._ac_ready:
+            self._build_ac()
+        rhs = np.zeros(self.size, dtype=complex)
+        for name, p, n, ac in self._isrc_rhs:
+            amplitude = overrides.get(name, ac)
+            if p >= 0:
+                rhs[p] -= amplitude
+            if n >= 0:
+                rhs[n] += amplitude
+        for name, row, ac in self._vs_rhs:
+            rhs[row] = overrides.get(name, ac)
+        return rhs
+
+    def assemble_ac_dense(
+        self,
+        omega: float,
+        device_ops: Dict[str, "MosfetOperatingPoint"],
+        overrides: Dict[str, complex],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized dense AC matrix, bit-identical to the reference."""
+        g_vals, c_vals = self.ac_entry_values(device_ops)
+        entry_values = g_vals + (1j * omega) * c_vals
+        matrix = np.zeros((self.size, self.size), dtype=complex)
+        np.add.at(
+            matrix,
+            (self.ac_rows_valid, self.ac_cols_valid),
+            entry_values[self.ac_mask],
+        )
+        return matrix, self.ac_rhs(overrides)
+
+    def assemble_ac_stacked(
+        self,
+        omegas: np.ndarray,
+        g_vals: np.ndarray,
+        c_vals: np.ndarray,
+    ) -> np.ndarray:
+        """All frequencies as one (F, size, size) matrix stack."""
+        stacked_vals = g_vals[None, :] + np.multiply.outer(
+            1j * omegas, c_vals
+        )
+        count = omegas.size
+        matrix = np.zeros((count, self.size, self.size), dtype=complex)
+        np.add.at(
+            matrix,
+            (
+                np.arange(count)[:, None],
+                self.ac_rows_valid[None, :],
+                self.ac_cols_valid[None, :],
+            ),
+            stacked_vals[:, self.ac_mask],
+        )
+        return matrix
+
+    def assemble_ac_sparse(
+        self, omega: float, g_vals: np.ndarray, c_vals: np.ndarray
+    ) -> "sp.csc_matrix":
+        """One frequency, assembled into the cached CSC pattern."""
+        if self._ac_pattern is None:
+            self._ac_pattern = _SparsePattern(
+                self.ac_rows_valid, self.ac_cols_valid, self.size
+            )
+        entry_values = g_vals + (1j * omega) * c_vals
+        return self._ac_pattern.matrix(entry_values[self.ac_mask])

@@ -1,0 +1,163 @@
+"""Corner-batched DC evaluation: one matrix-stacked Newton iteration.
+
+A batch/characterization run evaluates the *same* circuit on every
+process corner of a spec point.  Solved one corner at a time, each
+solve pays its own assembly and LU; solved together, the per-corner
+Jacobians stack into one ``(corners, size, size)`` array and a single
+batched ``np.linalg.solve`` factors them all per Newton sweep (LAPACK
+over the stack, no Python re-entry per corner).
+
+The iteration mirrors the damped rung of
+:func:`repro.simulator.dc.newton_solve` exactly -- same damping, same
+convergence test, same fresh-residual check -- so a corner that
+converges here reports the same voltages and the same iteration count
+it would report solo.  Corners that have converged drop out of the
+stack; anything that cannot be batch-solved (sparse-sized systems,
+the dense escape hatch, a singular stack, non-convergence) falls back
+to the full per-corner retry ladder of
+:func:`~repro.simulator.dc.operating_point`, so batching never costs
+robustness.
+
+Exposed to the batch layer as
+:func:`repro.batch.corner_operating_points`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..obs.spans import count as metric_count
+from ..obs.spans import span as obs_span
+from ..process.parameters import ProcessParameters
+from ..resilience import current_budget
+from .assembly import dense_assembly_forced
+from .dc import ITOL, MAX_STEP, RELTOL, VTOL, operating_point
+from .mna import MnaSystem, OperatingPointResult
+
+__all__ = ["stacked_operating_points"]
+
+
+def stacked_operating_points(
+    circuit: Circuit,
+    processes: Mapping[str, ProcessParameters],
+    initial_guess: Optional[Dict[str, float]] = None,
+    max_iterations: int = 150,
+) -> Dict[str, OperatingPointResult]:
+    """DC operating points of ``circuit`` on every listed process.
+
+    Args:
+        circuit: the netlist, shared by every corner.
+        processes: label -> process parameters (e.g. corner name ->
+            cornered process).
+        initial_guess / max_iterations: as for
+            :func:`~repro.simulator.dc.operating_point`.
+
+    Returns:
+        label -> converged :class:`OperatingPointResult`, one per entry
+        of ``processes`` (same labels).
+    """
+    labels = list(processes)
+    if not labels:
+        return {}
+    circuit.validate()
+    systems = {
+        label: MnaSystem(circuit, processes[label]) for label in labels
+    }
+    first = systems[labels[0]]
+
+    def solo(label: str) -> OperatingPointResult:
+        return operating_point(
+            circuit,
+            processes[label],
+            initial_guess=initial_guess,
+            max_iterations=max_iterations,
+        )
+
+    if len(labels) == 1 or dense_assembly_forced() or first.use_sparse:
+        # Nothing to batch, the reference escape hatch, or a system
+        # that solves faster through the per-corner sparse path.
+        return {label: solo(label) for label in labels}
+
+    size = first.size
+    n_nodes = first.n_nodes
+    x0 = np.zeros(size)
+    if initial_guess:
+        for node, voltage in initial_guess.items():
+            if node in first.node_index:
+                x0[first.node_index[node]] = voltage
+
+    states = {label: x0.copy() for label in labels}
+    iterations = {label: 0 for label in labels}
+    results: Dict[str, OperatingPointResult] = {}
+    active = list(labels)
+    budget = current_budget()
+    block = f"dc.corners/{circuit.name}"
+    with obs_span(
+        f"dc.corners:{circuit.name}",
+        category="sim",
+        corners=len(labels),
+        nodes=n_nodes,
+    ) as corner_span:
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for _ in range(max_iterations):
+                if not active:
+                    break
+                if budget is not None:
+                    budget.charge_newton(
+                        len(active), block=block, step="newton"
+                    )
+                assembled = [
+                    systems[label].assemble_dc(states[label], 1e-12, 1.0)
+                    for label in active
+                ]
+                jac_stack = np.stack([entry[1] for entry in assembled])
+                res_stack = np.stack([entry[0] for entry in assembled])
+                try:
+                    deltas = np.linalg.solve(
+                        jac_stack, -res_stack[..., None]
+                    )[..., 0]
+                except np.linalg.LinAlgError:
+                    break  # fall back to the ladder for what remains
+                if not np.all(np.isfinite(deltas)):
+                    break
+                metric_count("dc.corner_batch.stacked_solves")
+                remaining = []
+                for position, label in enumerate(active):
+                    delta = deltas[position]
+                    worst = (
+                        np.max(np.abs(delta[:n_nodes])) if n_nodes else 0.0
+                    )
+                    if worst > MAX_STEP:
+                        delta = delta * (MAX_STEP / worst)
+                    x = states[label] + delta
+                    states[label] = x
+                    iterations[label] += 1
+                    v_converged = np.all(
+                        np.abs(delta[:n_nodes])
+                        <= VTOL + RELTOL * np.abs(x[:n_nodes])
+                    )
+                    residual_new, device_ops = systems[
+                        label
+                    ].assemble_dc_residual(x, 1e-12, 1.0)
+                    kcl_converged = np.all(
+                        np.abs(residual_new[:n_nodes]) <= ITOL * 10 + 1e-9
+                    )
+                    if v_converged and kcl_converged:
+                        results[label] = systems[label].package_result(
+                            x, device_ops, iterations[label]
+                        )
+                    else:
+                        remaining.append(label)
+                active = remaining
+        corner_span.set("batched", len(labels) - len(active))
+        corner_span.set("fallback", len(active))
+        metric_count("dc.corner_batch.solves", n=len(labels) - len(active))
+    for label in active:
+        # Unconverged in the batched sweep (or the stack went singular):
+        # the full escalation ladder takes over, corner by corner.
+        metric_count("dc.corner_batch.fallbacks")
+        results[label] = solo(label)
+    return {label: results[label] for label in labels}

@@ -51,6 +51,7 @@ from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
 from ..resilience import Budget, LadderTrace, RetryLadder, Rung, current_budget
 from ..resilience.faults import fault_point
+from .assembly import solve_linear
 from .mna import MnaSystem, MosfetOperatingPoint, OperatingPointResult
 
 __all__ = ["operating_point", "newton_solve", "build_dc_ladder"]
@@ -122,9 +123,15 @@ def newton_solve(
         if budget is not None:
             budget.charge_newton(1, block=block, step="newton")
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            residual, jacobian, device_ops = system.assemble_dc(x, gmin, source_scale)
+            # Vectorized assembly; dense ndarray for small systems,
+            # CSC above the sparse threshold (the CSC symbolic layout
+            # is cached on the system's StampPlan, so it is shared
+            # across iterations and across retry-ladder rungs).
+            residual, jacobian, device_ops = system.assemble_dc_system(
+                x, gmin, source_scale
+            )
             try:
-                delta = np.linalg.solve(jacobian, -residual)
+                delta = solve_linear(jacobian, -residual)
             except np.linalg.LinAlgError as exc:
                 raise ConvergenceError(
                     f"singular Jacobian: {exc}", iteration
@@ -144,8 +151,11 @@ def newton_solve(
             v_converged = np.all(
                 np.abs(delta[:n_nodes]) <= VTOL + RELTOL * np.abs(x[:n_nodes])
             )
-            # Residual check on the freshly updated point.
-            residual_new, _, device_ops = system.assemble_dc(x, gmin, source_scale)
+            # Residual check on the freshly updated point (no Jacobian
+            # work: only the residual entries are evaluated).
+            residual_new, device_ops = system.assemble_dc_residual(
+                x, gmin, source_scale
+            )
             kcl_converged = np.all(
                 np.abs(residual_new[:n_nodes]) <= ITOL * 10 + 1e-9
             )

@@ -27,6 +27,7 @@ from ..circuit.netlist import Circuit
 from ..devices.mosfet import MosfetModel, MosfetOperatingPoint
 from ..errors import SimulationError
 from ..process.parameters import ProcessParameters
+from .assembly import StampPlan, dense_assembly_forced, sparse_threshold
 
 __all__ = ["MnaSystem", "OperatingPointResult"]
 
@@ -126,6 +127,7 @@ class MnaSystem:
                 process.min_drain_width,
                 process.cox,
             )
+        self._stamp_plan: Optional[StampPlan] = None
 
     # ------------------------------------------------------------------
     # Index helpers
@@ -140,6 +142,24 @@ class MnaSystem:
         return self.n_nodes + source_position
 
     # ------------------------------------------------------------------
+    # Assembly backend selection
+    # ------------------------------------------------------------------
+    @property
+    def stamp_plan(self) -> StampPlan:
+        """The compiled per-system stamp pattern (built lazily, shared
+        by every assembly this system performs -- including every
+        Newton iteration and retry-ladder rung)."""
+        if self._stamp_plan is None:
+            self._stamp_plan = StampPlan(self)
+        return self._stamp_plan
+
+    @property
+    def use_sparse(self) -> bool:
+        """True when this system should factor sparsely (large enough
+        and the dense escape hatch is not forced)."""
+        return not dense_assembly_forced() and self.size >= sparse_threshold()
+
+    # ------------------------------------------------------------------
     # Nonlinear DC assembly
     # ------------------------------------------------------------------
     def assemble_dc(
@@ -148,7 +168,58 @@ class MnaSystem:
         gmin: float = 1e-12,
         source_scale: float = 1.0,
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, MosfetOperatingPoint]]:
-        """Residual F(x) and Jacobian J(x) for the DC system.
+        """Residual F(x) and dense Jacobian J(x) for the DC system.
+
+        Dispatches to the vectorized :class:`StampPlan` scatter (the
+        default, bit-identical to the reference) or the scalar
+        reference stamper under ``REPRO_DENSE_ASSEMBLY=1``.
+        """
+        if dense_assembly_forced():
+            return self.assemble_dc_reference(x, gmin, source_scale)
+        return self.stamp_plan.assemble_dc_dense(x, gmin, source_scale)
+
+    def assemble_dc_system(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+    ):
+        """Residual and Jacobian *operator* for the linear solve.
+
+        Returns ``(F, J, device_ops)`` where ``J`` is a dense ndarray
+        for small systems (or under the escape hatch) and a
+        ``scipy.sparse`` CSC matrix above the size threshold; pass it
+        to :func:`repro.simulator.assembly.solve_linear`.
+        """
+        if dense_assembly_forced():
+            return self.assemble_dc_reference(x, gmin, source_scale)
+        if self.use_sparse:
+            return self.stamp_plan.assemble_dc_sparse(x, gmin, source_scale)
+        return self.stamp_plan.assemble_dc_dense(x, gmin, source_scale)
+
+    def assemble_dc_residual(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+    ) -> Tuple[np.ndarray, Dict[str, MosfetOperatingPoint]]:
+        """Residual and device ops only (no Jacobian work) -- the
+        post-update convergence check of the Newton loop."""
+        if dense_assembly_forced():
+            residual, _, device_ops = self.assemble_dc_reference(
+                x, gmin, source_scale
+            )
+            return residual, device_ops
+        return self.stamp_plan.assemble_dc_residual(x, gmin, source_scale)
+
+    def assemble_dc_reference(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, MosfetOperatingPoint]]:
+        """Scalar reference stamper (the specification the vectorized
+        backend is differential-tested against).
 
         The residual convention is KCL: F[node] = sum of currents *leaving*
         the node through elements minus injected source currents; voltage
@@ -273,6 +344,9 @@ class MnaSystem:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Complex MNA matrix and excitation vector at ``omega``.
 
+        Dispatches to the vectorized plan scatter (bit-identical) or
+        the scalar reference under ``REPRO_DENSE_ASSEMBLY=1``.
+
         Args:
             omega: angular frequency, rad/s.
             device_ops: converged DC operating points (for gm/gds/caps).
@@ -283,6 +357,18 @@ class MnaSystem:
         Returns:
             (Y, rhs) with the same unknown ordering as the DC system.
         """
+        if dense_assembly_forced():
+            return self.assemble_ac_reference(omega, device_ops, source_overrides)
+        overrides = {k.lower(): v for k, v in (source_overrides or {}).items()}
+        return self.stamp_plan.assemble_ac_dense(omega, device_ops, overrides)
+
+    def assemble_ac_reference(
+        self,
+        omega: float,
+        device_ops: Dict[str, MosfetOperatingPoint],
+        source_overrides: Optional[Dict[str, complex]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar reference AC stamper (differential-testing oracle)."""
         size = self.size
         matrix = np.zeros((size, size), dtype=complex)
         rhs = np.zeros(size, dtype=complex)

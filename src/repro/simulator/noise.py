@@ -27,6 +27,7 @@ from ..circuit.elements import Mosfet, Resistor
 from ..circuit.netlist import Circuit
 from ..errors import SimulationError
 from ..process.parameters import ProcessParameters
+from .assembly import dense_assembly_forced, solve_linear
 from .mna import MnaSystem, OperatingPointResult
 
 __all__ = ["NoiseResult", "noise_analysis"]
@@ -98,17 +99,18 @@ def noise_analysis(
     if out_index < 0:
         raise SimulationError(f"cannot report noise at ground ({output_node!r})")
 
-    # Collect the noise branches: (name, node_a, node_b, psd_fn(f)).
+    # Collect the noise branches: (name, node_a, node_b, white PSD,
+    # flicker gain).  PSD at f is ``s_thermal + flicker_gain / f``.
     branches = []
     for element in circuit.elements:
         if isinstance(element, Resistor):
-            s_thermal = 4.0 * KT / element.resistance
             branches.append(
                 (
                     element.name,
                     system.index_of(element.node_a),
                     system.index_of(element.node_b),
-                    lambda f, s=s_thermal: s,
+                    4.0 * KT / element.resistance,
+                    0.0,
                 )
             )
         elif isinstance(element, Mosfet):
@@ -120,52 +122,102 @@ def noise_analysis(
             model = system.models[name]
             params = model.params
             s_thermal = 4.0 * KT * (2.0 / 3.0) * gm
+            flicker_gain = 0.0
             if params.kf > 0.0:
                 c_gate = process.cox * model.width * model.length
                 flicker_gain = params.kf * gm * gm / c_gate
-
-                def psd(f, st=s_thermal, fl=flicker_gain):
-                    return st + fl / f
-
-            else:
-
-                def psd(f, st=s_thermal):
-                    return st
-
             branches.append(
                 (
                     element.name,
                     system.index_of(element.drain),
                     system.index_of(element.source),
-                    psd,
+                    s_thermal,
+                    flicker_gain,
                 )
             )
 
     if not branches:
         raise SimulationError("circuit has no noisy elements")
 
-    total = np.zeros(freqs.size)
-    contributions = {name: np.zeros(freqs.size) for name, *_ in branches}
+    # One RHS column per noise branch: unit current from node_a to
+    # node_b (entering b, leaving a).  Frequency-independent.
+    rhs = np.zeros((system.size, len(branches)), dtype=complex)
+    for col, (_name, a, b, _st, _fl) in enumerate(branches):
+        if a >= 0:
+            rhs[a, col] -= 1.0
+        if b >= 0:
+            rhs[b, col] += 1.0
 
-    for k, frequency in enumerate(freqs):
-        omega = 2.0 * np.pi * frequency
-        matrix, _ = system.assemble_ac(omega, op.device_ops)
-        # One RHS column per noise branch: unit current from node_a to
-        # node_b (entering b, leaving a).
-        rhs = np.zeros((system.size, len(branches)), dtype=complex)
-        for col, (name, a, b, _psd) in enumerate(branches):
-            if a >= 0:
-                rhs[a, col] -= 1.0
-            if b >= 0:
-                rhs[b, col] += 1.0
-        try:
-            solution = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SimulationError(f"noise solve failed at {frequency:g} Hz: {exc}")
-        transfer = solution[out_index, :]
-        for col, (name, _a, _b, psd_fn) in enumerate(branches):
-            share = (abs(transfer[col]) ** 2) * psd_fn(frequency)
-            contributions[name][k] = share
-            total[k] += share
+    # transfer[k, col]: output-node response to branch col at freqs[k].
+    transfer = _solve_noise_grid(system, freqs, op, rhs)[:, out_index, :]
+
+    total = np.zeros(freqs.size)
+    contributions = {}
+    for col, (name, _a, _b, s_thermal, flicker_gain) in enumerate(branches):
+        share = (np.abs(transfer[:, col]) ** 2) * (
+            s_thermal + flicker_gain / freqs
+        )
+        contributions[name] = share
+        total += share
 
     return NoiseResult(frequencies=freqs, output_psd=total, contributions=contributions)
+
+
+def _solve_noise_grid(
+    system: MnaSystem,
+    freqs: np.ndarray,
+    op: OperatingPointResult,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Multi-RHS solves over the grid -> (freqs, size, branches).
+
+    Matrix-stacked batched solve for small systems, cached-pattern
+    sparse LU per point for large ones, the scalar reference loop
+    under ``REPRO_DENSE_ASSEMBLY=1``.
+    """
+    omegas = 2.0 * np.pi * freqs
+    if dense_assembly_forced():
+        solution = np.zeros(
+            (freqs.size, system.size, rhs.shape[1]), dtype=complex
+        )
+        for k, frequency in enumerate(freqs):
+            matrix, _ = system.assemble_ac(float(omegas[k]), op.device_ops)
+            try:
+                solution[k] = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"noise solve failed at {frequency:g} Hz: {exc}"
+                )
+        return solution
+    plan = system.stamp_plan
+    g_vals, c_vals = plan.ac_entry_values(op.device_ops)
+    if system.use_sparse:
+        solution = np.zeros(
+            (freqs.size, system.size, rhs.shape[1]), dtype=complex
+        )
+        for k, omega in enumerate(omegas):
+            matrix = plan.assemble_ac_sparse(float(omega), g_vals, c_vals)
+            try:
+                solution[k] = solve_linear(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(
+                    f"noise solve failed at {freqs[k]:g} Hz: {exc}"
+                )
+        return solution
+    stack = plan.assemble_ac_stacked(omegas, g_vals, c_vals)
+    rhs_stack = np.broadcast_to(
+        rhs, (freqs.size, system.size, rhs.shape[1])
+    )
+    try:
+        return np.linalg.solve(stack, rhs_stack)
+    except np.linalg.LinAlgError as exc:
+        # Localize: re-run point by point to name the frequency.
+        for k, frequency in enumerate(freqs):
+            matrix, _ = system.assemble_ac(float(omegas[k]), op.device_ops)
+            try:
+                np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as inner:
+                raise SimulationError(
+                    f"noise solve failed at {frequency:g} Hz: {inner}"
+                ) from inner
+        raise SimulationError(f"noise solve failed: {exc}") from exc

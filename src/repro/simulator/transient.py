@@ -20,12 +20,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+import scipy.sparse as sp
+
 from ..circuit.elements import GROUND, Capacitor
 from ..circuit.netlist import Circuit
 from ..errors import ConvergenceError, SimulationError
 from ..obs.spans import count as metric_count
 from ..obs.spans import span as obs_span
 from ..process.parameters import ProcessParameters
+from .assembly import _NodeGather, dense_assembly_forced, solve_linear
 from .dc import MAX_STEP, RELTOL, VTOL, operating_point
 from .mna import MnaSystem
 
@@ -79,6 +82,60 @@ class _CapState:
         self.capacitance = capacitance
         self.v_prev = 0.0
         self.i_prev = 0.0
+
+
+class _CompanionBank:
+    """Struct-of-arrays trapezoidal companion state for all capacitor
+    branches at once (explicit caps first, then the five MOSFET cap
+    branches per device) -- the vectorized counterpart of a list of
+    :class:`_CapState`."""
+
+    def __init__(
+        self, node_a: List[int], node_b: List[int], caps: List[float]
+    ):
+        self.node_a = np.asarray(node_a, dtype=np.intp)
+        self.node_b = np.asarray(node_b, dtype=np.intp)
+        self.va = _NodeGather(node_a)
+        self.vb = _NodeGather(node_b)
+        self.cap = np.asarray(caps, dtype=float)
+        self.v_prev = np.zeros(self.cap.size)
+        self.i_prev = np.zeros(self.cap.size)
+
+    def branch_voltages(self, x: np.ndarray) -> np.ndarray:
+        return self.va(x) - self.vb(x)
+
+    def stamp(
+        self,
+        residual: np.ndarray,
+        jacobian: np.ndarray,
+        x: np.ndarray,
+        h: float,
+    ) -> None:
+        """Companion stamps for every live (C > 0) branch."""
+        live = np.flatnonzero(self.cap > 0.0)
+        if not live.size:
+            return
+        a = self.node_a[live]
+        b = self.node_b[live]
+        geq = 2.0 * self.cap[live] / h
+        ieq = geq * self.v_prev[live] + self.i_prev[live]
+        current = geq * self.branch_voltages(x)[live] - ieq
+        a_live = a >= 0
+        b_live = b >= 0
+        both = a_live & b_live
+        np.add.at(residual, a[a_live], current[a_live])
+        np.add.at(residual, b[b_live], -current[b_live])
+        np.add.at(jacobian, (a[a_live], a[a_live]), geq[a_live])
+        np.add.at(jacobian, (b[b_live], b[b_live]), geq[b_live])
+        np.add.at(jacobian, (a[both], b[both]), -geq[both])
+        np.add.at(jacobian, (b[both], a[both]), -geq[both])
+
+    def accept(self, x_next: np.ndarray, h: float) -> None:
+        """Trapezoidal history update after a converged timestep."""
+        v_new = self.branch_voltages(x_next)
+        geq = 2.0 * self.cap / h
+        self.i_prev = geq * (v_new - self.v_prev) - self.i_prev
+        self.v_prev = v_new
 
 
 def _device_cap_branches(system: MnaSystem, op) -> List[Tuple[str, int, int, str]]:
@@ -157,7 +214,37 @@ def transient_analysis(
     for pos, source in enumerate(system.vsources):
         x[system.branch_index(pos)] = op0.source_currents[source.name.lower()]
 
-    # Companion states: explicit caps + device cap branches.
+    with obs_span(f"transient:{circuit.name}", category="sim") as tran_span:
+        if dense_assembly_forced():
+            times, history = _integrate_reference(
+                system, initial, x, op0, t_stop, t_step, stimuli, max_iterations
+            )
+        else:
+            times, history = _integrate_fast(
+                system, initial, x, op0, t_stop, t_step, stimuli, max_iterations
+            )
+        tran_span.set("timesteps", len(times) - 1)
+        metric_count("transient.analyses")
+        metric_count("transient.timesteps", n=len(times) - 1)
+
+    stacked = np.vstack(history)
+    waveforms = {
+        node: stacked[:, index] for node, index in system.node_index.items()
+    }
+    return TransientResult(times=np.asarray(times), waveforms=waveforms)
+
+
+def _integrate_reference(
+    system: MnaSystem,
+    initial: Circuit,
+    x: np.ndarray,
+    op0,
+    t_stop: float,
+    t_step: float,
+    stimuli: Dict[str, Callable[[float], float]],
+    max_iterations: int,
+):
+    """Scalar reference integration (``REPRO_DENSE_ASSEMBLY=1``)."""
     explicit_states: List[_CapState] = []
     for cap in initial.capacitors:
         state = _CapState(
@@ -175,46 +262,86 @@ def transient_analysis(
 
     times = [0.0]
     history = [x.copy()]
-    device_ops = op0.device_ops
 
     t = 0.0
-    with obs_span(f"transient:{circuit.name}", category="sim") as tran_span:
-        while t < t_stop - 1e-15:
-            h = min(t_step, t_stop - t)
-            t_next = t + h
-            x_next, device_ops = _solve_timestep(
-                system,
-                x,
-                t_next,
-                h,
-                stimuli,
-                explicit_states,
-                device_states,
-                max_iterations,
-            )
-            # Accept: update companion histories.
-            for state in explicit_states + device_states:
-                v_new = _branch_voltage(x_next, state)
-                geq = 2.0 * state.capacitance / h
-                i_new = geq * (v_new - state.v_prev) - state.i_prev
-                state.v_prev = v_new
-                state.i_prev = i_new
-            # Refresh device capacitance values quasi-statically.
-            for state, (name, a, b, kind) in zip(device_states, device_branches):
-                state.capacitance = getattr(device_ops[name], kind)
-            x = x_next
-            t = t_next
-            times.append(t)
-            history.append(x.copy())
-        tran_span.set("timesteps", len(times) - 1)
-        metric_count("transient.analyses")
-        metric_count("transient.timesteps", n=len(times) - 1)
+    while t < t_stop - 1e-15:
+        h = min(t_step, t_stop - t)
+        t_next = t + h
+        x_next, device_ops = _solve_timestep(
+            system,
+            x,
+            t_next,
+            h,
+            stimuli,
+            explicit_states,
+            device_states,
+            max_iterations,
+        )
+        # Accept: update companion histories.
+        for state in explicit_states + device_states:
+            v_new = _branch_voltage(x_next, state)
+            geq = 2.0 * state.capacitance / h
+            i_new = geq * (v_new - state.v_prev) - state.i_prev
+            state.v_prev = v_new
+            state.i_prev = i_new
+        # Refresh device capacitance values quasi-statically.
+        for state, (name, a, b, kind) in zip(device_states, device_branches):
+            state.capacitance = getattr(device_ops[name], kind)
+        x = x_next
+        t = t_next
+        times.append(t)
+        history.append(x.copy())
+    return times, history
 
-    stacked = np.vstack(history)
-    waveforms = {
-        node: stacked[:, index] for node, index in system.node_index.items()
-    }
-    return TransientResult(times=np.asarray(times), waveforms=waveforms)
+
+def _integrate_fast(
+    system: MnaSystem,
+    initial: Circuit,
+    x: np.ndarray,
+    op0,
+    t_stop: float,
+    t_step: float,
+    stimuli: Dict[str, Callable[[float], float]],
+    max_iterations: int,
+):
+    """Vectorized integration: one :class:`_CompanionBank` holds every
+    capacitor branch, companion stamps/updates are whole-bank array
+    operations, and large systems solve sparsely."""
+    node_a: List[int] = []
+    node_b: List[int] = []
+    caps: List[float] = []
+    for cap in initial.capacitors:
+        node_a.append(system.index_of(cap.node_a))
+        node_b.append(system.index_of(cap.node_b))
+        caps.append(cap.capacitance)
+    explicit_count = len(caps)
+    device_branches = _device_cap_branches(system, op0.device_ops)
+    for name, a, b, kind in device_branches:
+        node_a.append(a)
+        node_b.append(b)
+        caps.append(getattr(op0.device_ops[name], kind))
+    bank = _CompanionBank(node_a, node_b, caps)
+    bank.v_prev = bank.branch_voltages(x)
+
+    times = [0.0]
+    history = [x.copy()]
+
+    t = 0.0
+    while t < t_stop - 1e-15:
+        h = min(t_step, t_stop - t)
+        t_next = t + h
+        x_next, device_ops = _solve_timestep_fast(
+            system, x, t_next, h, stimuli, bank, max_iterations
+        )
+        bank.accept(x_next, h)
+        # Refresh device capacitance values quasi-statically.
+        for i, (name, _a, _b, kind) in enumerate(device_branches):
+            bank.cap[explicit_count + i] = getattr(device_ops[name], kind)
+        x = x_next
+        t = t_next
+        times.append(t)
+        history.append(x.copy())
+    return times, history
 
 
 def _branch_voltage(x: np.ndarray, state: _CapState) -> float:
@@ -233,24 +360,10 @@ def _solve_timestep(
     device_states: List[_CapState],
     max_iterations: int,
 ):
-    """Damped NR for one trapezoidal timestep."""
+    """Damped NR for one trapezoidal timestep (scalar reference)."""
     x = x_prev.copy()
     n_nodes = system.n_nodes
-
-    # Evaluate stimulus values for this time.
-    source_values = {}
-    for source in system.vsources:
-        key = source.name.lower()
-        if key in stimuli:
-            source_values[key] = float(stimuli[key](t))
-    from ..circuit.elements import CurrentSource
-
-    isource_values = {}
-    for element in system.circuit.elements:
-        if isinstance(element, CurrentSource):
-            key = element.name.lower()
-            if key in stimuli:
-                isource_values[key] = (element, float(stimuli[key](t)))
+    source_values, isource_values = _stimulus_values(system, stimuli, t)
 
     for iteration in range(1, max_iterations + 1):
         residual, jacobian, device_ops = system.assemble_dc(x, 1e-12, 1.0)
@@ -299,6 +412,84 @@ def _solve_timestep(
 
         try:
             delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"transient singular Jacobian at t={t:g}: {exc}", iteration
+            ) from exc
+        worst = np.max(np.abs(delta[:n_nodes])) if n_nodes else 0.0
+        if worst > MAX_STEP:
+            delta = delta * (MAX_STEP / worst)
+        x = x + delta
+        if np.all(np.abs(delta[:n_nodes]) <= VTOL * 100 + RELTOL * np.abs(x[:n_nodes])):
+            return x, device_ops
+    raise ConvergenceError(
+        f"transient NR failed at t={t:g} ({max_iterations} iterations)",
+        max_iterations,
+    )
+
+
+def _stimulus_values(system: MnaSystem, stimuli, t: float):
+    """Waveform values at ``t`` for driven voltage/current sources."""
+    source_values = {}
+    for source in system.vsources:
+        key = source.name.lower()
+        if key in stimuli:
+            source_values[key] = float(stimuli[key](t))
+    from ..circuit.elements import CurrentSource
+
+    isource_values = {}
+    for element in system.circuit.elements:
+        if isinstance(element, CurrentSource):
+            key = element.name.lower()
+            if key in stimuli:
+                isource_values[key] = (element, float(stimuli[key](t)))
+    return source_values, isource_values
+
+
+def _solve_timestep_fast(
+    system: MnaSystem,
+    x_prev: np.ndarray,
+    t: float,
+    h: float,
+    stimuli,
+    bank: _CompanionBank,
+    max_iterations: int,
+):
+    """Damped NR for one timestep over the vectorized companion bank."""
+    x = x_prev.copy()
+    n_nodes = system.n_nodes
+    source_values, isource_values = _stimulus_values(system, stimuli, t)
+
+    for iteration in range(1, max_iterations + 1):
+        residual, jacobian, device_ops = system.assemble_dc(x, 1e-12, 1.0)
+
+        # Override voltage-source branch equations with waveform values.
+        for pos, source in enumerate(system.vsources):
+            key = source.name.lower()
+            if key in source_values:
+                row = system.branch_index(pos)
+                p = system.index_of(source.positive)
+                n = system.index_of(source.negative)
+                vp = 0.0 if p < 0 else x[p]
+                vn = 0.0 if n < 0 else x[n]
+                residual[row] = vp - vn - source_values[key]
+
+        # Adjust current-source injections for waveform values (the
+        # assemble already stamped the DC value; add the difference).
+        for element, value in isource_values.values():
+            extra = value - element.dc
+            p = system.index_of(element.positive)
+            n = system.index_of(element.negative)
+            if p >= 0:
+                residual[p] += extra
+            if n >= 0:
+                residual[n] -= extra
+
+        bank.stamp(residual, jacobian, x, h)
+
+        operator = sp.csc_matrix(jacobian) if system.use_sparse else jacobian
+        try:
+            delta = solve_linear(operator, -residual)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"transient singular Jacobian at t={t:g}: {exc}", iteration

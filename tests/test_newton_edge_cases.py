@@ -33,6 +33,13 @@ class _FakeSystem:
     def assemble_dc(self, x, gmin, source_scale):
         return self._assemble(x, gmin, source_scale)
 
+    def assemble_dc_system(self, x, gmin, source_scale):
+        return self._assemble(x, gmin, source_scale)
+
+    def assemble_dc_residual(self, x, gmin, source_scale):
+        residual, _, device_ops = self._assemble(x, gmin, source_scale)
+        return residual, device_ops
+
 
 class TestNewtonEdgeCases:
     def test_singular_jacobian_raises_convergence_error(self):
@@ -104,6 +111,62 @@ class TestNewtonEdgeCases:
                 diverge_after=3,
             )
         assert excinfo.value.iterations < 100
+
+    def test_sparse_singular_raises_same_taxonomy(self):
+        """A genuinely singular system above the sparse threshold must
+        fail exactly like the dense path: splu's RuntimeError is
+        translated into LinAlgError, caught by newton_solve, and
+        surfaced as the chained ConvergenceError the ladder retries --
+        never a raw RuntimeError."""
+        c = Circuit("singular_mesh")
+        for i in range(70):
+            c.add_resistor(f"r{i}", f"n{i}", f"n{i + 1}", 1e3)
+        c.add_resistor("rg", "n70", GROUND, 1e3)
+        # Two contradictory voltage sources across the same node pair:
+        # duplicate branch rows make the MNA matrix exactly singular.
+        c.add_vsource("v1", "n0", GROUND, dc=1.0)
+        c.add_vsource("v2", "n0", GROUND, dc=2.0)
+        system = MnaSystem(c, CMOS_5UM)
+        assert system.use_sparse
+        with pytest.raises(ConvergenceError) as excinfo:
+            operating_point(c, CMOS_5UM)
+        chain = []
+        exc = excinfo.value
+        while exc is not None:
+            chain.append(exc)
+            exc = exc.__cause__
+        assert any(isinstance(e, np.linalg.LinAlgError) for e in chain)
+        # SuperLU's RuntimeError may be preserved at the *tail* of the
+        # cause chain for debugging, but every raised wrapper above it
+        # must be the LinAlgError-derived taxonomy, never a bare
+        # RuntimeError surfacing to ladder or caller.
+        for above, below in zip(chain, chain[1:]):
+            if type(below) is RuntimeError:
+                assert isinstance(above, np.linalg.LinAlgError)
+        assert type(excinfo.value) is ConvergenceError
+
+    def test_sparse_solve_matches_dense_solve(self):
+        """solve_linear over the CSC operator agrees with the dense
+        solve on the same assembled system."""
+        from repro.simulator.assembly import solve_linear
+
+        c = Circuit("chain")
+        for i in range(80):
+            c.add_resistor(f"r{i}", f"n{i}", f"n{i + 1}", 1e3 + float(i))
+        c.add_resistor("rg", "n80", GROUND, 1e3)
+        c.add_vsource("vin", "n0", GROUND, dc=5.0)
+        system = MnaSystem(c, CMOS_5UM)
+        x = np.zeros(system.size)
+        residual_d, jac_dense, _ = system.stamp_plan.assemble_dc_dense(
+            x, 1e-12, 1.0
+        )
+        residual_s, jac_sparse, _ = system.stamp_plan.assemble_dc_sparse(
+            x, 1e-12, 1.0
+        )
+        assert np.array_equal(residual_d, residual_s)
+        dense_delta = solve_linear(jac_dense, -residual_d)
+        sparse_delta = solve_linear(jac_sparse, -residual_s)
+        np.testing.assert_allclose(sparse_delta, dense_delta, rtol=1e-10)
 
     def test_zero_newton_budget_trips_budget_exceeded(self):
         c = Circuit("divider")
